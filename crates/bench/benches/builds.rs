@@ -1,0 +1,38 @@
+//! Benchmarks of broadcast-program construction for the three schemes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dsi_bptree::{BpAir, BpAirConfig};
+use dsi_core::{DsiAir, DsiConfig};
+use dsi_datagen::{uniform, SpatialDataset};
+use dsi_geom::Point;
+use dsi_rtree::{str_pack, RTreeAir, RtreeAirConfig};
+
+fn bench_builds(c: &mut Criterion) {
+    let n = 2_000;
+    let ds = SpatialDataset::build(&uniform(n, 42), 12);
+    let pts: Vec<(u32, Point)> = ds.objects().iter().map(|o| (o.id, o.pos)).collect();
+
+    c.bench_function("build/dataset_snap_sort", |b| {
+        let raw = uniform(n, 42);
+        b.iter(|| black_box(SpatialDataset::build(black_box(&raw), 12)))
+    });
+    c.bench_function("build/dsi_air_64B", |b| {
+        b.iter(|| black_box(DsiAir::build(black_box(&ds), DsiConfig::paper_reorganized())))
+    });
+    c.bench_function("build/str_pack", |b| {
+        b.iter(|| black_box(str_pack(black_box(&pts), 10, 10)))
+    });
+    c.bench_function("build/rtree_air_64B", |b| {
+        b.iter(|| black_box(RTreeAir::build(black_box(&pts), RtreeAirConfig::new(64))))
+    });
+    c.bench_function("build/hci_air_64B", |b| {
+        b.iter(|| black_box(BpAir::build(black_box(&ds), BpAirConfig::new(64))))
+    });
+}
+
+criterion_group!(
+    name = builds;
+    config = Criterion::default().sample_size(10);
+    targets = bench_builds
+);
+criterion_main!(builds);

@@ -1,0 +1,47 @@
+//! Micro-benchmarks of the computational kernels every query relies on:
+//! Hilbert conversions, window decomposition, HC-interval distance.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dsi_geom::{GridMapper, Point, Rect};
+use dsi_hilbert::{min_dist2_to_range, ranges_in_rect, HcRange, HilbertCurve};
+
+fn bench_curve(c: &mut Criterion) {
+    let curve = HilbertCurve::new(16);
+    let mapper = GridMapper::unit_square(16);
+    c.bench_function("hilbert/xy2d_order16", |b| {
+        let cell = mapper.cell_of(Point::new(0.37, 0.83));
+        b.iter(|| black_box(curve.xy2d(black_box(cell))))
+    });
+    c.bench_function("hilbert/d2xy_order16", |b| {
+        let d = curve.xy2d(mapper.cell_of(Point::new(0.37, 0.83)));
+        b.iter(|| black_box(curve.d2xy(black_box(d))))
+    });
+}
+
+fn bench_decomposition(c: &mut Criterion) {
+    let curve = HilbertCurve::new(12);
+    let mapper = GridMapper::unit_square(12);
+    for ratio in [0.05f64, 0.1, 0.2] {
+        let w = Rect::window_in_unit_square(Point::new(0.43, 0.57), ratio);
+        c.bench_function(&format!("hilbert/ranges_in_rect_ratio_{ratio}"), |b| {
+            b.iter(|| black_box(ranges_in_rect(&curve, &mapper, black_box(&w))))
+        });
+    }
+}
+
+fn bench_range_distance(c: &mut Criterion) {
+    let curve = HilbertCurve::new(12);
+    let mapper = GridMapper::unit_square(12);
+    let q = Point::new(0.21, 0.88);
+    let range = HcRange::new(1 << 20, (1 << 21) + 12345);
+    c.bench_function("hilbert/min_dist2_to_range", |b| {
+        b.iter(|| black_box(min_dist2_to_range(&curve, &mapper, black_box(q), range)))
+    });
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(30);
+    targets = bench_curve, bench_decomposition, bench_range_distance
+);
+criterion_main!(kernels);

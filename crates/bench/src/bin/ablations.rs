@@ -1,0 +1,4 @@
+//! Regenerates the paper's ablations results; see EXPERIMENTS.md.
+fn main() {
+    dsi_bench::run_experiment("ablations", dsi_sim::experiments::ablations);
+}

@@ -1,0 +1,12 @@
+//! Regenerates every paper figure and table in one run.
+fn main() {
+    use dsi_sim::experiments as e;
+    dsi_bench::run_experiment("fig8", e::fig8);
+    dsi_bench::run_experiment("fig9", e::fig9);
+    dsi_bench::run_experiment("fig10", e::fig10);
+    dsi_bench::run_experiment("fig11", e::fig11);
+    dsi_bench::run_experiment("fig12", e::fig12);
+    dsi_bench::run_experiment("table1", e::table1);
+    dsi_bench::run_experiment("real", e::real_summary);
+    dsi_bench::run_experiment("ablations", e::ablations);
+}

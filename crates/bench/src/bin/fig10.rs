@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig10 results; see EXPERIMENTS.md.
+fn main() {
+    dsi_bench::run_experiment("fig10", dsi_sim::experiments::fig10);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig11 results; see EXPERIMENTS.md.
+fn main() {
+    dsi_bench::run_experiment("fig11", dsi_sim::experiments::fig11);
+}

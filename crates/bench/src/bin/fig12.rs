@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig12 results; see EXPERIMENTS.md.
+fn main() {
+    dsi_bench::run_experiment("fig12", dsi_sim::experiments::fig12);
+}

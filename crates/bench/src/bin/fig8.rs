@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig8 results; see EXPERIMENTS.md.
+fn main() {
+    dsi_bench::run_experiment("fig8", dsi_sim::experiments::fig8);
+}

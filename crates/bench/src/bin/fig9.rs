@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig9 results; see EXPERIMENTS.md.
+fn main() {
+    dsi_bench::run_experiment("fig9", dsi_sim::experiments::fig9);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the REAL-dataset summaries of the paper's §4.2/§4.3 text.
+fn main() {
+    dsi_bench::run_experiment("real", dsi_sim::experiments::real_summary);
+}

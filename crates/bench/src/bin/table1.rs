@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1 results; see EXPERIMENTS.md.
+fn main() {
+    dsi_bench::run_experiment("table1", dsi_sim::experiments::table1);
+}

@@ -1,0 +1,36 @@
+//! Shared driver for the figure/table regeneration binaries.
+//!
+//! Each binary (`fig8` … `table1`, `real`, `ablations`, `all`) calls the
+//! corresponding `dsi_sim::experiments` function, prints the resulting
+//! tables, and drops CSV copies under `results/`. Scale knobs come from
+//! the environment: `DSI_QUERIES` (default 200), `DSI_N` (default 10,000),
+//! `DSI_VALIDATE=0` to skip ground-truth checks.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use dsi_sim::experiments::ExpOptions;
+use dsi_sim::Table;
+
+/// Runs one experiment end to end: banner, tables, CSV dump, timing.
+pub fn run_experiment(name: &str, f: impl FnOnce(&ExpOptions) -> Vec<Table>) {
+    let opts = ExpOptions::from_env();
+    println!(
+        "=== {name} (N = {}, {} queries/point, validate = {}) ===",
+        opts.dataset_n, opts.n_queries, opts.validate
+    );
+    let t0 = Instant::now();
+    let tables = f(&opts);
+    for (i, t) in tables.iter().enumerate() {
+        println!("{}", t.render());
+        let path = csv_path(name, i);
+        if let Err(e) = t.write_csv(&path) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+    println!("[{name} done in {:.1?}]\n", t0.elapsed());
+}
+
+fn csv_path(name: &str, idx: usize) -> PathBuf {
+    PathBuf::from("results").join(format!("{name}_{idx}.csv"))
+}

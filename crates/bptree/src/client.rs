@@ -1,0 +1,405 @@
+//! On-air HCI query processing.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use dsi_broadcast::Tuner;
+use dsi_geom::{dist2, Point, Rect};
+use dsi_hilbert::{ranges_in_rect, HcRange};
+
+use crate::air::{BpAir, BpPacket};
+use crate::tree::BpChildren;
+
+/// Pending heap entries: (position, level-or-object marker, index, upper
+/// bound of the subtree's key interval, exclusive).
+type Pending = BinaryHeap<Reverse<(u64, u8, u32, u64)>>;
+
+const OBJ: u8 = u8::MAX;
+
+fn overlaps(ranges: &[HcRange], lo: u64, ub: u64) -> bool {
+    // First range with hi >= lo, then check it begins before ub.
+    let i = ranges.partition_point(|r| r.hi < lo);
+    i < ranges.len() && ranges[i].lo < ub
+}
+
+impl BpAir {
+    /// Reads all packets of a node slot; `Err` = lost.
+    fn read_node(&self, tuner: &mut Tuner<'_, BpPacket>) -> Result<(), ()> {
+        for _ in 0..self.config.node_packets() {
+            if tuner.read().is_err() {
+                return Err(());
+            }
+        }
+        Ok(())
+    }
+
+    /// Seeds a traversal with the root copy at the next segment boundary.
+    fn seed(&self, tuner: &mut Tuner<'_, BpPacket>) -> Pending {
+        let root_level = (self.tree.height() - 1) as u8;
+        let mut pending = Pending::new();
+        let start = self.next_segment_start(tuner.pos());
+        pending.push(Reverse((
+            self.node_next_occurrence(start, root_level, 0),
+            root_level,
+            0,
+            u64::MAX,
+        )));
+        pending
+    }
+
+    /// Answers a window query on the air: ids of all objects inside
+    /// `window`, ascending. Metrics accrue on `tuner`.
+    pub fn window_query(&self, tuner: &mut Tuner<'_, BpPacket>, window: &Rect) -> Vec<u32> {
+        let ranges = ranges_in_rect(&self.curve, &self.mapper, window);
+        let mut result = Vec::new();
+        if ranges.is_empty() {
+            return result;
+        }
+        let mut pending = self.seed(tuner);
+        while let Some(Reverse((pos, kind, payload, ub))) = pending.pop() {
+            tuner.doze_to(pos);
+            if kind == OBJ {
+                // Header first: exact coordinates decide retrieval.
+                match tuner.read() {
+                    Ok(_) => {
+                        let o = &self.tree.objects[payload as usize];
+                        if window.contains(o.pos) {
+                            if self.read_payload(tuner) {
+                                result.push(o.id);
+                            } else {
+                                self.requeue_object(tuner.pos(), payload, &mut pending);
+                            }
+                        }
+                    }
+                    Err(_) => self.requeue_object(tuner.pos(), payload, &mut pending),
+                }
+                continue;
+            }
+            let (level, idx) = (kind, payload);
+            if self.read_node(tuner).is_err() {
+                let next = self.node_next_occurrence(tuner.pos(), level, idx);
+                pending.push(Reverse((next, level, idx, ub)));
+                continue;
+            }
+            let node = &self.tree.levels[level as usize][idx as usize];
+            match &node.children {
+                BpChildren::Nodes(kids) => {
+                    for (ci, &k) in kids.iter().enumerate() {
+                        let child = &self.tree.levels[level as usize - 1][k as usize];
+                        let cub = self.tree.child_upper(level as usize, node, ci, ub);
+                        if overlaps(&ranges, child.min_hc, cub) {
+                            let at = self.node_next_occurrence(tuner.pos(), level - 1, k);
+                            pending.push(Reverse((at, level - 1, k, cub)));
+                        }
+                    }
+                }
+                BpChildren::Objects { start, count } => {
+                    for obj in *start..*start + *count {
+                        let hc = self.tree.objects[obj as usize].hc;
+                        if overlaps(&ranges, hc, hc + 1) {
+                            let at = self
+                                .program
+                                .next_occurrence(tuner.pos(), self.object_pos[obj as usize]);
+                            pending.push(Reverse((at, OBJ, obj, hc)));
+                        }
+                    }
+                }
+            }
+        }
+        result.sort_unstable();
+        result
+    }
+
+    fn read_payload(&self, tuner: &mut Tuner<'_, BpPacket>) -> bool {
+        for _ in 1..self.config.object_packets() {
+            if tuner.read().is_err() {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn requeue_object(&self, from: u64, obj: u32, pending: &mut Pending) {
+        let next = self
+            .program
+            .next_occurrence(from, self.object_pos[obj as usize]);
+        let hc = self.tree.objects[obj as usize].hc;
+        pending.push(Reverse((next, OBJ, obj, hc)));
+    }
+
+    /// Answers a kNN query with the two-phase HCI algorithm (Zheng et al.
+    /// PerCom'03): phase 1 descends to the query point's HC position and
+    /// bounds a radius from the k index-nearest entries; phase 2 runs a
+    /// window-style retrieval over the circle's bounding box. Returns ids
+    /// of the `k` nearest objects (ties by id), ascending.
+    pub fn knn_query(&self, tuner: &mut Tuner<'_, BpPacket>, q: Point, k: usize) -> Vec<u32> {
+        let k = k.min(self.tree.objects.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        // ---- Phase 1: locate hc(q) and bound the search radius.
+        let hc_q = self.curve.xy2d(self.mapper.cell_of(q));
+        let mut leaf = self.descend_to_leaf(tuner, hc_q);
+        // Collect at least k entry HC values, walking forward (wrapping)
+        // through the leaf level.
+        let n_leaves = self.tree.levels[0].len() as u32;
+        let mut entry_hcs: Vec<u64> = Vec::with_capacity(k + 8);
+        let mut visited = 0u32;
+        while entry_hcs.len() < k && visited < n_leaves {
+            let at = self.node_next_occurrence(tuner.pos(), 0, leaf);
+            tuner.doze_to(at);
+            if self.read_node(tuner).is_ok() {
+                let BpChildren::Objects { start, count } =
+                    self.tree.levels[0][leaf as usize].children
+                else {
+                    unreachable!("level 0 is leaves");
+                };
+                for obj in start..start + count {
+                    entry_hcs.push(self.tree.objects[obj as usize].hc);
+                }
+                visited += 1;
+                leaf = (leaf + 1) % n_leaves;
+            }
+            // On loss, retry the same leaf at its next occurrence.
+        }
+        // Radius: k-th smallest cell-max-distance over the entries.
+        let mut ubs: Vec<f64> = entry_hcs
+            .iter()
+            .map(|&hc| self.mapper.cell_rect(self.curve.d2xy(hc)).max_dist2(q))
+            .collect();
+        ubs.sort_unstable_by(|a, b| a.partial_cmp(b).expect("bounds are never NaN"));
+        let r2_phase1 = ubs.get(k - 1).copied().unwrap_or(f64::INFINITY);
+
+        // ---- Phase 2: window-style retrieval over the bounding box.
+        let bbox = Rect::bounding_square(q, r2_phase1.sqrt());
+        let ranges = ranges_in_rect(&self.curve, &self.mapper, &bbox);
+        let mut cands: HashMap<u64, (f64, u32, bool)> = HashMap::new(); // hc -> (d2, id, retrieved)
+        let mut running = Running::new(k, r2_phase1);
+        let mut pending = self.seed(tuner);
+        while let Some(Reverse((pos, kind, payload, ub))) = pending.pop() {
+            if kind == OBJ {
+                // Skip objects provably outside the shrunken space without
+                // listening (the decoded cell distance is schema knowledge).
+                let hc = self.tree.objects[payload as usize].hc;
+                let cell_min = self.mapper.cell_rect(self.curve.d2xy(hc)).min_dist2(q);
+                if cell_min > running.r2() {
+                    continue;
+                }
+                tuner.doze_to(pos);
+                match tuner.read() {
+                    Ok(_) => {
+                        let o = &self.tree.objects[payload as usize];
+                        let d2 = dist2(q, o.pos);
+                        if d2 <= running.r2() {
+                            // Offer each distinct object once (payload-loss
+                            // retries must not shrink the bound twice).
+                            cands.entry(o.hc).or_insert_with(|| {
+                                running.offer(d2);
+                                (d2, o.id, false)
+                            });
+                            if self.read_payload(tuner) {
+                                cands.get_mut(&o.hc).expect("just inserted").2 = true;
+                            } else {
+                                self.requeue_object(tuner.pos(), payload, &mut pending);
+                            }
+                        }
+                    }
+                    Err(_) => self.requeue_object(tuner.pos(), payload, &mut pending),
+                }
+                continue;
+            }
+            let (level, idx) = (kind, payload);
+            tuner.doze_to(pos);
+            if self.read_node(tuner).is_err() {
+                let next = self.node_next_occurrence(tuner.pos(), level, idx);
+                pending.push(Reverse((next, level, idx, ub)));
+                continue;
+            }
+            let node = &self.tree.levels[level as usize][idx as usize];
+            match &node.children {
+                BpChildren::Nodes(kids) => {
+                    for (ci, &kid) in kids.iter().enumerate() {
+                        let child = &self.tree.levels[level as usize - 1][kid as usize];
+                        let cub = self.tree.child_upper(level as usize, node, ci, ub);
+                        if overlaps(&ranges, child.min_hc, cub) {
+                            let at = self.node_next_occurrence(tuner.pos(), level - 1, kid);
+                            pending.push(Reverse((at, level - 1, kid, cub)));
+                        }
+                    }
+                }
+                BpChildren::Objects { start, count } => {
+                    for obj in *start..*start + *count {
+                        let hc = self.tree.objects[obj as usize].hc;
+                        if overlaps(&ranges, hc, hc + 1) {
+                            let at = self
+                                .program
+                                .next_occurrence(tuner.pos(), self.object_pos[obj as usize]);
+                            pending.push(Reverse((at, OBJ, obj, hc)));
+                        }
+                    }
+                }
+            }
+        }
+        let mut retr: Vec<(f64, u32)> = cands
+            .values()
+            .filter(|(_, _, r)| *r)
+            .map(|&(d2, id, _)| (d2, id))
+            .collect();
+        retr.sort_unstable_by(|a, b| a.partial_cmp(b).expect("distances are never NaN"));
+        let mut ids: Vec<u32> = retr.into_iter().take(k).map(|(_, id)| id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Phase-1 descent: follows separator keys from the root to the leaf
+    /// whose interval contains `hc_q`, reading one node per level.
+    fn descend_to_leaf(&self, tuner: &mut Tuner<'_, BpPacket>, hc_q: u64) -> u32 {
+        let mut level = (self.tree.height() - 1) as u8;
+        let mut idx = 0u32;
+        loop {
+            if level == 0 {
+                return idx;
+            }
+            // Path copies make upper levels cheap to reach; subtree nodes
+            // have one occurrence per cycle.
+            let at = self.node_next_occurrence(tuner.pos(), level, idx);
+            tuner.doze_to(at);
+            if self.read_node(tuner).is_err() {
+                continue; // retry at the node's next occurrence
+            }
+            let node = &self.tree.levels[level as usize][idx as usize];
+            let BpChildren::Nodes(kids) = &node.children else {
+                unreachable!("internal node");
+            };
+            // Last child whose separator is <= hc_q (or the first child).
+            let mut chosen = kids[0];
+            for &k in kids {
+                if self.tree.levels[level as usize - 1][k as usize].min_hc <= hc_q {
+                    chosen = k;
+                } else {
+                    break;
+                }
+            }
+            level -= 1;
+            idx = chosen;
+        }
+    }
+}
+
+/// Running k-th-distance bound for phase 2, seeded by the phase-1 radius.
+struct Running {
+    k: usize,
+    heap: BinaryHeap<OrderedF64>, // max-heap of the k smallest exact d2
+    seed: f64,
+}
+
+#[derive(PartialEq)]
+struct OrderedF64(f64);
+impl Eq for OrderedF64 {}
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("distances are never NaN")
+    }
+}
+
+impl Running {
+    fn new(k: usize, seed: f64) -> Self {
+        Self {
+            k,
+            heap: BinaryHeap::new(),
+            seed,
+        }
+    }
+
+    fn offer(&mut self, d2: f64) {
+        if self.heap.len() < self.k {
+            self.heap.push(OrderedF64(d2));
+        } else if d2 < self.heap.peek().expect("non-empty").0 {
+            self.heap.pop();
+            self.heap.push(OrderedF64(d2));
+        }
+    }
+
+    fn r2(&self) -> f64 {
+        if self.heap.len() < self.k {
+            self.seed
+        } else {
+            self.heap.peek().expect("non-empty").0.min(self.seed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::air::BpAirConfig;
+    use dsi_broadcast::LossModel;
+    use dsi_datagen::{knn_points, uniform, window_queries, SpatialDataset};
+
+    #[test]
+    fn window_matches_brute_force() {
+        let ds = SpatialDataset::build(&uniform(400, 11), 9);
+        for cap in [32u32, 64, 256] {
+            let air = BpAir::build(&ds, BpAirConfig::new(cap));
+            for (i, w) in window_queries(20, 0.25, 3).iter().enumerate() {
+                let start = (i as u64 * 9973) % air.program().len();
+                let mut t = Tuner::tune_in(air.program(), start, LossModel::None, i as u64);
+                assert_eq!(air.window_query(&mut t, w), ds.brute_window(w), "cap {cap}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let ds = SpatialDataset::build(&uniform(400, 13), 9);
+        for cap in [64u32, 256] {
+            let air = BpAir::build(&ds, BpAirConfig::new(cap));
+            for (i, q) in knn_points(12, 5).into_iter().enumerate() {
+                for k in [1usize, 5, 10] {
+                    let start = (i as u64 * 7919) % air.program().len();
+                    let mut t = Tuner::tune_in(air.program(), start, LossModel::None, i as u64);
+                    assert_eq!(air.knn_query(&mut t, q, k), ds.brute_knn(q, k), "cap {cap} k {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queries_survive_loss() {
+        let ds = SpatialDataset::build(&uniform(250, 17), 9);
+        let air = BpAir::build(&ds, BpAirConfig::new(64));
+        for (i, w) in window_queries(8, 0.3, 7).iter().enumerate() {
+            let mut t = Tuner::tune_in(air.program(), i as u64 * 401, LossModel::iid(0.4), i as u64);
+            assert_eq!(air.window_query(&mut t, w), ds.brute_window(w));
+        }
+        for (i, q) in knn_points(8, 9).into_iter().enumerate() {
+            let mut t = Tuner::tune_in(air.program(), i as u64 * 401, LossModel::iid(0.4), i as u64);
+            assert_eq!(air.knn_query(&mut t, q, 5), ds.brute_knn(q, 5));
+        }
+    }
+
+    #[test]
+    fn knn_query_point_outside_space() {
+        let ds = SpatialDataset::build(&uniform(150, 19), 8);
+        let air = BpAir::build(&ds, BpAirConfig::new(64));
+        let q = Point::new(-0.7, 1.9);
+        let mut t = Tuner::tune_in(air.program(), 31, LossModel::None, 2);
+        assert_eq!(air.knn_query(&mut t, q, 3), ds.brute_knn(q, 3));
+    }
+
+    #[test]
+    fn empty_window_is_free() {
+        let ds = SpatialDataset::build(&uniform(100, 23), 8);
+        let air = BpAir::build(&ds, BpAirConfig::new(64));
+        let mut t = Tuner::tune_in(air.program(), 3, LossModel::None, 1);
+        assert!(air
+            .window_query(&mut t, &Rect::new(3.0, 3.0, 4.0, 4.0))
+            .is_empty());
+        assert_eq!(t.stats().tuning_packets, 0);
+    }
+}

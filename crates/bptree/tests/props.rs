@@ -1,0 +1,49 @@
+//! Property tests for the HCI baseline: B+-tree invariants and on-air
+//! query correctness.
+
+use dsi_bptree::{bulk_load, BpAir, BpAirConfig};
+use dsi_broadcast::{LossModel, Tuner};
+use dsi_datagen::{uniform, SpatialDataset};
+use dsi_geom::{Point, Rect};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn bulk_load_invariants(n in 1usize..300, seed in any::<u64>(), fanout in 2u32..20) {
+        let ds = SpatialDataset::build(&uniform(n, seed), 8);
+        bulk_load(ds.objects(), fanout).validate();
+    }
+
+    #[test]
+    fn air_window_matches_brute(
+        n in 10usize..150, seed in any::<u64>(),
+        cap in prop_oneof![Just(32u32), Just(64), Just(256)],
+        start_seed in any::<u64>(),
+        cx in 0.0..1.0f64, cy in 0.0..1.0f64, side in 0.05..0.6f64,
+        theta in prop_oneof![Just(0.0f64), Just(0.3)],
+    ) {
+        let ds = SpatialDataset::build(&uniform(n, seed), 8);
+        let air = BpAir::build(&ds, BpAirConfig::new(cap));
+        let w = Rect::window_in_unit_square(Point::new(cx, cy), side);
+        let start = start_seed % air.program().len();
+        let mut t = Tuner::tune_in(air.program(), start, LossModel::iid(theta), start_seed);
+        prop_assert_eq!(air.window_query(&mut t, &w), ds.brute_window(&w));
+    }
+
+    #[test]
+    fn air_knn_matches_brute(
+        n in 10usize..150, seed in any::<u64>(),
+        start_seed in any::<u64>(),
+        qx in -0.2..1.2f64, qy in -0.2..1.2f64, k in 1usize..10,
+        theta in prop_oneof![Just(0.0f64), Just(0.3)],
+    ) {
+        let ds = SpatialDataset::build(&uniform(n, seed), 8);
+        let air = BpAir::build(&ds, BpAirConfig::new(64));
+        let q = Point::new(qx, qy);
+        let start = start_seed % air.program().len();
+        let mut t = Tuner::tune_in(air.program(), start, LossModel::iid(theta), start_seed);
+        prop_assert_eq!(air.knn_query(&mut t, q, k), ds.brute_knn(q, k.min(n)));
+    }
+}

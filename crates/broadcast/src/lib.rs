@@ -1,0 +1,38 @@
+//! Wireless data broadcast channel simulator.
+//!
+//! The paper's evaluation runs on "a simulation model [that] consists of a
+//! base station, an arbitrary number of clients, and a broadcast channel"
+//! (§4). This crate is that substrate, independent of any particular air
+//! index:
+//!
+//! * [`Program`] — one broadcast *cycle*: a sequence of fixed-capacity
+//!   packets that the base station repeats forever. Packets are the atomic
+//!   unit of transmission; all byte metrics are `packets × capacity`,
+//!   exactly the unit the paper reports ("with a known packet capacity,
+//!   conversion between the number of packets and total bytes is
+//!   straightforward").
+//! * [`Tuner`] — a mobile client's view of the channel: it can [`Tuner::read`]
+//!   the packet at the current instant (active mode, costs tuning time) or
+//!   [`Tuner::doze_to`] a future instant (doze mode, costs latency only).
+//!   Time only moves forward; a pointer into the past means waiting for the
+//!   next cycle, which is how the cost of mis-ordered tree traversals
+//!   emerges naturally.
+//! * [`LossModel`] — the error-prone environment of §5: i.i.d. per-packet
+//!   loss with probability θ, optionally scoped to index information (see
+//!   DESIGN.md §3.2 for why the data payload is assumed FEC-protected).
+//!
+//! The simulator is deterministic under a fixed seed: every stochastic
+//! choice (loss draws) comes from the tuner's own RNG.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod loss;
+mod program;
+mod stats;
+mod tuner;
+
+pub use loss::{LossModel, LossScope};
+pub use program::{PacketClass, Payload, Program};
+pub use stats::{MeanStats, QueryStats};
+pub use tuner::{PacketLost, Tuner};

@@ -1,0 +1,114 @@
+//! The link-error model of the paper's §5.
+
+use crate::program::PacketClass;
+
+/// Which packets a loss draw applies to.
+///
+/// The paper applies θ to "link errors in the broadcast system" and reports
+/// moderate deterioration even at θ = 0.7, which is only consistent with
+/// data-object records surviving (a 1024-byte object spans 16 packets at
+/// 64 B; with independent per-packet loss at θ = 0.7 a clean transfer has
+/// probability 0.3¹⁶ ≈ 4·10⁻⁹ and *no* index could finish a query). We
+/// therefore default to scoping loss to **index information** — the part
+/// whose recovery §5 is about: DSI resumes at the next frame's table,
+/// trees wait for node rebroadcasts — and treat object records (header
+/// and payload alike) as protected by link-layer FEC/ARQ. `All` is
+/// provided for ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossScope {
+    /// Loss applies to every packet.
+    All,
+    /// Loss applies to [`PacketClass::Index`] packets only.
+    IndexOnly,
+}
+
+impl LossScope {
+    /// Whether a packet of `class` is subject to loss under this scope.
+    #[inline]
+    pub fn applies_to(self, class: PacketClass) -> bool {
+        match self {
+            LossScope::All => true,
+            LossScope::IndexOnly => matches!(class, PacketClass::Index),
+        }
+    }
+}
+
+/// Per-packet i.i.d. loss model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossModel {
+    /// The ideal channel of §4: no interference, no packet loss.
+    None,
+    /// Error-prone channel: each received packet (within `scope`) is
+    /// corrupted independently with probability `theta`.
+    Iid {
+        /// Loss probability θ ∈ [0, 1).
+        theta: f64,
+        /// Which packet classes are affected.
+        scope: LossScope,
+    },
+}
+
+impl LossModel {
+    /// Convenience constructor for the paper's Table 1 configuration.
+    pub fn iid(theta: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&theta),
+            "theta must be in [0, 1), got {theta}"
+        );
+        if theta == 0.0 {
+            LossModel::None
+        } else {
+            LossModel::Iid {
+                theta,
+                scope: LossScope::IndexOnly,
+            }
+        }
+    }
+
+    /// The loss probability for a packet of the given class.
+    #[inline]
+    pub fn theta_for(&self, class: PacketClass) -> f64 {
+        match *self {
+            LossModel::None => 0.0,
+            LossModel::Iid { theta, scope } => {
+                if scope.applies_to(class) {
+                    theta
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_theta_collapses_to_none() {
+        assert_eq!(LossModel::iid(0.0), LossModel::None);
+    }
+
+    #[test]
+    fn scope_filters_classes() {
+        let m = LossModel::Iid {
+            theta: 0.5,
+            scope: LossScope::IndexOnly,
+        };
+        assert_eq!(m.theta_for(PacketClass::Index), 0.5);
+        assert_eq!(m.theta_for(PacketClass::ObjectHeader), 0.0);
+        assert_eq!(m.theta_for(PacketClass::ObjectPayload), 0.0);
+        let all = LossModel::Iid {
+            theta: 0.2,
+            scope: LossScope::All,
+        };
+        assert_eq!(all.theta_for(PacketClass::ObjectPayload), 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in")]
+    fn theta_one_rejected() {
+        let _ = LossModel::iid(1.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Broadcast programs: the repeating packet cycle of a base station.
+
+/// Coarse classification of a packet's content, used by the link-error
+/// model to decide whether a loss draw applies (see [`crate::LossScope`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketClass {
+    /// Index information: DSI index tables, tree nodes, control tables.
+    Index,
+    /// The first packet of a data object, carrying its key/coordinates.
+    ObjectHeader,
+    /// Remaining packets of a data object's 1024-byte record.
+    ObjectPayload,
+}
+
+/// Implemented by scheme-specific packet payload types so the generic
+/// [`crate::Tuner`] can classify what a client is receiving.
+pub trait Payload {
+    /// The class of this packet.
+    fn class(&self) -> PacketClass;
+}
+
+/// One broadcast cycle: `len()` packets of `capacity` bytes each, repeated
+/// forever by the base station. Absolute packet indices (`u64`, from an
+/// arbitrary epoch) address the infinite repetition; `abs % len()` is the
+/// cycle-relative position.
+#[derive(Debug, Clone)]
+pub struct Program<P> {
+    capacity: u32,
+    packets: Vec<P>,
+}
+
+impl<P> Program<P> {
+    /// Creates a program from its packet sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cycle is empty or the capacity is zero.
+    pub fn new(capacity: u32, packets: Vec<P>) -> Self {
+        assert!(capacity > 0, "packet capacity must be positive");
+        assert!(!packets.is_empty(), "broadcast cycle must not be empty");
+        Self { capacity, packets }
+    }
+
+    /// Packet capacity in bytes.
+    #[inline]
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Packets per cycle.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.packets.len() as u64
+    }
+
+    /// A program is never empty (checked at construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Bytes per cycle.
+    #[inline]
+    pub fn cycle_bytes(&self) -> u64 {
+        self.len() * self.capacity as u64
+    }
+
+    /// The packet broadcast at absolute instant `abs`.
+    #[inline]
+    pub fn get(&self, abs: u64) -> &P {
+        &self.packets[(abs % self.len()) as usize]
+    }
+
+    /// Iterates over one cycle's packets in broadcast order.
+    pub fn iter(&self) -> impl Iterator<Item = &P> {
+        self.packets.iter()
+    }
+
+    /// The earliest absolute instant `t >= from` whose cycle-relative
+    /// position equals `cycle_pos`. This is how a client converts an index
+    /// pointer ("the object is at position *p* of the cycle") into a
+    /// wake-up time; pointers into the past roll over to the next cycle.
+    #[inline]
+    pub fn next_occurrence(&self, from: u64, cycle_pos: u64) -> u64 {
+        let len = self.len();
+        debug_assert!(cycle_pos < len, "cycle position {cycle_pos} out of range");
+        let from_rel = from % len;
+        let delta = (cycle_pos + len - from_rel) % len;
+        from + delta
+    }
+
+    /// The earliest absolute instant strictly after `from` at `cycle_pos`.
+    #[inline]
+    pub fn next_occurrence_after(&self, from: u64, cycle_pos: u64) -> u64 {
+        self.next_occurrence(from + 1, cycle_pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct P(u32);
+    impl Payload for P {
+        fn class(&self) -> PacketClass {
+            PacketClass::Index
+        }
+    }
+
+    fn program() -> Program<P> {
+        Program::new(64, (0..10).map(P).collect())
+    }
+
+    #[test]
+    fn wraps_around_cycle() {
+        let p = program();
+        assert_eq!(p.get(3), &P(3));
+        assert_eq!(p.get(13), &P(3));
+        assert_eq!(p.get(10_000_000_007), &P(7));
+    }
+
+    #[test]
+    fn cycle_bytes() {
+        assert_eq!(program().cycle_bytes(), 640);
+    }
+
+    #[test]
+    fn next_occurrence_now_or_future() {
+        let p = program();
+        // Already at the position: zero wait.
+        assert_eq!(p.next_occurrence(23, 3), 23);
+        // Position ahead in the same cycle.
+        assert_eq!(p.next_occurrence(23, 7), 27);
+        // Position behind: wait for next cycle.
+        assert_eq!(p.next_occurrence(23, 1), 31);
+        // Strictly-after variant skips the current instant.
+        assert_eq!(p.next_occurrence_after(23, 3), 33);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_program_rejected() {
+        let _: Program<P> = Program::new(64, vec![]);
+    }
+}

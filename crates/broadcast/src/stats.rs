@@ -1,0 +1,103 @@
+//! Access latency and tuning time accounting.
+
+/// The two performance metrics of the paper (§2.1), in packets, convertible
+/// to bytes via the packet capacity they were measured under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryStats {
+    /// Packets elapsed from the moment the query was issued until it was
+    /// satisfied (active *and* doze time).
+    pub latency_packets: u64,
+    /// Packets the client actively received.
+    pub tuning_packets: u64,
+    /// Capacity the program was built with, for byte conversion.
+    pub capacity: u32,
+}
+
+impl QueryStats {
+    /// Access latency in bytes.
+    #[inline]
+    pub fn latency_bytes(&self) -> u64 {
+        self.latency_packets * self.capacity as u64
+    }
+
+    /// Tuning time in bytes.
+    #[inline]
+    pub fn tuning_bytes(&self) -> u64 {
+        self.tuning_packets * self.capacity as u64
+    }
+}
+
+/// Running mean of query stats over a workload, reported in bytes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeanStats {
+    latency_sum: f64,
+    tuning_sum: f64,
+    n: u64,
+}
+
+impl MeanStats {
+    /// Adds one query's stats.
+    pub fn push(&mut self, s: QueryStats) {
+        self.latency_sum += s.latency_bytes() as f64;
+        self.tuning_sum += s.tuning_bytes() as f64;
+        self.n += 1;
+    }
+
+    /// Mean access latency in bytes (0 if no samples).
+    pub fn latency_bytes(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.latency_sum / self.n as f64
+        }
+    }
+
+    /// Mean tuning time in bytes (0 if no samples).
+    pub fn tuning_bytes(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.tuning_sum / self.n as f64
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_conversion() {
+        let s = QueryStats {
+            latency_packets: 100,
+            tuning_packets: 7,
+            capacity: 64,
+        };
+        assert_eq!(s.latency_bytes(), 6400);
+        assert_eq!(s.tuning_bytes(), 448);
+    }
+
+    #[test]
+    fn mean_accumulates() {
+        let mut m = MeanStats::default();
+        assert_eq!(m.latency_bytes(), 0.0);
+        m.push(QueryStats {
+            latency_packets: 10,
+            tuning_packets: 2,
+            capacity: 32,
+        });
+        m.push(QueryStats {
+            latency_packets: 30,
+            tuning_packets: 4,
+            capacity: 32,
+        });
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.latency_bytes(), 640.0);
+        assert_eq!(m.tuning_bytes(), 96.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! The mobile client's channel interface.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::loss::LossModel;
+use crate::program::{Payload, Program};
+use crate::stats::QueryStats;
+
+/// Error returned by [`Tuner::read`] when the packet was corrupted by the
+/// link-error model. The client has still *listened* (tuning time accrues)
+/// and the instant has passed (latency accrues); recovery strategy is up to
+/// the index's search algorithm — this asymmetry between DSI (resume at
+/// next frame) and tree indexes (wait for a new root/index segment) is the
+/// heart of the paper's §5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketLost;
+
+/// A client tuned into a broadcast channel.
+///
+/// The tuner owns the client-side clock: `pos` is the absolute packet
+/// instant about to be broadcast. Reading consumes the instant actively;
+/// dozing skips ahead without listening. Both metrics of the paper fall out
+/// of this bookkeeping:
+///
+/// * access latency = `pos - tune-in instant`
+/// * tuning time   = number of `read` calls
+pub struct Tuner<'a, P> {
+    program: &'a Program<P>,
+    start: u64,
+    pos: u64,
+    tuning: u64,
+    loss: LossModel,
+    rng: StdRng,
+}
+
+impl<'a, P: Payload> Tuner<'a, P> {
+    /// Tunes in at the absolute packet instant `start` (the initial probe
+    /// happens at the first subsequent `read`).
+    pub fn tune_in(program: &'a Program<P>, start: u64, loss: LossModel, seed: u64) -> Self {
+        Self {
+            program,
+            start,
+            pos: start,
+            tuning: 0,
+            loss,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The broadcast program being listened to.
+    #[inline]
+    pub fn program(&self) -> &'a Program<P> {
+        self.program
+    }
+
+    /// Absolute instant of the next packet to be broadcast.
+    #[inline]
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Cycle-relative position of the next packet.
+    #[inline]
+    pub fn cycle_pos(&self) -> u64 {
+        self.pos % self.program.len()
+    }
+
+    /// Receives the packet at the current instant (active mode).
+    ///
+    /// Always advances time and accrues one packet of tuning; returns
+    /// `Err(PacketLost)` if the link-error model corrupted the packet.
+    pub fn read(&mut self) -> Result<&'a P, PacketLost> {
+        let packet = self.program.get(self.pos);
+        self.pos += 1;
+        self.tuning += 1;
+        let theta = self.loss.theta_for(packet.class());
+        if theta > 0.0 && self.rng.gen_bool(theta) {
+            Err(PacketLost)
+        } else {
+            Ok(packet)
+        }
+    }
+
+    /// Switches to doze mode until absolute instant `abs` (latency accrues,
+    /// tuning does not).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `abs` is in the past — broadcast time is monotonic; use
+    /// [`Program::next_occurrence`] to roll cycle positions forward.
+    pub fn doze_to(&mut self, abs: u64) {
+        assert!(
+            abs >= self.pos,
+            "cannot doze into the past: now {} target {abs}",
+            self.pos
+        );
+        self.pos = abs;
+    }
+
+    /// Dozes to the next occurrence of cycle position `cycle_pos` and reads
+    /// the packet there.
+    pub fn read_at_cycle_pos(&mut self, cycle_pos: u64) -> Result<&'a P, PacketLost> {
+        let t = self.program.next_occurrence(self.pos, cycle_pos);
+        self.doze_to(t);
+        self.read()
+    }
+
+    /// Metrics accrued since tune-in.
+    pub fn stats(&self) -> QueryStats {
+        QueryStats {
+            latency_packets: self.pos - self.start,
+            tuning_packets: self.tuning,
+            capacity: self.program.capacity(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::LossScope;
+    use crate::program::PacketClass;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum P {
+        Idx(u32),
+        Hdr,
+        Pay,
+    }
+    impl Payload for P {
+        fn class(&self) -> PacketClass {
+            match self {
+                P::Idx(_) => PacketClass::Index,
+                P::Hdr => PacketClass::ObjectHeader,
+                P::Pay => PacketClass::ObjectPayload,
+            }
+        }
+    }
+
+    fn program() -> Program<P> {
+        Program::new(
+            64,
+            vec![P::Idx(0), P::Hdr, P::Pay, P::Pay, P::Idx(1), P::Hdr, P::Pay, P::Pay],
+        )
+    }
+
+    #[test]
+    fn read_advances_and_accounts() {
+        let prog = program();
+        let mut t = Tuner::tune_in(&prog, 2, LossModel::None, 1);
+        assert_eq!(t.read().unwrap(), &P::Pay);
+        assert_eq!(t.read().unwrap(), &P::Pay);
+        let s = t.stats();
+        assert_eq!(s.latency_packets, 2);
+        assert_eq!(s.tuning_packets, 2);
+    }
+
+    #[test]
+    fn doze_costs_latency_only() {
+        let prog = program();
+        let mut t = Tuner::tune_in(&prog, 0, LossModel::None, 1);
+        t.doze_to(6);
+        assert_eq!(t.read().unwrap(), &P::Pay);
+        let s = t.stats();
+        assert_eq!(s.latency_packets, 7);
+        assert_eq!(s.tuning_packets, 1);
+    }
+
+    #[test]
+    fn read_at_cycle_pos_wraps() {
+        let prog = program();
+        let mut t = Tuner::tune_in(&prog, 5, LossModel::None, 1);
+        // Position 4 is behind → next cycle (abs 12).
+        assert_eq!(t.read_at_cycle_pos(4).unwrap(), &P::Idx(1));
+        assert_eq!(t.pos(), 13);
+        assert_eq!(t.stats().latency_packets, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "doze into the past")]
+    fn dozing_backwards_panics() {
+        let prog = program();
+        let mut t = Tuner::tune_in(&prog, 5, LossModel::None, 1);
+        t.doze_to(3);
+    }
+
+    #[test]
+    fn loss_scope_spares_payload() {
+        let prog = program();
+        let loss = LossModel::Iid {
+            theta: 0.999_999,
+            scope: LossScope::IndexOnly,
+        };
+        let mut t = Tuner::tune_in(&prog, 0, loss, 42);
+        // Index packet: virtually always lost.
+        assert_eq!(t.read(), Err(PacketLost));
+        // Header and payload packets: never lost under IndexOnly (object
+        // records are assumed FEC-protected; see the loss module docs).
+        assert_eq!(t.read().unwrap(), &P::Hdr);
+        assert_eq!(t.read().unwrap(), &P::Pay);
+        assert_eq!(t.read().unwrap(), &P::Pay);
+        // Tuning counted losses too: the client listened.
+        assert_eq!(t.stats().tuning_packets, 4);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let prog = program();
+        let loss = LossModel::iid(0.5);
+        let run = |seed| {
+            let mut t = Tuner::tune_in(&prog, 0, loss, seed);
+            (0..16).map(|_| t.read().is_ok()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should diverge");
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests for the channel substrate: occurrence arithmetic and
+//! tuner accounting.
+
+use dsi_broadcast::{LossModel, PacketClass, Payload, Program, Tuner};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, PartialEq)]
+struct P(u64);
+impl Payload for P {
+    fn class(&self) -> PacketClass {
+        if self.0.is_multiple_of(3) {
+            PacketClass::Index
+        } else if self.0 % 3 == 1 {
+            PacketClass::ObjectHeader
+        } else {
+            PacketClass::ObjectPayload
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn next_occurrence_is_minimal(len in 1u64..200, from in 0u64..10_000, pos in 0u64..200) {
+        let pos = pos % len;
+        let prog = Program::new(16, (0..len).map(P).collect());
+        let t = prog.next_occurrence(from, pos);
+        prop_assert!(t >= from);
+        prop_assert_eq!(t % len, pos);
+        prop_assert!(t - from < len, "not the first occurrence");
+    }
+
+    #[test]
+    fn tuner_accounting_is_exact(
+        len in 2u64..100,
+        start in 0u64..1_000,
+        steps in prop::collection::vec((0u64..30, any::<bool>()), 1..40),
+    ) {
+        let prog = Program::new(16, (0..len).map(P).collect());
+        let mut t = Tuner::tune_in(&prog, start, LossModel::None, 1);
+        let mut expected_reads = 0u64;
+        let mut expected_pos = start;
+        for (skip, read) in steps {
+            expected_pos += skip;
+            t.doze_to(expected_pos);
+            if read {
+                let _ = t.read();
+                expected_reads += 1;
+                expected_pos += 1;
+            }
+        }
+        let s = t.stats();
+        prop_assert_eq!(s.tuning_packets, expected_reads);
+        prop_assert_eq!(s.latency_packets, expected_pos - start);
+    }
+
+    #[test]
+    fn loss_rate_respects_scope(theta in 0.1..0.9f64, seed in any::<u64>()) {
+        let prog = Program::new(16, (0..300u64).map(P).collect());
+        let loss = LossModel::Iid { theta, scope: dsi_broadcast::LossScope::IndexOnly };
+        let mut t = Tuner::tune_in(&prog, 0, loss, seed);
+        let mut object_losses = 0;
+        for i in 0..300u64 {
+            let lost = t.read().is_err();
+            if lost && P(i).class() != PacketClass::Index {
+                object_losses += 1;
+            }
+        }
+        prop_assert_eq!(object_losses, 0, "object packets must never be lost under IndexOnly");
+    }
+}

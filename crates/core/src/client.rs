@@ -1,0 +1,456 @@
+//! The shared client-side query driver.
+//!
+//! All three DSI search algorithms (EEF point queries, window queries, kNN
+//! queries) share one skeleton, which this module implements once:
+//!
+//! 1. tune in, doze to the next frame boundary, read its index table;
+//! 2. fold the table's entries into [`Knowledge`] (and hand them to the
+//!    query as *virtual candidates* — "the object represented by HC′ᵢ",
+//!    Algorithm 2);
+//! 3. derive the *remainders*: target HC intervals not yet accounted for;
+//! 4. scan the current frame's object headers if its (conservatively
+//!    estimated) span may overlap a remainder, retrieving qualifying
+//!    objects;
+//! 5. navigate: jump to the *safe frame* for the chosen remainder — the
+//!    frame with the largest known bound ≤ the remainder's start, which can
+//!    never overshoot. This is exactly the paper's energy-efficient
+//!    forwarding generalised to interval targets; repeated hops converge
+//!    like a base-`r` search.
+//!
+//! What differs between queries — which intervals are targets, which
+//! objects qualify, when the query is complete, which remainder to chase
+//! first — is abstracted as [`QueryMode`]. Link errors never abort a query:
+//! a lost table is skipped (the next frame has another one), a lost header
+//! or payload is recorded in [`Retries`] and re-fetched a cycle later,
+//! while all previously gathered knowledge stays valid (§5).
+
+use dsi_broadcast::Tuner;
+use dsi_datagen::Object;
+use dsi_hilbert::HcRange;
+
+use crate::build::{DsiAir, DsiPacket};
+use crate::state::{cleared_regions, subtract_ranges, Knowledge, Retries, ScanLog};
+use crate::table::IndexTable;
+
+/// Which destination the navigator should chase.
+pub(crate) enum NavPick {
+    /// The earliest-arriving frame that may overlap a live remainder
+    /// (window queries and the conservative kNN strategy: "follow the
+    /// first pointer Pᵢ with the range overlapping some segment of H").
+    Earliest,
+    /// Jump to a specific broadcast slot — the aggressive kNN strategy
+    /// picks, among the last table's entry targets, the frame closest to
+    /// the query point.
+    Slot(u32),
+}
+
+/// Query-specific behaviour plugged into the shared driver.
+pub(crate) trait QueryMode {
+    /// Current target intervals (sorted, disjoint). May be recomputed when
+    /// the query's internal state changed (kNN shrinks its circle).
+    fn targets(&mut self, know: &Knowledge) -> Vec<HcRange>;
+
+    /// Whether an unaccounted remainder still matters (kNN drops intervals
+    /// farther than the current k-th candidate).
+    fn is_live(&mut self, r: &HcRange) -> bool {
+        let _ = r;
+        true
+    }
+
+    /// A real object with this HC value exists (index-table entry).
+    fn on_virtual(&mut self, hc: u64) {
+        let _ = hc;
+    }
+
+    /// An object header was received; return `true` to retrieve the full
+    /// record.
+    fn on_header(&mut self, o: &Object) -> bool;
+
+    /// The full record was received.
+    fn on_retrieved(&mut self, o: &Object);
+
+    /// Extra completion condition beyond "no remainders, no retries"
+    /// (kNN: the k best candidates are all retrieved).
+    fn complete(&self) -> bool {
+        true
+    }
+
+    /// Which destination to chase next. `entry_targets` holds the
+    /// (broadcast slot, min HC) pairs of the most recently read index
+    /// table — the frames "reachable" from here in the paper's sense.
+    fn nav_pick(&mut self, rem: &[HcRange], entry_targets: &[(u32, u64)]) -> NavPick {
+        let _ = (rem, entry_targets);
+        NavPick::Earliest
+    }
+}
+
+/// What the driver is about to do at its current position.
+enum Pending {
+    /// Positioned at the frame start of `slot`: read its index table.
+    Table(u32),
+    /// Visit objects of `slot`: retries, plus (optionally) the unread
+    /// fresh tail. `max_hi` is the early-exit threshold for fresh reads.
+    Visit {
+        slot: u32,
+        include_fresh: bool,
+        max_hi: u64,
+    },
+}
+
+/// Runs a query to completion. The tuner carries the metrics.
+pub(crate) fn run_query<M: QueryMode>(air: &DsiAir, tuner: &mut Tuner<'_, DsiPacket>, mode: &mut M) {
+    let l = air.layout();
+    let mut know = Knowledge::new(l, air.curve().max_d());
+    let mut log = ScanLog::new();
+    let mut retries = Retries::new();
+    // The schema's block boundaries are minimum HC values of real objects.
+    for &hc in l.block_min_hc() {
+        mode.on_virtual(hc);
+    }
+
+    let (abs, slot0) = l.next_frame_boundary(tuner.pos());
+    tuner.doze_to(abs);
+    let mut pending = Pending::Table(slot0);
+    // Targets of the most recently received index table, for the
+    // aggressive strategy's "reachable frame nearest the query point".
+    let mut entry_targets: Vec<(u32, u64)> = Vec::new();
+
+    // Defensive bound: every iteration makes progress (reads a packet or
+    // resolves a retry); the bound only trips on internal logic errors or
+    // on channels so lossy that multi-packet objects are unreceivable.
+    let mut fuel: u64 = 512 * (l.n_frames() as u64 + l.n_objects() as u64 + 64);
+    loop {
+        fuel -= 1;
+        if fuel == 0 {
+            debug_assert!(false, "DSI query did not terminate");
+            break;
+        }
+        let just_read_table = match pending {
+            Pending::Table(slot) => {
+                if let Some(tbl) = read_table(air, tuner, slot) {
+                    entry_targets.clear();
+                    for e in &tbl.entries {
+                        entry_targets.push(((slot + e.delta) % l.n_frames(), e.hc));
+                    }
+                    learn_table(air, &mut know, mode, slot, tbl);
+                }
+                Some(slot)
+            }
+            Pending::Visit {
+                slot,
+                include_fresh,
+                max_hi,
+            } => {
+                visit_frame(
+                    air, tuner, slot, include_fresh, max_hi, mode, &mut know, &mut log,
+                    &mut retries,
+                );
+                None
+            }
+        };
+
+        // Re-derive what is still missing.
+        let cleared = cleared_regions(&log, &know, l);
+        let targets = mode.targets(&know);
+        let mut rem = subtract_ranges(&targets, &cleared);
+        rem.retain(|r| mode.is_live(r));
+        if rem.is_empty() && retries.is_empty() && mode.complete() {
+            break;
+        }
+
+        // After a table read we are at the frame body: scan in place if the
+        // frame may hold something we need.
+        if let Some(slot) = just_read_table {
+            let t = l.hc_index_of_slot(slot);
+            let (lb, ub) = know.span_est(t);
+            let overlap = rem.iter().any(|r| r.lo < ub && r.hi >= lb);
+            let attempted = fully_attempted(&log, t, l.objects_in_slot(slot));
+            let has_retry = retries.iter().any(|(s, _)| s == slot);
+            if (overlap && !attempted) || has_retry {
+                pending = Pending::Visit {
+                    slot,
+                    include_fresh: overlap && !attempted,
+                    max_hi: max_hi_of(&rem),
+                };
+                continue;
+            }
+        }
+
+        match navigate(air, tuner, mode, &know, &log, &retries, &rem, &entry_targets) {
+            Some(p) => pending = p,
+            None => break,
+        }
+    }
+}
+
+/// Whether every object index of frame `t` has been read at least once
+/// (possibly with lost headers, which live on as retries).
+fn fully_attempted(log: &ScanLog, t: u32, n_obj: u32) -> bool {
+    log.get(t).is_some_and(|s| s.read_upto >= n_obj)
+}
+
+fn max_hi_of(rem: &[HcRange]) -> u64 {
+    rem.iter().map(|r| r.hi).max().unwrap_or(0)
+}
+
+/// Reads the (possibly multi-packet) index table at the current position.
+/// All-or-nothing: a lost packet discards the table — the client simply
+/// proceeds with its existing knowledge.
+fn read_table<'a>(air: &'a DsiAir, tuner: &mut Tuner<'_, DsiPacket>, slot: u32) -> Option<&'a IndexTable> {
+    debug_assert!(
+        matches!(tuner.program().get(tuner.pos()), DsiPacket::Table { slot: s, part: 0 } if *s == slot),
+        "tuner not at the table of slot {slot}"
+    );
+    for _ in 0..air.layout().framing().table_packets {
+        if tuner.read().is_err() {
+            return None;
+        }
+    }
+    Some(air.table(slot))
+}
+
+/// Folds a received table into knowledge and surfaces its entries as
+/// virtual candidates.
+fn learn_table<M: QueryMode>(
+    air: &DsiAir,
+    know: &mut Knowledge,
+    mode: &mut M,
+    slot: u32,
+    tbl: &IndexTable,
+) {
+    let l = air.layout();
+    let nf = l.n_frames();
+    for e in &tbl.entries {
+        let target = (slot + e.delta) % nf;
+        know.learn(l.hc_index_of_slot(target), e.hc);
+        mode.on_virtual(e.hc);
+    }
+}
+
+/// Visits objects of a frame: pending retries first, then (optionally) the
+/// unread fresh tail, all in ascending header order. Updates the scan log,
+/// knowledge (frame minimum from header 0) and retry sets.
+#[allow(clippy::too_many_arguments)]
+fn visit_frame<M: QueryMode>(
+    air: &DsiAir,
+    tuner: &mut Tuner<'_, DsiPacket>,
+    slot: u32,
+    include_fresh: bool,
+    max_hi: u64,
+    mode: &mut M,
+    know: &mut Knowledge,
+    log: &mut ScanLog,
+    retries: &mut Retries,
+) {
+    let l = air.layout();
+    let t = l.hc_index_of_slot(slot);
+    let n_obj = l.objects_in_slot(slot);
+    let payload_packets = l.framing().object_packets - 1;
+
+    let mut idxs: Vec<(u32, bool)> = retries
+        .iter()
+        .filter(|&(s, _)| s == slot)
+        .map(|(_, idx)| (idx, true))
+        .collect();
+    idxs.sort_unstable();
+    idxs.dedup();
+    let scan = log.entry(t, n_obj);
+    if include_fresh {
+        idxs.extend((scan.read_upto..n_obj).map(|i| (i, false)));
+    }
+
+    let mut stop_fresh = false;
+    for (idx, is_retry) in idxs {
+        if !is_retry && stop_fresh {
+            break;
+        }
+        let abs = tuner
+            .program()
+            .next_occurrence(tuner.pos(), l.header_packet(slot, idx));
+        tuner.doze_to(abs);
+        match tuner.read() {
+            Ok(p) => {
+                debug_assert!(
+                    matches!(p, DsiPacket::ObjHeader { slot: s, idx: i } if *s == slot && *i == idx)
+                );
+                let o = air.object(slot, idx);
+                scan.hcs[idx as usize] = Some(o.hc);
+                if idx == 0 {
+                    know.learn(t, o.hc);
+                }
+                if is_retry {
+                    retries.headers.remove(&(slot, idx));
+                }
+                retries.payloads.remove(&(slot, idx));
+                if mode.on_header(o) {
+                    if read_payload(tuner, payload_packets) {
+                        mode.on_retrieved(o);
+                    } else {
+                        retries.payloads.insert((slot, idx));
+                    }
+                }
+                if !is_retry {
+                    scan.read_upto = idx + 1;
+                    if o.hc > max_hi {
+                        stop_fresh = true;
+                    }
+                }
+            }
+            Err(_) => {
+                if !is_retry {
+                    scan.read_upto = idx + 1;
+                }
+                retries.headers.insert((slot, idx));
+            }
+        }
+    }
+}
+
+/// Reads the remaining packets of an object's record. Aborts on the first
+/// lost packet (the per-packet checksum tells the client immediately).
+fn read_payload(tuner: &mut Tuner<'_, DsiPacket>, n: u32) -> bool {
+    for _ in 0..n {
+        if tuner.read().is_err() {
+            return false;
+        }
+    }
+    true
+}
+
+/// The cheapest way to reach frame `slot` from `pos`: through its index
+/// table (fresh frames) or straight to its first unread header (partially
+/// scanned frames, or frames whose table occurrence already passed).
+fn approach(
+    air: &DsiAir,
+    pos: u64,
+    log: &ScanLog,
+    slot: u32,
+    max_hi: u64,
+) -> (u64, Pending) {
+    let l = air.layout();
+    let prog = air.program();
+    let t = l.hc_index_of_slot(slot);
+    let read_upto = log.get(t).map_or(0, |s| s.read_upto);
+    let table_abs = prog.next_occurrence(pos, l.frame_start(slot));
+    let visit_abs = prog.next_occurrence(pos, l.header_packet(slot, read_upto.min(l.objects_in_slot(slot) - 1)));
+    if table_abs <= visit_abs && log.get(t).is_none() {
+        (table_abs, Pending::Table(slot))
+    } else {
+        (
+            visit_abs,
+            Pending::Visit {
+                slot,
+                include_fresh: true,
+                max_hi,
+            },
+        )
+    }
+}
+
+/// Chooses the next destination and dozes there.
+///
+/// Candidates are (a) the first pending retry header of every affected
+/// slot and (b) frames that may still hold remainder content. Window
+/// queries and conservative kNN sweep the broadcast order for the
+/// earliest-arriving such frame; aggressive kNN jumps to the slot its
+/// strategy picked (the entry target nearest the query point).
+#[allow(clippy::too_many_arguments)]
+fn navigate<M: QueryMode>(
+    air: &DsiAir,
+    tuner: &mut Tuner<'_, DsiPacket>,
+    mode: &mut M,
+    know: &Knowledge,
+    log: &ScanLog,
+    retries: &Retries,
+    rem: &[HcRange],
+    entry_targets: &[(u32, u64)],
+) -> Option<Pending> {
+    let l = air.layout();
+    let pos = tuner.pos();
+    let prog = tuner.program();
+    let max_hi = max_hi_of(rem);
+    let mut best: Option<(u64, Pending)> = None;
+    let consider = |abs: u64, p: Pending, best: &mut Option<(u64, Pending)>| {
+        if best.as_ref().is_none_or(|(b, _)| abs < *b) {
+            *best = Some((abs, p));
+        }
+    };
+
+    // Retry visits (first pending index per slot; headers and payloads are
+    // separate sets, so take the minimum across both).
+    let mut first_retry: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+    for (slot, idx) in retries.iter() {
+        first_retry
+            .entry(slot)
+            .and_modify(|m| *m = (*m).min(idx))
+            .or_insert(idx);
+    }
+    for (&slot, &idx) in &first_retry {
+        let abs = prog.next_occurrence(pos, l.header_packet(slot, idx));
+        consider(
+            abs,
+            Pending::Visit {
+                slot,
+                include_fresh: false,
+                max_hi,
+            },
+            &mut best,
+        );
+    }
+
+    // Entry targets the strategy may pick from: frames not yet fully
+    // attempted whose conservative span can still overlap a remainder.
+    // Without this filter the aggressive strategy would keep re-picking a
+    // "nearest" frame that has nothing left to offer.
+    let useful_entries: Vec<(u32, u64)> = entry_targets
+        .iter()
+        .copied()
+        .filter(|&(slot, _)| {
+            let t = l.hc_index_of_slot(slot);
+            if fully_attempted(log, t, l.objects_in_slot(slot)) {
+                return false;
+            }
+            let (lb, ub) = know.span_est(t);
+            rem.iter().any(|r| r.lo < ub && r.hi >= lb)
+        })
+        .collect();
+
+    if !rem.is_empty() {
+        match mode.nav_pick(rem, &useful_entries) {
+            NavPick::Slot(slot) => {
+                let (abs, p) = approach(air, pos, log, slot, max_hi);
+                consider(abs, p, &mut best);
+            }
+            NavPick::Earliest => {
+                // Sweep the broadcast order from the current position for
+                // the first frame that may still hold remainder content.
+                let cur = l.slot_of_packet(pos % l.cycle_packets());
+                let nf = l.n_frames();
+                for d in 0..nf {
+                    let slot = (cur + d) % nf;
+                    let t = l.hc_index_of_slot(slot);
+                    if fully_attempted(log, t, l.objects_in_slot(slot)) {
+                        continue;
+                    }
+                    let (lb, ub) = know.span_est(t);
+                    if !rem.iter().any(|r| r.lo < ub && r.hi >= lb) {
+                        continue;
+                    }
+                    let (abs, p) = approach(air, pos, log, slot, max_hi);
+                    consider(abs, p, &mut best);
+                    // Arrivals are monotone in `d` for d ≥ 1 (those frames
+                    // lie strictly ahead); only the current slot (d = 0) can
+                    // arrive later than its successors, so keep sweeping
+                    // past it but stop at the first qualifying successor.
+                    if d > 0 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    let (abs, p) = best?;
+    tuner.doze_to(abs);
+    Some(p)
+}

@@ -1,0 +1,354 @@
+//! DSI configuration: the tunables of §3.1 and §4 of the paper.
+
+/// Size of a data object on the air, bytes (paper §4).
+pub const OBJECT_BYTES: u32 = 1024;
+/// Size of an HC value on the air, bytes (paper §4: same as a coordinate).
+pub const HC_BYTES: u32 = 16;
+/// Size of an index pointer on the air, bytes (paper §4).
+pub const POINTER_BYTES: u32 = 2;
+/// Size of one index-table entry `⟨HC'ᵢ, Pᵢ⟩`.
+pub const ENTRY_BYTES: u32 = HC_BYTES + POINTER_BYTES;
+/// Per-packet header: offset to the next index information (reconstructed;
+/// see DESIGN.md §3.2).
+pub const PACKET_HEADER_BYTES: u32 = 2;
+/// Fixed index-table header: entry count.
+pub const TABLE_HEADER_BYTES: u32 = 2;
+
+/// How the object factor `no` / frame count `nF` are derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FramingPolicy {
+    /// The paper's literal rule (§4): "we allocate one packet for each
+    /// index table associated with a frame", so the entry count is what
+    /// fits in one packet and `nF = r^entries` (clamped to `[2, N]` and the
+    /// overhead bound).
+    ///
+    /// Taken literally this collapses `nF` to 2–8 at small capacities
+    /// (frames of >1,000 objects), which contradicts the paper's own
+    /// relative tuning results — a DSI client would pay far more than HCI
+    /// scanning object headers inside such frames. Kept for the framing
+    /// ablation; experiments default to [`FramingPolicy::OverheadBound`].
+    OnePacketTable,
+    /// Default: the largest power-of-`r` frame count whose index tables
+    /// (spanning as many packets as they need) keep the total index share
+    /// of the cycle within [`DsiConfig::max_index_overhead`]. Yields object
+    /// factors of roughly 10–40 at every capacity of the paper's sweep,
+    /// matching the flat-latency, low-tuning behaviour it reports.
+    OverheadBound,
+    /// Fixed number of objects per frame; the table grows to however many
+    /// packets it needs. Used by ablations.
+    FixedObjectFactor(u32),
+    /// Fixed number of frames; ditto.
+    FixedFrameCount(u32),
+}
+
+/// How the `m` broadcast segments are interleaved (§3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReorgStyle {
+    /// Plain round-robin: slot sequence `b₀[0], b₁[0], b₀[1], b₁[1], …`.
+    RoundRobin,
+    /// Round-robin with every odd block reversed, folding the HC order so
+    /// that frames adjacent across a block boundary are also adjacent in
+    /// broadcast time. This keeps a query window's target segments close
+    /// together even when they straddle the boundary and is the default.
+    Folded,
+}
+
+/// Full DSI build configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DsiConfig {
+    /// Packet capacity in bytes (the paper sweeps 32..512, default 64).
+    pub capacity: u32,
+    /// Exponential index base `r` (paper fixes 2 in the simulation).
+    pub index_base: u32,
+    /// Framing policy (paper: one packet per index table).
+    pub framing: FramingPolicy,
+    /// Number of interleaved broadcast segments `m` (§3.5); 1 = the
+    /// original ascending-HC broadcast, 2 = the paper's reorganization.
+    pub segments: u32,
+    /// Interleave style for `segments ≥ 2`.
+    pub reorg_style: ReorgStyle,
+    /// Upper bound on the index-table share of the broadcast cycle, as a
+    /// fraction of the data payload. The paper's one-packet-table rule
+    /// alone would drive `nF` to `N` at large packet capacities, making
+    /// index packets 25–50 % of the cycle — contradicting the paper's own
+    /// observation that DSI's access latency is flat across capacities.
+    /// Capping the overhead (default 4 %; the realised overhead stays
+    /// below ~2.6 % because frame counts step in powers of `r`) reproduces
+    /// that flatness; see DESIGN.md §3.2.
+    pub max_index_overhead: f64,
+}
+
+impl DsiConfig {
+    /// The paper's default configuration: 64-byte packets, base 2,
+    /// one-packet tables, original (non-reorganized) broadcast order.
+    pub fn paper_default() -> Self {
+        Self {
+            capacity: 64,
+            index_base: 2,
+            framing: FramingPolicy::OverheadBound,
+            segments: 1,
+            reorg_style: ReorgStyle::Folded,
+            max_index_overhead: 0.04,
+        }
+    }
+
+    /// Same but with the two-segment broadcast reorganization the paper
+    /// adopts for its main experiments ("for the rest of experiments, we
+    /// employ reorganized broadcast for DSI").
+    pub fn paper_reorganized() -> Self {
+        Self {
+            segments: 2,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Returns this config with a different packet capacity.
+    pub fn with_capacity(self, capacity: u32) -> Self {
+        Self { capacity, ..self }
+    }
+
+    /// Validates invariants; called by the builder.
+    pub(crate) fn validate(&self) {
+        assert!(self.capacity >= 16, "packet capacity too small: {}", self.capacity);
+        assert!(self.index_base >= 2, "index base must be >= 2");
+        assert!(self.segments >= 1, "segment count must be >= 1");
+        assert!(
+            self.max_index_overhead > 0.0,
+            "index overhead bound must be positive"
+        );
+    }
+}
+
+/// Derived framing: frame count, per-frame object counts, table sizing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Framing {
+    /// Number of frames `nF` in one cycle.
+    pub n_frames: u32,
+    /// Entries per index table (`⌈log_r nF⌉`, covering the whole cycle).
+    pub n_entries: u32,
+    /// Packets per index table.
+    pub table_packets: u32,
+    /// Packets per data object.
+    pub object_packets: u32,
+    /// Objects in each frame (balanced split of `N`; the first `N mod nF`
+    /// frames hold one more).
+    pub objects_per_frame: Vec<u32>,
+}
+
+/// `⌈log_base(n)⌉` for `n >= 1` — the number of exponential entries needed
+/// to cover `n` frames.
+pub(crate) fn ceil_log(base: u32, n: u32) -> u32 {
+    debug_assert!(base >= 2 && n >= 1);
+    let mut k = 0u32;
+    let mut span = 1u64;
+    while span < n as u64 {
+        span *= base as u64;
+        k += 1;
+    }
+    k.max(1)
+}
+
+/// Computes the framing for `n_objects` under a configuration.
+pub fn compute_framing(cfg: &DsiConfig, n_objects: u32) -> Framing {
+    cfg.validate();
+    assert!(n_objects >= 1, "cannot frame an empty dataset");
+    let usable = cfg
+        .capacity
+        .saturating_sub(PACKET_HEADER_BYTES + TABLE_HEADER_BYTES);
+    let n_frames = match cfg.framing {
+        FramingPolicy::OnePacketTable => {
+            let fit = usable / ENTRY_BYTES;
+            assert!(
+                fit >= 1,
+                "capacity {} cannot fit one index entry ({} bytes)",
+                cfg.capacity,
+                ENTRY_BYTES
+            );
+            // nF = r^fit, clamped to [2, N] (one object per frame at most)
+            // and to the index-overhead bound: one table packet per frame
+            // must not exceed `max_index_overhead` of the data packets.
+            let data_packets = n_objects as u64 * OBJECT_BYTES.div_ceil(cfg.capacity) as u64;
+            let overhead_cap = ((data_packets as f64 * cfg.max_index_overhead) as u64).max(2);
+            let mut nf = 1u64;
+            for _ in 0..fit {
+                nf = nf.saturating_mul(cfg.index_base as u64);
+                if nf >= n_objects as u64 || nf >= overhead_cap {
+                    break;
+                }
+            }
+            (nf.min(n_objects as u64).min(overhead_cap) as u32).max(2.min(n_objects))
+        }
+        FramingPolicy::OverheadBound => {
+            let per_packet = (cfg.capacity - PACKET_HEADER_BYTES) as u64;
+            let data_packets = n_objects as u64 * OBJECT_BYTES.div_ceil(cfg.capacity) as u64;
+            let budget = data_packets as f64 * cfg.max_index_overhead;
+            let mut best = 2u64.min(n_objects as u64);
+            let mut nf = 1u64;
+            loop {
+                nf = nf.saturating_mul(cfg.index_base as u64);
+                if nf > n_objects as u64 {
+                    break;
+                }
+                let ne = ceil_log(cfg.index_base, nf as u32) as u64;
+                let table_bytes = TABLE_HEADER_BYTES as u64 + ne * ENTRY_BYTES as u64;
+                let table_packets = table_bytes.div_ceil(per_packet);
+                if (nf * table_packets) as f64 <= budget {
+                    best = nf;
+                } else {
+                    break;
+                }
+            }
+            best as u32
+        }
+        FramingPolicy::FixedObjectFactor(no) => {
+            assert!(no >= 1, "object factor must be >= 1");
+            n_objects.div_ceil(no).max(1)
+        }
+        FramingPolicy::FixedFrameCount(nf) => {
+            assert!(nf >= 1, "frame count must be >= 1");
+            nf.min(n_objects)
+        }
+    };
+    let n_entries = ceil_log(cfg.index_base, n_frames);
+    let table_bytes = TABLE_HEADER_BYTES + n_entries * ENTRY_BYTES;
+    let per_packet = cfg.capacity - PACKET_HEADER_BYTES;
+    let table_packets = table_bytes.div_ceil(per_packet).max(1);
+    let object_packets = OBJECT_BYTES.div_ceil(cfg.capacity);
+    // Balanced object split across frames.
+    let base = n_objects / n_frames;
+    let extra = (n_objects % n_frames) as usize;
+    let objects_per_frame = (0..n_frames as usize)
+        .map(|f| base + u32::from(f < extra))
+        .collect();
+    Framing {
+        n_frames,
+        n_entries,
+        table_packets,
+        object_packets,
+        objects_per_frame,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log_basics() {
+        assert_eq!(ceil_log(2, 1), 1);
+        assert_eq!(ceil_log(2, 2), 1);
+        assert_eq!(ceil_log(2, 3), 2);
+        assert_eq!(ceil_log(2, 8), 3);
+        assert_eq!(ceil_log(2, 10_000), 14);
+        assert_eq!(ceil_log(4, 16), 2);
+        assert_eq!(ceil_log(4, 17), 3);
+    }
+
+    #[test]
+    fn paper_sizing_at_64_bytes_one_packet_rule() {
+        // Paper §4 literal rule: at C = 64 a one-packet table holds 3
+        // entries → nF = 8.
+        let cfg = DsiConfig {
+            framing: FramingPolicy::OnePacketTable,
+            ..DsiConfig::paper_default()
+        };
+        let f = compute_framing(&cfg, 10_000);
+        assert_eq!(f.n_frames, 8);
+        assert_eq!(f.n_entries, 3);
+        assert_eq!(f.table_packets, 1);
+        assert_eq!(f.object_packets, 16);
+        assert_eq!(f.objects_per_frame.iter().sum::<u32>(), 10_000);
+        assert_eq!(f.objects_per_frame, vec![1250; 8]);
+    }
+
+    #[test]
+    fn overhead_bound_framing_keeps_small_object_factor() {
+        // Default policy: frames of tens of objects at every capacity, with
+        // total table packets within 2 % of the data packets.
+        for cap in [32u32, 64, 128, 256, 512] {
+            let f = compute_framing(&DsiConfig::paper_default().with_capacity(cap), 10_000);
+            let no = 10_000 / f.n_frames;
+            assert!((4..=32).contains(&no), "cap {cap}: object factor {no}");
+            let data_packets = 10_000u64 * (1024u32.div_ceil(cap)) as u64;
+            let index_packets = f.n_frames as u64 * f.table_packets as u64;
+            assert!(
+                index_packets as f64 <= data_packets as f64 * 0.04 + 1.0,
+                "cap {cap}: index overhead too large"
+            );
+        }
+    }
+
+    #[test]
+    fn one_packet_rule_clamps_to_overhead_bound_at_large_capacity() {
+        // At C = 512 the fit (28 entries → 2^28 frames) would clamp to N,
+        // but one table packet per frame would then be half the cycle; the
+        // 4 % overhead bound caps nF at 0.04 × N × (1024/512) = 800.
+        let cfg = DsiConfig {
+            framing: FramingPolicy::OnePacketTable,
+            ..DsiConfig::paper_default().with_capacity(512)
+        };
+        let f = compute_framing(&cfg, 10_000);
+        assert_eq!(f.n_frames, 800);
+        assert_eq!(f.n_entries, 10); // ceil(log2 800)
+        assert_eq!(f.table_packets, 1); // 2 + 10*18 = 182 <= 510
+        assert_eq!(f.objects_per_frame.iter().sum::<u32>(), 10_000);
+    }
+
+    #[test]
+    fn overhead_bound_can_be_lifted() {
+        let cfg = DsiConfig {
+            framing: FramingPolicy::OnePacketTable,
+            max_index_overhead: 10.0,
+            ..DsiConfig::paper_default().with_capacity(512)
+        };
+        let f = compute_framing(&cfg, 10_000);
+        assert_eq!(f.n_frames, 10_000);
+        assert_eq!(f.n_entries, 14);
+        assert!(f.objects_per_frame.iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn tiny_capacity_still_works_under_one_packet_rule() {
+        let cfg = DsiConfig {
+            framing: FramingPolicy::OnePacketTable,
+            ..DsiConfig::paper_default().with_capacity(32)
+        };
+        let f = compute_framing(&cfg, 10_000);
+        assert_eq!(f.n_frames, 2);
+        assert_eq!(f.n_entries, 1);
+        assert_eq!(f.object_packets, 32);
+    }
+
+    #[test]
+    fn fixed_object_factor() {
+        let cfg = DsiConfig {
+            framing: FramingPolicy::FixedObjectFactor(3),
+            ..DsiConfig::paper_default()
+        };
+        let f = compute_framing(&cfg, 10);
+        assert_eq!(f.n_frames, 4);
+        assert_eq!(f.objects_per_frame, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn fixed_frame_count_never_exceeds_objects() {
+        let cfg = DsiConfig {
+            framing: FramingPolicy::FixedFrameCount(64),
+            ..DsiConfig::paper_default()
+        };
+        let f = compute_framing(&cfg, 10);
+        assert_eq!(f.n_frames, 10);
+    }
+
+    #[test]
+    fn multi_packet_table_when_forced() {
+        // 10k frames at C = 64: table = 2 + 14*18 = 254 bytes → 5 packets.
+        let cfg = DsiConfig {
+            framing: FramingPolicy::FixedObjectFactor(1),
+            ..DsiConfig::paper_default()
+        };
+        let f = compute_framing(&cfg, 10_000);
+        assert_eq!(f.n_frames, 10_000);
+        assert_eq!(f.table_packets, (2u32 + 14 * 18).div_ceil(62));
+    }
+}

@@ -1,0 +1,412 @@
+//! k-nearest-neighbour queries over DSI (paper §3.4–3.5).
+//!
+//! The client maintains a *search space*: a circle around the query point
+//! guaranteed to contain the k nearest objects. Index-table entries are
+//! *virtual candidates* ("the object represented by HC′ᵢ", Algorithm 2):
+//! each is a real object whose cell — hence an upper bound on its distance
+//! — is known from its HC value alone. The circle's radius is the k-th
+//! smallest upper bound and only ever shrinks; objects and HC regions
+//! provably outside it are skipped. The query completes when the k best
+//! candidates are fully retrieved and every uncleared part of the circle
+//! is farther than the k-th candidate.
+//!
+//! Two navigation strategies from the paper:
+//!
+//! * **Conservative** — proceed to the earliest-arriving frame that may
+//!   still hold circle content: small latency, more tuning (slow shrink).
+//! * **Aggressive** — follow the index entry whose frame is closest to the
+//!   query point: fast shrink and low tuning, but skipped regions must be
+//!   re-checked a cycle later, extending latency.
+//!
+//! The broadcast reorganization (§3.5, `segments ≥ 2` in
+//! [`crate::DsiConfig`]) gives the conservative strategy early views of
+//! remote regions, combining the strengths of both.
+
+use std::collections::{BTreeMap, HashMap};
+
+use dsi_broadcast::Tuner;
+use dsi_datagen::Object;
+use dsi_geom::{dist2, GridMapper, Point, Rect};
+use dsi_hilbert::{min_dist2_to_range, ranges_in_rect, HcRange, HilbertCurve};
+
+use crate::build::{DsiAir, DsiPacket};
+use crate::client::{run_query, NavPick, QueryMode};
+use crate::state::Knowledge;
+
+/// kNN search-space navigation strategy (paper §3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnnStrategy {
+    /// Retrieve every frame that may still matter, in broadcast order.
+    Conservative,
+    /// Jump to the reachable frame nearest the query point.
+    Aggressive,
+}
+
+/// One known-to-exist object, keyed by its HC value.
+#[derive(Debug, Clone, Copy)]
+struct Cand {
+    /// Upper bound on the squared distance (cell max-distance for virtual
+    /// candidates; the exact distance once the header has been seen).
+    ub2: f64,
+    /// Exact squared distance (only when the header has been seen).
+    d2: f64,
+    /// Object id (only when the header has been seen).
+    id: u32,
+    /// Whether the full record has been retrieved.
+    retrieved: bool,
+}
+
+/// The candidate set with its k-th-bound cache.
+struct Candidates {
+    k: usize,
+    by_hc: BTreeMap<u64, Cand>,
+    r2_cache: Option<f64>,
+}
+
+impl Candidates {
+    fn new(k: usize) -> Self {
+        Self {
+            k,
+            by_hc: BTreeMap::new(),
+            r2_cache: None,
+        }
+    }
+
+    /// The squared radius of the search space: the k-th smallest upper
+    /// bound over known-distinct objects (∞ while fewer than k are known).
+    fn r2(&mut self) -> f64 {
+        if let Some(v) = self.r2_cache {
+            return v;
+        }
+        let v = if self.by_hc.len() < self.k {
+            f64::INFINITY
+        } else {
+            let mut ubs: Vec<f64> = self.by_hc.values().map(|c| c.ub2).collect();
+            let (_, kth, _) = ubs.select_nth_unstable_by(self.k - 1, |a, b| {
+                a.partial_cmp(b).expect("distance bounds are never NaN")
+            });
+            *kth
+        };
+        self.r2_cache = Some(v);
+        v
+    }
+
+    /// Offers a virtual candidate. Skipped if it cannot tighten the k-th
+    /// bound (its upper bound already exceeds the current radius).
+    fn offer_virtual(&mut self, hc: u64, ub2: f64) {
+        if self.by_hc.contains_key(&hc) {
+            return;
+        }
+        if self.by_hc.len() >= self.k && ub2 >= self.r2() {
+            return;
+        }
+        self.by_hc.insert(
+            hc,
+            Cand {
+                ub2,
+                d2: f64::NAN,
+                id: u32::MAX,
+                retrieved: false,
+            },
+        );
+        self.r2_cache = None;
+    }
+
+    /// Header seen and the object is (still) wanted: record its exact
+    /// distance, keeping any retrieved flag.
+    fn resolve_wanted(&mut self, hc: u64, d2: f64, id: u32) {
+        let c = self.by_hc.entry(hc).or_insert(Cand {
+            ub2: d2,
+            d2,
+            id,
+            retrieved: false,
+        });
+        c.ub2 = d2;
+        c.d2 = d2;
+        c.id = id;
+        self.r2_cache = None;
+    }
+
+    /// Header seen but the object is provably outside the search space:
+    /// drop the virtual candidate. Its upper bound necessarily exceeded
+    /// the k-th bound (exactness can only lower a bound), so removal never
+    /// loosens the radius.
+    fn drop_unwanted(&mut self, hc: u64) {
+        if let Some(c) = self.by_hc.get(&hc) {
+            if !c.retrieved {
+                self.by_hc.remove(&hc);
+                self.r2_cache = None;
+            }
+        }
+    }
+
+    fn mark_retrieved(&mut self, hc: u64) {
+        if let Some(c) = self.by_hc.get_mut(&hc) {
+            c.retrieved = true;
+        }
+    }
+
+    /// The final answer: ids of the k nearest retrieved objects
+    /// (distance, then id, ascending), returned in ascending id order.
+    fn result_ids(&self) -> Vec<u32> {
+        let mut retr: Vec<(f64, u32)> = self
+            .by_hc
+            .values()
+            .filter(|c| c.retrieved)
+            .map(|c| (c.d2, c.id))
+            .collect();
+        retr.sort_unstable_by(|a, b| a.partial_cmp(b).expect("distances are never NaN"));
+        let mut ids: Vec<u32> = retr.into_iter().take(self.k).map(|(_, id)| id).collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+struct KnnMode {
+    q: Point,
+    curve: HilbertCurve,
+    mapper: GridMapper,
+    strategy: KnnStrategy,
+    cands: Candidates,
+    /// Target ranges of the current search circle and the radius they were
+    /// computed for.
+    targets: Vec<HcRange>,
+    targets_r2: f64,
+    /// Min-distance cache for HC intervals (distances never change).
+    dist_cache: HashMap<(u64, u64), f64>,
+}
+
+impl KnnMode {
+    fn new(air: &DsiAir, q: Point, k: usize, strategy: KnnStrategy) -> Self {
+        Self {
+            q,
+            curve: *air.curve(),
+            mapper: *air.mapper(),
+            strategy,
+            cands: Candidates::new(k),
+            targets: vec![HcRange::new(0, air.curve().max_d())],
+            targets_r2: f64::INFINITY,
+            dist_cache: HashMap::new(),
+        }
+    }
+
+    fn range_dist2(&mut self, r: &HcRange) -> f64 {
+        let (curve, mapper, q) = (&self.curve, &self.mapper, self.q);
+        *self
+            .dist_cache
+            .entry((r.lo, r.hi))
+            .or_insert_with(|| min_dist2_to_range(curve, mapper, q, *r))
+    }
+}
+
+impl QueryMode for KnnMode {
+    fn targets(&mut self, _know: &Knowledge) -> Vec<HcRange> {
+        let r2 = self.cands.r2();
+        if r2 < self.targets_r2 {
+            self.targets_r2 = r2;
+            let bbox = Rect::bounding_square(self.q, r2.sqrt());
+            self.targets = ranges_in_rect(&self.curve, &self.mapper, &bbox);
+        }
+        self.targets.clone()
+    }
+
+    fn is_live(&mut self, r: &HcRange) -> bool {
+        let r2 = self.cands.r2();
+        self.range_dist2(r) <= r2
+    }
+
+    fn on_virtual(&mut self, hc: u64) {
+        let rect = self.mapper.cell_rect(self.curve.d2xy(hc));
+        let ub2 = rect.max_dist2(self.q);
+        self.cands.offer_virtual(hc, ub2);
+    }
+
+    fn on_header(&mut self, o: &Object) -> bool {
+        let d2 = dist2(self.q, o.pos);
+        if d2 <= self.cands.r2() {
+            self.cands.resolve_wanted(o.hc, d2, o.id);
+            true
+        } else {
+            self.cands.drop_unwanted(o.hc);
+            false
+        }
+    }
+
+    fn on_retrieved(&mut self, o: &Object) {
+        self.cands.mark_retrieved(o.hc);
+    }
+
+    fn complete(&self) -> bool {
+        // `top_k_retrieved` needs &mut for the radius cache; clone-free
+        // workaround: recompute here on a shadow view.
+        let mut v: Vec<(f64, u64, bool)> = self
+            .cands
+            .by_hc
+            .iter()
+            .map(|(&hc, c)| (c.ub2, hc, c.retrieved))
+            .collect();
+        if v.len() < self.cands.k {
+            return false;
+        }
+        v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("bounds are never NaN"));
+        v[..self.cands.k].iter().all(|&(_, _, r)| r)
+    }
+
+    fn nav_pick(&mut self, rem: &[HcRange], entry_targets: &[(u32, u64)]) -> NavPick {
+        match self.strategy {
+            KnnStrategy::Conservative => NavPick::Earliest,
+            KnnStrategy::Aggressive => {
+                // Follow the entry whose frame lies closest to the query
+                // point — provided it can still contribute (its minimum HC's
+                // cell need not itself be in the circle, but the jump is
+                // only useful when some remainder exists at all; `rem` is
+                // non-empty when this is called).
+                let _ = rem;
+                let mut best: Option<(f64, u32)> = None;
+                for &(slot, hc) in entry_targets {
+                    let d2 = self
+                        .mapper
+                        .cell_rect(self.curve.d2xy(hc))
+                        .min_dist2(self.q);
+                    if best.is_none_or(|(b, _)| d2 < b) {
+                        best = Some((d2, slot));
+                    }
+                }
+                match best {
+                    Some((_, slot)) => NavPick::Slot(slot),
+                    None => NavPick::Earliest,
+                }
+            }
+        }
+    }
+}
+
+impl DsiAir {
+    /// Answers a kNN query on the air: returns the ids of the `k` objects
+    /// nearest to `q` (ties broken by id), in ascending id order. Metrics
+    /// accrue on `tuner`.
+    pub fn knn_query(
+        &self,
+        tuner: &mut Tuner<'_, DsiPacket>,
+        q: Point,
+        k: usize,
+        strategy: KnnStrategy,
+    ) -> Vec<u32> {
+        let k = k.min(self.objects().len());
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut mode = KnnMode::new(self, q, k, strategy);
+        run_query(self, tuner, &mut mode);
+        mode.cands.result_ids()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DsiConfig, FramingPolicy};
+    use dsi_broadcast::LossModel;
+    use dsi_datagen::{knn_points, uniform, SpatialDataset};
+
+    fn check_knn(cfg: DsiConfig, strategy: KnnStrategy, n: usize, order: u8, ks: &[usize]) {
+        let ds = SpatialDataset::build(&uniform(n, 31), order);
+        let air = DsiAir::build(&ds, cfg);
+        let queries = knn_points(10, 17);
+        for (qi, &q) in queries.iter().enumerate() {
+            for &k in ks {
+                let start = (qi as u64 * 6151) % air.program().len();
+                let mut tuner = Tuner::tune_in(air.program(), start, LossModel::None, qi as u64);
+                let got = air.knn_query(&mut tuner, q, k, strategy);
+                let want = ds.brute_knn(q, k);
+                assert_eq!(got, want, "q{qi}={q:?} k={k} {strategy:?} {cfg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn conservative_matches_brute_force() {
+        check_knn(
+            DsiConfig::paper_default(),
+            KnnStrategy::Conservative,
+            400,
+            9,
+            &[1, 4, 10],
+        );
+    }
+
+    #[test]
+    fn aggressive_matches_brute_force() {
+        check_knn(
+            DsiConfig::paper_default(),
+            KnnStrategy::Aggressive,
+            400,
+            9,
+            &[1, 4, 10],
+        );
+    }
+
+    #[test]
+    fn reorganized_matches_brute_force() {
+        check_knn(
+            DsiConfig::paper_reorganized(),
+            KnnStrategy::Conservative,
+            400,
+            9,
+            &[1, 4, 10],
+        );
+    }
+
+    #[test]
+    fn object_factor_one_matches() {
+        let cfg = DsiConfig {
+            framing: FramingPolicy::FixedObjectFactor(1),
+            ..DsiConfig::paper_default()
+        };
+        check_knn(cfg, KnnStrategy::Conservative, 250, 8, &[3]);
+        check_knn(cfg, KnnStrategy::Aggressive, 250, 8, &[3]);
+    }
+
+    #[test]
+    fn k_equals_n_returns_all() {
+        let ds = SpatialDataset::build(&uniform(40, 3), 8);
+        let air = DsiAir::build(&ds, DsiConfig::paper_reorganized());
+        let mut tuner = Tuner::tune_in(air.program(), 11, LossModel::None, 1);
+        let got = air.knn_query(&mut tuner, Point::new(0.4, 0.6), 40, KnnStrategy::Conservative);
+        assert_eq!(got.len(), 40);
+        // k larger than N clamps.
+        let mut tuner = Tuner::tune_in(air.program(), 11, LossModel::None, 1);
+        let got = air.knn_query(&mut tuner, Point::new(0.4, 0.6), 99, KnnStrategy::Conservative);
+        assert_eq!(got.len(), 40);
+    }
+
+    #[test]
+    fn query_point_outside_space() {
+        let ds = SpatialDataset::build(&uniform(120, 9), 8);
+        let air = DsiAir::build(&ds, DsiConfig::paper_reorganized());
+        let q = Point::new(1.8, -0.4);
+        let mut tuner = Tuner::tune_in(air.program(), 77, LossModel::None, 2);
+        let got = air.knn_query(&mut tuner, q, 5, KnnStrategy::Conservative);
+        assert_eq!(got, ds.brute_knn(q, 5));
+    }
+
+    #[test]
+    fn correct_under_loss_all_strategies() {
+        let ds = SpatialDataset::build(&uniform(300, 21), 9);
+        for cfg in [DsiConfig::paper_default(), DsiConfig::paper_reorganized()] {
+            let air = DsiAir::build(&ds, cfg);
+            for (qi, q) in knn_points(8, 3).into_iter().enumerate() {
+                for strategy in [KnnStrategy::Conservative, KnnStrategy::Aggressive] {
+                    let mut tuner = Tuner::tune_in(
+                        air.program(),
+                        (qi as u64 * 911) % air.program().len(),
+                        LossModel::iid(0.4),
+                        qi as u64,
+                    );
+                    let got = air.knn_query(&mut tuner, q, 10, strategy);
+                    assert_eq!(got, ds.brute_knn(q, 10), "lossy q{qi} {strategy:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! Client-side query state: what a mobile client has learned so far.
+//!
+//! DSI's resilience rests on clients being able to *accumulate* partial
+//! knowledge of the object distribution ("continue to use the knowledge of
+//! data distribution obtained previously", §5). This module holds that
+//! state:
+//!
+//! * [`Knowledge`] — the map from HC-order frame index to its (exact)
+//!   minimum HC value, learned from index-table entries and from the first
+//!   object header of scanned frames, seeded with the schema's block
+//!   boundaries. It answers conservative span queries: "which HC values
+//!   *could* frame `t` hold, given what I know?"
+//! * [`ScanLog`] — which object headers of which frames the client has
+//!   resolved, including partial frames interrupted by link errors or
+//!   early exits.
+//! * [`cleared_regions`] — the derived set of HC intervals the client has
+//!   fully accounted for. A query terminates when its target segments are
+//!   covered by cleared regions (window queries) or when every uncleared
+//!   part of the search circle is provably farther than the k-th candidate
+//!   (kNN queries).
+//! * [`Retries`] — object slots whose header or payload was lost and must
+//!   be re-fetched in a later cycle.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use dsi_hilbert::{merge_ranges, HcRange};
+
+use crate::layout::DsiLayout;
+
+/// Accumulated frame-boundary knowledge (exact minimum HC per frame).
+#[derive(Debug, Clone)]
+pub(crate) struct Knowledge {
+    /// HC-order frame index → exact minimum HC value of that frame.
+    by_idx: BTreeMap<u32, u64>,
+    /// Inverse direction (values are strictly increasing with index).
+    by_hc: BTreeMap<u64, u32>,
+    n_frames: u32,
+    /// One past the largest representable HC value.
+    max_hc_excl: u64,
+}
+
+impl Knowledge {
+    /// Seeds knowledge with the broadcast schema: block start boundaries.
+    pub fn new(layout: &DsiLayout, max_hc: u64) -> Self {
+        let mut k = Self {
+            by_idx: BTreeMap::new(),
+            by_hc: BTreeMap::new(),
+            n_frames: layout.n_frames(),
+            max_hc_excl: max_hc + 1,
+        };
+        for c in 0..layout.n_blocks() {
+            k.learn(layout.block_start_frame(c), layout.block_min_hc()[c as usize]);
+        }
+        k
+    }
+
+    /// Records that HC-order frame `idx` starts at HC value `hc`.
+    pub fn learn(&mut self, idx: u32, hc: u64) {
+        debug_assert!(idx < self.n_frames);
+        if let Some(&old) = self.by_idx.get(&idx) {
+            debug_assert_eq!(old, hc, "inconsistent bound learned for frame {idx}");
+            return;
+        }
+        self.by_idx.insert(idx, hc);
+        self.by_hc.insert(hc, idx);
+    }
+
+    /// Exact minimum HC of frame `idx`, if known.
+    pub fn known(&self, idx: u32) -> Option<u64> {
+        self.by_idx.get(&idx).copied()
+    }
+
+    /// Conservative span `[lb, ub)` of frame `idx`: the true span is always
+    /// contained in it. `lb` is the largest known bound at or before `idx`
+    /// (frames hold ascending HC runs, so the true start is ≥ `lb`… is ≥
+    /// the previous known bound and ≤ the next); `ub` is the smallest known
+    /// bound after `idx`.
+    pub fn span_est(&self, idx: u32) -> (u64, u64) {
+        let lb = self
+            .by_idx
+            .range(..=idx)
+            .next_back()
+            .map(|(_, &hc)| hc)
+            .unwrap_or(0);
+        let ub = self
+            .by_idx
+            .range(idx + 1..)
+            .next()
+            .map(|(_, &hc)| hc)
+            .unwrap_or(self.max_hc_excl);
+        (lb, ub)
+    }
+
+    /// Exact span of frame `idx`, if both end-points are known.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn exact_span(&self, idx: u32) -> Option<(u64, u64)> {
+        let lo = self.known(idx)?;
+        let hi = if idx + 1 == self.n_frames {
+            self.max_hc_excl
+        } else {
+            self.known(idx + 1)?
+        };
+        Some((lo, hi))
+    }
+
+    /// The latest frame that is *safe* for a forward jump targeting `hc`:
+    /// the frame with the largest known bound ≤ `hc`. Jumping there can
+    /// never overshoot the frame that actually contains `hc`. Returns frame
+    /// 0 for targets below the global minimum (which the schema always
+    /// knows).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn safe_frame_for(&self, hc: u64) -> u32 {
+        self.by_hc
+            .range(..=hc)
+            .next_back()
+            .map(|(_, &idx)| idx)
+            .unwrap_or(0)
+    }
+
+    /// One past the largest representable HC value.
+    pub fn max_hc_excl(&self) -> u64 {
+        self.max_hc_excl
+    }
+}
+
+/// Per-frame record of which object headers have been resolved.
+#[derive(Debug, Clone)]
+pub(crate) struct FrameScan {
+    /// Resolved HC value per object index (`None` = header lost or not yet
+    /// read).
+    pub hcs: Vec<Option<u64>>,
+    /// First object index never attempted in a sequential pass (early-exit
+    /// resume point).
+    pub read_upto: u32,
+}
+
+impl FrameScan {
+    fn new(n_obj: u32) -> Self {
+        Self {
+            hcs: vec![None; n_obj as usize],
+            read_upto: 0,
+        }
+    }
+}
+
+/// All frames the client has (partially) scanned, keyed by HC-order index.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ScanLog {
+    frames: HashMap<u32, FrameScan>,
+}
+
+impl ScanLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The scan record for frame `idx`, created on first use.
+    pub fn entry(&mut self, idx: u32, n_obj: u32) -> &mut FrameScan {
+        self.frames
+            .entry(idx)
+            .or_insert_with(|| FrameScan::new(n_obj))
+    }
+
+    /// Read-only access.
+    pub fn get(&self, idx: u32) -> Option<&FrameScan> {
+        self.frames.get(&idx)
+    }
+
+    /// Iterates over scanned frames.
+    pub fn iter(&self) -> impl Iterator<Item = (&u32, &FrameScan)> {
+        self.frames.iter()
+    }
+}
+
+/// Lost-packet bookkeeping: object slots to re-fetch in a later cycle.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Retries {
+    /// Headers lost: the client does not know the object yet.
+    pub headers: BTreeSet<(u32, u32)>,
+    /// Payload lost on an object that qualified: re-fetch the full record.
+    pub payloads: BTreeSet<(u32, u32)>,
+}
+
+impl Retries {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.headers.is_empty() && self.payloads.is_empty()
+    }
+
+    /// All pending (slot, idx) pairs, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.headers.iter().chain(self.payloads.iter()).copied()
+    }
+}
+
+/// Derives the HC intervals the client has fully accounted for.
+///
+/// For every scanned frame the resolved *prefix* of object headers
+/// `h₀ … h_{j−1}` clears `[h₀, h_{j−1}]` (those objects were examined, and
+/// frames hold contiguous HC runs). If the prefix covers the whole frame,
+/// the cleared interval extends to the next frame's known bound − 1 (or to
+/// the end of HC space for the last frame) because the gap provably
+/// contains no objects. The region below the global minimum is cleared by
+/// the schema.
+pub(crate) fn cleared_regions(
+    log: &ScanLog,
+    know: &Knowledge,
+    layout: &DsiLayout,
+) -> Vec<HcRange> {
+    let mut out = Vec::with_capacity(log.frames.len() + 1);
+    if layout.global_min_hc() > 0 {
+        out.push(HcRange::new(0, layout.global_min_hc() - 1));
+    }
+    for (&idx, scan) in log.iter() {
+        // Resolved prefix.
+        let mut last = None;
+        let mut first = None;
+        let upto = scan.read_upto as usize;
+        let mut complete_prefix = true;
+        for h in &scan.hcs[..upto] {
+            match h {
+                Some(hc) => {
+                    if first.is_none() {
+                        first = Some(*hc);
+                    }
+                    last = Some(*hc);
+                }
+                None => {
+                    complete_prefix = false;
+                    break;
+                }
+            }
+        }
+        let (Some(first), Some(last)) = (first, last) else {
+            continue;
+        };
+        let hi = if complete_prefix && upto == scan.hcs.len() {
+            // Whole frame examined: extend through the empty gap up to the
+            // next frame's bound, when known.
+            if idx + 1 == layout.n_frames() {
+                know.max_hc_excl() - 1
+            } else {
+                match know.known(idx + 1) {
+                    Some(b) => b - 1,
+                    None => last,
+                }
+            }
+        } else {
+            last
+        };
+        out.push(HcRange::new(first, hi.max(first)));
+    }
+    merge_ranges(&mut out);
+    out
+}
+
+/// `targets − cleared`: the HC intervals still unaccounted for. Both input
+/// lists must be sorted and disjoint; the result is too.
+pub(crate) fn subtract_ranges(targets: &[HcRange], cleared: &[HcRange]) -> Vec<HcRange> {
+    let mut out = Vec::new();
+    let mut ci = 0usize;
+    for &t in targets {
+        let mut lo = t.lo;
+        // Skip cleared intervals entirely below.
+        while ci < cleared.len() && cleared[ci].hi < lo {
+            ci += 1;
+        }
+        let mut cj = ci;
+        while lo <= t.hi {
+            if cj >= cleared.len() || cleared[cj].lo > t.hi {
+                out.push(HcRange::new(lo, t.hi));
+                break;
+            }
+            let c = cleared[cj];
+            if c.lo > lo {
+                out.push(HcRange::new(lo, c.lo - 1));
+            }
+            if c.hi >= t.hi {
+                break;
+            }
+            lo = c.hi + 1;
+            cj += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DsiConfig, FramingPolicy};
+
+    fn layout() -> DsiLayout {
+        // 16 objects in 8 frames of 2, minima 10,20,…,80.
+        let cfg = DsiConfig {
+            framing: FramingPolicy::FixedFrameCount(8),
+            ..DsiConfig::paper_default()
+        };
+        let mins: Vec<u64> = (1..=8u64).map(|i| i * 10).collect();
+        DsiLayout::new(cfg, 16, &mins)
+    }
+
+    #[test]
+    fn span_estimates_tighten_with_learning() {
+        let l = layout();
+        let mut k = Knowledge::new(&l, 1000);
+        // Schema gives only frame 0's bound (one block).
+        assert_eq!(k.span_est(3), (10, 1001));
+        k.learn(2, 30);
+        k.learn(5, 60);
+        assert_eq!(k.span_est(3), (30, 60));
+        assert_eq!(k.span_est(2), (30, 60));
+        assert_eq!(k.span_est(6), (60, 1001));
+        assert_eq!(k.exact_span(2), None);
+        k.learn(3, 40);
+        assert_eq!(k.exact_span(2), Some((30, 40)));
+        assert_eq!(k.exact_span(7), None);
+        k.learn(7, 80);
+        assert_eq!(k.exact_span(7), Some((80, 1001)));
+    }
+
+    #[test]
+    fn safe_frame_never_overshoots() {
+        let l = layout();
+        let mut k = Knowledge::new(&l, 1000);
+        k.learn(2, 30);
+        k.learn(5, 60);
+        assert_eq!(k.safe_frame_for(5), 0); // below global min → frame 0
+        assert_eq!(k.safe_frame_for(30), 2);
+        assert_eq!(k.safe_frame_for(59), 2);
+        assert_eq!(k.safe_frame_for(60), 5);
+        assert_eq!(k.safe_frame_for(999), 5);
+    }
+
+    #[test]
+    fn cleared_regions_prefix_and_extension() {
+        let l = layout();
+        let mut k = Knowledge::new(&l, 1000);
+        let mut log = ScanLog::new();
+        // Frame 1 fully scanned: objects at 20 and 25.
+        let s = log.entry(1, 2);
+        s.hcs = vec![Some(20), Some(25)];
+        s.read_upto = 2;
+        // Without frame 2's bound, cleared stops at 25.
+        let c = cleared_regions(&log, &k, &l);
+        assert_eq!(c, vec![HcRange::new(0, 9), HcRange::new(20, 25)]);
+        // Learning frame 2's bound extends through the empty gap.
+        k.learn(2, 30);
+        let c = cleared_regions(&log, &k, &l);
+        assert_eq!(c, vec![HcRange::new(0, 9), HcRange::new(20, 29)]);
+    }
+
+    #[test]
+    fn cleared_regions_hole_blocks_clearing() {
+        let l = layout();
+        let k = Knowledge::new(&l, 1000);
+        let mut log = ScanLog::new();
+        // Frame 3: first header lost, second resolved → nothing clearable.
+        let s = log.entry(3, 2);
+        s.hcs = vec![None, Some(45)];
+        s.read_upto = 2;
+        let c = cleared_regions(&log, &k, &l);
+        assert_eq!(c, vec![HcRange::new(0, 9)]);
+    }
+
+    #[test]
+    fn last_frame_clears_to_end_of_space() {
+        let l = layout();
+        let k = Knowledge::new(&l, 1000);
+        let mut log = ScanLog::new();
+        let s = log.entry(7, 2);
+        s.hcs = vec![Some(80), Some(85)];
+        s.read_upto = 2;
+        let c = cleared_regions(&log, &k, &l);
+        assert!(c.contains(&HcRange::new(80, 1000)));
+    }
+
+    #[test]
+    fn subtract_ranges_cases() {
+        let t = vec![HcRange::new(10, 50), HcRange::new(70, 80)];
+        let c = vec![HcRange::new(0, 14), HcRange::new(20, 29), HcRange::new(45, 75)];
+        assert_eq!(
+            subtract_ranges(&t, &c),
+            vec![
+                HcRange::new(15, 19),
+                HcRange::new(30, 44),
+                HcRange::new(76, 80)
+            ]
+        );
+        // Fully cleared.
+        assert!(subtract_ranges(&t, &[HcRange::new(0, 100)]).is_empty());
+        // Nothing cleared.
+        assert_eq!(subtract_ranges(&t, &[]), t);
+    }
+
+    #[test]
+    fn retries_iterate_in_order() {
+        let mut r = Retries::new();
+        assert!(r.is_empty());
+        r.headers.insert((3, 1));
+        r.payloads.insert((2, 0));
+        let v: Vec<_> = r.iter().collect();
+        assert_eq!(v, vec![(3, 1), (2, 0)]);
+        assert!(!r.is_empty());
+    }
+}

@@ -1,0 +1,212 @@
+//! DSI index tables and their wire format.
+//!
+//! "A DSI index table consists of a number of table entries τᵢ in the form
+//! ⟨HC′ᵢ, Pᵢ⟩ … Pᵢ points to the next rᶦ-th frame. HC′ᵢ is the smallest HC
+//! value of the objects within the frame pointed by Pᵢ" (§3.1). Pointers
+//! are broadcast as frame deltas (2 bytes, §4): frames have a statically
+//! known geometry, so a delta converts to an arrival time for free.
+
+use crate::config::{ENTRY_BYTES, HC_BYTES, POINTER_BYTES, TABLE_HEADER_BYTES};
+use crate::layout::DsiLayout;
+
+/// One table entry ⟨HC′ᵢ, Pᵢ⟩.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableEntry {
+    /// Smallest HC value of the objects within the pointed frame.
+    pub hc: u64,
+    /// Frame delta: the entry points to the `delta`-th next broadcast slot.
+    pub delta: u32,
+}
+
+/// The index table associated with one broadcast frame.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IndexTable {
+    /// Entries with exponentially increasing deltas (`r⁰, r¹, …`), all
+    /// strictly smaller than the frame count.
+    pub entries: Vec<TableEntry>,
+}
+
+impl IndexTable {
+    /// On-air size in bytes (excluding per-packet headers).
+    pub fn wire_bytes(&self) -> u32 {
+        TABLE_HEADER_BYTES + self.entries.len() as u32 * ENTRY_BYTES
+    }
+
+    /// Serialises the table to its broadcast byte layout: a `u16` entry
+    /// count followed by 16-byte HC values and 2-byte frame deltas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a delta exceeds `u16::MAX` (the paper's 2-byte pointer);
+    /// this cannot happen for cycle sizes up to 65,536 frames.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_bytes() as usize);
+        out.extend_from_slice(&(self.entries.len() as u16).to_be_bytes());
+        for e in &self.entries {
+            // HC values occupy 16 bytes on the air (paper §4); the high
+            // 8 bytes of our u64 representation are zero padding.
+            out.extend_from_slice(&[0u8; (HC_BYTES - 8) as usize]);
+            out.extend_from_slice(&e.hc.to_be_bytes());
+            let delta = u16::try_from(e.delta).expect("frame delta exceeds 2-byte pointer");
+            out.extend_from_slice(&delta.to_be_bytes());
+        }
+        debug_assert_eq!(out.len(), self.wire_bytes() as usize);
+        out
+    }
+
+    /// Decodes a table from its broadcast byte layout.
+    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        if buf.len() < TABLE_HEADER_BYTES as usize {
+            return Err(DecodeError::Truncated);
+        }
+        let n = u16::from_be_bytes([buf[0], buf[1]]) as usize;
+        let need = TABLE_HEADER_BYTES as usize + n * ENTRY_BYTES as usize;
+        if buf.len() < need {
+            return Err(DecodeError::Truncated);
+        }
+        let mut entries = Vec::with_capacity(n);
+        let mut at = TABLE_HEADER_BYTES as usize;
+        for _ in 0..n {
+            let pad = (HC_BYTES - 8) as usize;
+            if buf[at..at + pad].iter().any(|&b| b != 0) {
+                return Err(DecodeError::Corrupt);
+            }
+            let hc = u64::from_be_bytes(buf[at + pad..at + pad + 8].try_into().expect("8 bytes"));
+            at += HC_BYTES as usize;
+            let delta =
+                u16::from_be_bytes(buf[at..at + POINTER_BYTES as usize].try_into().expect("2 bytes"));
+            at += POINTER_BYTES as usize;
+            entries.push(TableEntry {
+                hc,
+                delta: delta as u32,
+            });
+        }
+        Ok(Self { entries })
+    }
+}
+
+/// Wire decoding failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Buffer shorter than the declared table.
+    Truncated,
+    /// Padding bytes were non-zero.
+    Corrupt,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "index table truncated"),
+            DecodeError::Corrupt => write!(f, "index table padding corrupt"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Builds the index table of every broadcast slot.
+///
+/// `frame_min_hc` is indexed by HC-order frame index; entry `i` of slot
+/// `j`'s table points `rⁱ` slots ahead and carries the minimum HC of the
+/// frame broadcast there.
+pub fn build_tables(layout: &DsiLayout, frame_min_hc: &[u64]) -> Vec<IndexTable> {
+    let nf = layout.n_frames();
+    let r = layout.config().index_base as u64;
+    let n_entries = layout.framing().n_entries;
+    let mut tables = Vec::with_capacity(nf as usize);
+    for slot in 0..nf as u64 {
+        let mut entries = Vec::with_capacity(n_entries as usize);
+        let mut delta = 1u64;
+        for _ in 0..n_entries {
+            if delta >= nf as u64 {
+                break;
+            }
+            let target_slot = ((slot + delta) % nf as u64) as u32;
+            let hc_idx = layout.hc_index_of_slot(target_slot);
+            entries.push(TableEntry {
+                hc: frame_min_hc[hc_idx as usize],
+                delta: delta as u32,
+            });
+            delta *= r;
+        }
+        tables.push(IndexTable { entries });
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DsiConfig, FramingPolicy};
+
+    fn layout(n_objects: u32, segments: u32) -> (DsiLayout, Vec<u64>) {
+        let cfg = DsiConfig {
+            framing: FramingPolicy::FixedFrameCount(8),
+            segments,
+            ..DsiConfig::paper_default()
+        };
+        let mins: Vec<u64> = (0..8u64).map(|i| i * 8 + 3).collect();
+        (DsiLayout::new(cfg, n_objects, &mins), mins)
+    }
+
+    #[test]
+    fn tables_follow_paper_structure() {
+        let (l, mins) = layout(8, 1);
+        let tables = build_tables(&l, &mins);
+        assert_eq!(tables.len(), 8);
+        // Slot 0: entries point 1, 2, 4 ahead (log2(8) = 3 entries).
+        let t0 = &tables[0];
+        assert_eq!(t0.entries.len(), 3);
+        assert_eq!(t0.entries[0], TableEntry { hc: mins[1], delta: 1 });
+        assert_eq!(t0.entries[1], TableEntry { hc: mins[2], delta: 2 });
+        assert_eq!(t0.entries[2], TableEntry { hc: mins[4], delta: 4 });
+        // Slot 6 wraps.
+        let t6 = &tables[6];
+        assert_eq!(t6.entries[1], TableEntry { hc: mins[0], delta: 2 });
+        assert_eq!(t6.entries[2], TableEntry { hc: mins[2], delta: 4 });
+    }
+
+    #[test]
+    fn reorganized_tables_point_across_blocks() {
+        let (l, mins) = layout(8, 2);
+        let tables = build_tables(&l, &mins);
+        // Folded broadcast order is 0,7,1,6,2,5,3,4; slot 0's δ=1 entry
+        // lands on HC-frame 7 (the other block, reversed).
+        assert_eq!(tables[0].entries[0].hc, mins[7]);
+        assert_eq!(tables[0].entries[1].hc, mins[1]);
+        assert_eq!(tables[0].entries[2].hc, mins[2]);
+    }
+
+    #[test]
+    fn wire_roundtrip_and_size() {
+        let (l, mins) = layout(8, 1);
+        let tables = build_tables(&l, &mins);
+        for t in &tables {
+            let bytes = t.encode();
+            assert_eq!(bytes.len() as u32, t.wire_bytes());
+            assert_eq!(bytes.len(), 2 + 3 * 18);
+            let back = IndexTable::decode(&bytes).unwrap();
+            assert_eq!(&back, t);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let (l, mins) = layout(8, 1);
+        let bytes = build_tables(&l, &mins)[0].encode();
+        assert_eq!(
+            IndexTable::decode(&bytes[..bytes.len() - 1]),
+            Err(DecodeError::Truncated)
+        );
+        assert_eq!(IndexTable::decode(&[]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_padding() {
+        let (l, mins) = layout(8, 1);
+        let mut bytes = build_tables(&l, &mins)[0].encode();
+        bytes[3] = 0xFF; // inside the zero padding of entry 0's HC value
+        assert_eq!(IndexTable::decode(&bytes), Err(DecodeError::Corrupt));
+    }
+}

@@ -1,0 +1,30 @@
+//! Datasets and query workloads for the DSI evaluation.
+//!
+//! The paper evaluates on two datasets (§4):
+//!
+//! * **UNIFORM** — 10,000 points drawn uniformly from a square Euclidean
+//!   space ([`uniform`]).
+//! * **REAL** — 5,848 cities and villages of Greece from rtreeportal.org.
+//!   That file is not redistributable here, so we substitute a seeded
+//!   Gaussian-mixture [`clustered`] generator with heavy-tailed cluster
+//!   sizes: it preserves the property that matters to the experiments —
+//!   strong spatial skew, under which Hilbert locality quality varies and
+//!   DSI's advantage over the tree indexes grows (the paper's REAL
+//!   summaries). The original file can be dropped in via [`load_points`].
+//!
+//! [`SpatialDataset`] snaps a point set onto the Hilbert grid, assigns each
+//! object a distinct HC value (the paper's 1-1 coordinate↔HC
+//! correspondence), sorts by HC, and offers brute-force window/kNN oracles
+//! used as ground truth by every test and by the experiment runner's
+//! validation mode.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod points;
+mod workload;
+
+pub use dataset::{Object, SpatialDataset};
+pub use points::{clustered, load_points, uniform};
+pub use workload::{knn_points, window_queries};

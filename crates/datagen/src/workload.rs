@@ -1,0 +1,62 @@
+//! Query workload generators.
+
+use dsi_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Window-query workload: `n` square windows of side
+/// `ratio × space side` (the paper's `WinSideRatio`), centred uniformly in
+/// the unit square and clipped to it.
+pub fn window_queries(n: usize, ratio: f64, seed: u64) -> Vec<Rect> {
+    assert!(
+        ratio > 0.0 && ratio <= 1.0,
+        "WinSideRatio must be in (0, 1], got {ratio}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let c = Point::new(rng.gen::<f64>(), rng.gen::<f64>());
+            Rect::window_in_unit_square(c, ratio)
+        })
+        .collect()
+}
+
+/// kNN workload: `n` query points uniform in the unit square.
+pub fn knn_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_clip_and_have_roughly_requested_area() {
+        let ws = window_queries(100, 0.1, 1);
+        let unit = Rect::new(0.0, 0.0, 1.0, 1.0);
+        for w in &ws {
+            assert!(unit.contains_rect(w));
+            assert!(w.area() <= 0.1 * 0.1 + 1e-12);
+            assert!(w.area() > 0.0);
+        }
+        // Most windows (centres in [0.05, 0.95]²) are unclipped.
+        let full = ws.iter().filter(|w| (w.area() - 0.01).abs() < 1e-9).count();
+        assert!(full > 50);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        assert_eq!(window_queries(10, 0.2, 5), window_queries(10, 0.2, 5));
+        assert_eq!(knn_points(10, 5), knn_points(10, 5));
+        assert_ne!(knn_points(10, 5), knn_points(10, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "WinSideRatio")]
+    fn zero_ratio_rejected() {
+        let _ = window_queries(1, 0.0, 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! Property tests for datasets and workloads.
+
+use dsi_datagen::{clustered, knn_points, uniform, window_queries, SpatialDataset};
+use dsi_geom::{Point, Rect};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dataset_objects_sorted_unique_and_in_cells(
+        n in 1usize..300, seed in any::<u64>(), order in 5u8..12,
+    ) {
+        let ds = SpatialDataset::build(&uniform(n, seed), order);
+        let objs = ds.objects();
+        prop_assert_eq!(objs.len(), n);
+        for w in objs.windows(2) {
+            prop_assert!(w[0].hc < w[1].hc);
+        }
+        for o in objs {
+            let cell = ds.curve().d2xy(o.hc);
+            prop_assert!(ds.mapper().cell_rect(cell).contains(o.pos));
+        }
+    }
+
+    #[test]
+    fn clustered_points_stay_in_unit_square(n in 1usize..500, c in 1usize..32, seed in any::<u64>()) {
+        for p in clustered(n, c, seed) {
+            prop_assert!((0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn brute_knn_is_k_smallest(n in 5usize..200, seed in any::<u64>(), k in 1usize..20,
+                               qx in 0.0..1.0f64, qy in 0.0..1.0f64) {
+        let ds = SpatialDataset::build(&uniform(n, seed), 10);
+        let q = Point::new(qx, qy);
+        let ids = ds.brute_knn(q, k);
+        prop_assert_eq!(ids.len(), k.min(n));
+        let kth = ds.kth_dist2(q, k.min(n));
+        for o in ds.objects() {
+            if ids.binary_search(&o.id).is_ok() {
+                prop_assert!(q.dist2(o.pos) <= kth);
+            }
+        }
+    }
+
+    #[test]
+    fn workloads_are_well_formed(n in 1usize..100, ratio in 0.01..1.0f64, seed in any::<u64>()) {
+        let unit = Rect::new(0.0, 0.0, 1.0, 1.0);
+        for w in window_queries(n, ratio, seed) {
+            prop_assert!(unit.contains_rect(&w));
+            prop_assert!(!w.is_empty());
+        }
+        for p in knn_points(n, seed) {
+            prop_assert!(unit.contains(p));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Search circles for kNN query processing.
+
+use crate::point::{dist2, Point};
+use crate::rect::Rect;
+
+/// A circle, used as the kNN *search space*: the algorithms of the paper
+/// draw a circle around the query point that is guaranteed to contain the
+/// `k` nearest objects and shrink it as the client learns more about the
+/// object distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Circle {
+    /// Centre (the kNN query point).
+    pub center: Point,
+    /// Radius (not squared; compare with [`Circle::radius2`] in hot paths).
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Creates a circle from centre and radius.
+    #[inline]
+    pub fn new(center: Point, radius: f64) -> Self {
+        debug_assert!(radius >= 0.0, "circle radius must be non-negative");
+        Self { center, radius }
+    }
+
+    /// Squared radius.
+    #[inline]
+    pub fn radius2(&self) -> f64 {
+        self.radius * self.radius
+    }
+
+    /// Whether `p` lies inside the closed disc.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        dist2(self.center, p) <= self.radius2()
+    }
+
+    /// The bounding square of the circle; the kNN algorithms convert this
+    /// square into Hilbert ranges to enumerate candidate frames.
+    #[inline]
+    pub fn bounding_box(&self) -> Rect {
+        Rect::bounding_square(self.center, self.radius)
+    }
+
+    /// Whether the disc and the rectangle share at least one point.
+    #[inline]
+    pub fn intersects_rect(&self, r: &Rect) -> bool {
+        r.min_dist2(self.center) <= self.radius2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_boundary() {
+        let c = Circle::new(Point::new(0.0, 0.0), 1.0);
+        assert!(c.contains(Point::new(1.0, 0.0)));
+        assert!(c.contains(Point::new(0.0, -1.0)));
+        assert!(!c.contains(Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn bounding_box_is_tight() {
+        let c = Circle::new(Point::new(0.5, 0.25), 0.25);
+        let b = c.bounding_box();
+        assert_eq!(b, Rect::new(0.25, 0.0, 0.75, 0.5));
+    }
+
+    #[test]
+    fn rect_intersection_matches_mindist() {
+        let c = Circle::new(Point::new(0.0, 0.0), 1.0);
+        // Rectangle whose nearest corner is at distance sqrt(2)/2 < 1.
+        assert!(c.intersects_rect(&Rect::new(0.5, 0.5, 2.0, 2.0)));
+        // Nearest corner at distance sqrt(8) > 1.
+        assert!(!c.intersects_rect(&Rect::new(2.0, 2.0, 3.0, 3.0)));
+    }
+}

@@ -1,0 +1,223 @@
+//! Mapping between continuous coordinates and the Hilbert grid.
+//!
+//! The Hilbert curve of order `o` is defined on a `2^o × 2^o` integer grid.
+//! The broadcast server snaps every data object to a grid cell before
+//! computing its Hilbert value, and clients decode Hilbert values from index
+//! tables back to cell centres ("the object represented by `HC'`", paper
+//! §3.4). [`GridMapper`] owns the affine transform between the dataset's
+//! bounding square and that grid.
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// A cell of the `2^order × 2^order` Hilbert grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cell {
+    /// Column, `0 ..= 2^order - 1`.
+    pub x: u32,
+    /// Row, `0 ..= 2^order - 1`.
+    pub y: u32,
+}
+
+impl Cell {
+    /// Creates a cell from its column and row.
+    #[inline]
+    pub const fn new(x: u32, y: u32) -> Self {
+        Self { x, y }
+    }
+}
+
+/// Affine mapping between a continuous bounding square and the integer grid
+/// of a Hilbert curve of a given order.
+#[derive(Debug, Clone, Copy)]
+pub struct GridMapper {
+    origin: Point,
+    /// Side length of the continuous square.
+    side: f64,
+    /// Grid resolution = `2^order`.
+    cells: u32,
+}
+
+impl GridMapper {
+    /// Creates a mapper over the square `[origin, origin + side]²` with
+    /// `2^order` cells per side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is 0 or greater than 31, or if `side` is not a
+    /// positive finite number.
+    pub fn new(origin: Point, side: f64, order: u8) -> Self {
+        assert!(
+            (1..=31).contains(&order),
+            "Hilbert order must be in 1..=31, got {order}"
+        );
+        assert!(
+            side.is_finite() && side > 0.0,
+            "grid side must be positive and finite"
+        );
+        Self {
+            origin,
+            side,
+            cells: 1u32 << order,
+        }
+    }
+
+    /// Mapper over the unit square `[0,1]²` — the space of the paper's
+    /// UNIFORM dataset.
+    pub fn unit_square(order: u8) -> Self {
+        Self::new(Point::new(0.0, 0.0), 1.0, order)
+    }
+
+    /// Mapper over the bounding square of a point set (the smallest square
+    /// containing the set's bounding rectangle, anchored at its lower-left).
+    ///
+    /// Returns `None` for an empty point set.
+    pub fn covering(points: &[Point], order: u8) -> Option<Self> {
+        let mut bb = Rect::EMPTY;
+        for &p in points {
+            bb.expand(p);
+        }
+        if bb.is_empty() {
+            return None;
+        }
+        let side = (bb.max.x - bb.min.x).max(bb.max.y - bb.min.y).max(1e-9);
+        // Grow slightly so max-coordinate points stay strictly inside.
+        Some(Self::new(bb.min, side * (1.0 + 1e-9), order))
+    }
+
+    /// Number of cells per side (`2^order`).
+    #[inline]
+    pub fn cells_per_side(&self) -> u32 {
+        self.cells
+    }
+
+    /// Side length of one cell in continuous coordinates.
+    #[inline]
+    pub fn cell_side(&self) -> f64 {
+        self.side / self.cells as f64
+    }
+
+    /// Snaps a continuous point to its grid cell, clamping points on or
+    /// outside the boundary to the nearest edge cell.
+    pub fn cell_of(&self, p: Point) -> Cell {
+        let fx = ((p.x - self.origin.x) / self.side) * self.cells as f64;
+        let fy = ((p.y - self.origin.y) / self.side) * self.cells as f64;
+        let clamp = |v: f64| -> u32 {
+            if v <= 0.0 {
+                0
+            } else if v >= (self.cells - 1) as f64 {
+                self.cells - 1
+            } else {
+                v as u32
+            }
+        };
+        Cell::new(clamp(fx.floor()), clamp(fy.floor()))
+    }
+
+    /// The continuous centre of a grid cell. This is the position a client
+    /// reconstructs from a Hilbert value alone (the 1-1 HC↔coordinate
+    /// correspondence of the paper).
+    pub fn cell_center(&self, c: Cell) -> Point {
+        let s = self.cell_side();
+        Point::new(
+            self.origin.x + (c.x as f64 + 0.5) * s,
+            self.origin.y + (c.y as f64 + 0.5) * s,
+        )
+    }
+
+    /// The continuous extent of a grid cell.
+    pub fn cell_rect(&self, c: Cell) -> Rect {
+        let s = self.cell_side();
+        Rect::new(
+            self.origin.x + c.x as f64 * s,
+            self.origin.y + c.y as f64 * s,
+            self.origin.x + (c.x + 1) as f64 * s,
+            self.origin.y + (c.y + 1) as f64 * s,
+        )
+    }
+
+    /// Converts a continuous rectangle to the inclusive cell range it
+    /// overlaps, or `None` if the rectangle misses the grid entirely.
+    ///
+    /// The result is the set of cells whose *extent intersects* `r`; a
+    /// window query over `r` must examine every such cell because an object
+    /// anywhere inside an intersecting cell may fall in `r`.
+    pub fn cells_overlapping(&self, r: &Rect) -> Option<(Cell, Cell)> {
+        if r.is_empty() {
+            return None;
+        }
+        let grid_rect = Rect::new(
+            self.origin.x,
+            self.origin.y,
+            self.origin.x + self.side,
+            self.origin.y + self.side,
+        );
+        if !r.intersects(&grid_rect) {
+            return None;
+        }
+        let lo = self.cell_of(Point::new(r.min.x, r.min.y));
+        let hi = self.cell_of(Point::new(r.max.x, r.max.y));
+        Some((lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_cell_center() {
+        let m = GridMapper::unit_square(4); // 16×16 grid
+        for x in 0..16 {
+            for y in 0..16 {
+                let c = Cell::new(x, y);
+                assert_eq!(m.cell_of(m.cell_center(c)), c);
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_points_clamp() {
+        let m = GridMapper::unit_square(3);
+        assert_eq!(m.cell_of(Point::new(1.0, 1.0)), Cell::new(7, 7));
+        assert_eq!(m.cell_of(Point::new(-0.5, 2.0)), Cell::new(0, 7));
+    }
+
+    #[test]
+    fn covering_contains_all_points() {
+        let pts = vec![
+            Point::new(-3.0, 2.0),
+            Point::new(5.0, 4.0),
+            Point::new(0.0, -1.0),
+        ];
+        let m = GridMapper::covering(&pts, 8).unwrap();
+        for &p in &pts {
+            let c = m.cell_of(p);
+            assert!(m.cell_rect(c).contains(p), "point {p:?} not inside its cell");
+        }
+    }
+
+    #[test]
+    fn covering_empty_is_none() {
+        assert!(GridMapper::covering(&[], 8).is_none());
+    }
+
+    #[test]
+    fn cells_overlapping_clips() {
+        let m = GridMapper::unit_square(2); // 4×4
+        let (lo, hi) = m
+            .cells_overlapping(&Rect::new(0.3, 0.3, 0.8, 0.6))
+            .unwrap();
+        assert_eq!(lo, Cell::new(1, 1));
+        assert_eq!(hi, Cell::new(3, 2));
+        assert!(m
+            .cells_overlapping(&Rect::new(2.0, 2.0, 3.0, 3.0))
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "Hilbert order")]
+    fn zero_order_rejected() {
+        let _ = GridMapper::unit_square(0);
+    }
+}

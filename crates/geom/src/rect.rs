@@ -1,0 +1,244 @@
+//! Axis-aligned rectangles: query windows and R-tree MBRs.
+
+use crate::point::Point;
+
+/// A closed axis-aligned rectangle `[min.x, max.x] × [min.y, max.y]`.
+///
+/// Used both as the *query window* of window queries and as the minimum
+/// bounding rectangle (MBR) of R-tree nodes. A rectangle with
+/// `min.x > max.x` is treated as empty; [`Rect::EMPTY`] is the canonical
+/// empty rectangle (the identity of [`Rect::union`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl Rect {
+    /// The canonical empty rectangle: the identity element for [`Rect::union`].
+    pub const EMPTY: Rect = Rect {
+        min: Point::new(f64::INFINITY, f64::INFINITY),
+        max: Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+    };
+
+    /// Creates a rectangle from its corner coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any coordinate is NaN.
+    #[inline]
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        debug_assert!(
+            !(min_x.is_nan() || min_y.is_nan() || max_x.is_nan() || max_y.is_nan()),
+            "rectangle corners must not be NaN"
+        );
+        Self {
+            min: Point::new(min_x, min_y),
+            max: Point::new(max_x, max_y),
+        }
+    }
+
+    /// Creates the smallest rectangle containing both corner points.
+    #[inline]
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        Self::new(a.x.min(b.x), a.y.min(b.y), a.x.max(b.x), a.y.max(b.y))
+    }
+
+    /// Creates the square window of side `side` centred on `center`,
+    /// clipped to the unit square — the shape of the paper's window-query
+    /// workload (`WinSideRatio` × space side).
+    pub fn window_in_unit_square(center: Point, side: f64) -> Self {
+        let h = side / 2.0;
+        Self::new(
+            (center.x - h).max(0.0),
+            (center.y - h).max(0.0),
+            (center.x + h).min(1.0),
+            (center.y + h).min(1.0),
+        )
+    }
+
+    /// Creates the bounding square of a circle (used to convert a kNN search
+    /// circle into Hilbert ranges).
+    #[inline]
+    pub fn bounding_square(center: Point, radius: f64) -> Self {
+        Self::new(
+            center.x - radius,
+            center.y - radius,
+            center.x + radius,
+            center.y + radius,
+        )
+    }
+
+    /// Whether the rectangle contains no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y
+    }
+
+    /// Whether `p` lies inside the (closed) rectangle.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Whether `other` lies entirely inside `self`.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.is_empty()
+            || (other.min.x >= self.min.x
+                && other.max.x <= self.max.x
+                && other.min.y >= self.min.y
+                && other.max.y <= self.max.y)
+    }
+
+    /// Whether the two closed rectangles share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// The smallest rectangle containing both operands.
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// Grows the rectangle to contain `p`.
+    #[inline]
+    pub fn expand(&mut self, p: Point) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Area of the rectangle (0 for empty rectangles).
+    #[inline]
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            (self.max.x - self.min.x) * (self.max.y - self.min.y)
+        }
+    }
+
+    /// Centre point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min.x + self.max.x) / 2.0,
+            (self.min.y + self.max.y) / 2.0,
+        )
+    }
+
+    /// *mindist*: squared distance from `p` to the closest point of the
+    /// rectangle (0 if `p` is inside). This is the classical R-tree pruning
+    /// bound and is also used to lower-bound the distance to a Hilbert
+    /// sub-square.
+    #[inline]
+    pub fn min_dist2(&self, p: Point) -> f64 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        dx * dx + dy * dy
+    }
+
+    /// *maxdist*: squared distance from `p` to the farthest point of the
+    /// rectangle. Upper bound used when seeding kNN search spaces.
+    #[inline]
+    pub fn max_dist2(&self, p: Point) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let dx = (p.x - self.min.x).abs().max((p.x - self.max.x).abs());
+        let dy = (p.y - self.min.y).abs().max((p.y - self.max.y).abs());
+        dx * dx + dy * dy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Rect {
+        Rect::new(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn contains_boundary_points() {
+        let r = unit();
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(r.contains(Point::new(1.0, 1.0)));
+        assert!(r.contains(Point::new(0.5, 1.0)));
+        assert!(!r.contains(Point::new(1.0 + 1e-12, 0.5)));
+    }
+
+    #[test]
+    fn empty_rect_behaviour() {
+        assert!(Rect::EMPTY.is_empty());
+        assert_eq!(Rect::EMPTY.area(), 0.0);
+        assert!(!Rect::EMPTY.intersects(&unit()));
+        let u = Rect::EMPTY.union(&unit());
+        assert_eq!(u, unit());
+        assert!(unit().contains_rect(&Rect::EMPTY));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let r = unit();
+        // Overlapping.
+        assert!(r.intersects(&Rect::new(0.5, 0.5, 2.0, 2.0)));
+        // Touching edge counts (closed rectangles).
+        assert!(r.intersects(&Rect::new(1.0, 0.0, 2.0, 1.0)));
+        // Disjoint.
+        assert!(!r.intersects(&Rect::new(1.5, 1.5, 2.0, 2.0)));
+    }
+
+    #[test]
+    fn min_dist2_inside_is_zero() {
+        assert_eq!(unit().min_dist2(Point::new(0.3, 0.9)), 0.0);
+    }
+
+    #[test]
+    fn min_dist2_outside_axis_and_corner() {
+        let r = unit();
+        // Straight right of the rectangle.
+        assert!((r.min_dist2(Point::new(2.0, 0.5)) - 1.0).abs() < 1e-12);
+        // Diagonal from the corner (1,1): distance sqrt(2).
+        assert!((r.min_dist2(Point::new(2.0, 2.0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_dist2_reaches_far_corner() {
+        let r = unit();
+        // From the origin the farthest corner is (1,1).
+        assert!((r.max_dist2(Point::new(0.0, 0.0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_clips_to_unit_square() {
+        let w = Rect::window_in_unit_square(Point::new(0.05, 0.95), 0.2);
+        assert_eq!(w.min.x, 0.0);
+        assert!((w.max.y - 1.0).abs() < 1e-12);
+        assert!(w.max.x > 0.0 && w.min.y < 1.0);
+    }
+
+    #[test]
+    fn union_and_expand_agree() {
+        let mut r = Rect::from_corners(Point::new(0.2, 0.2), Point::new(0.4, 0.4));
+        let p = Point::new(0.9, 0.1);
+        let u = r.union(&Rect::from_corners(p, p));
+        r.expand(p);
+        assert_eq!(r, u);
+        assert!(r.contains(p));
+    }
+}

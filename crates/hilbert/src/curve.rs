@@ -1,0 +1,208 @@
+//! The Hilbert curve cell↔position mapping.
+
+use dsi_geom::Cell;
+
+/// A Hilbert curve of a given order over the `2^order × 2^order` grid.
+///
+/// Positions along the curve ("HC values", `d`) run from `0` to
+/// `4^order - 1`. The implementation is the classical iterative
+/// rotate-and-accumulate algorithm (Moore's converter, the paper's `[12]`),
+/// operating on one bit of each coordinate per step, so both conversions
+/// cost `O(order)` — constant time for any fixed curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HilbertCurve {
+    order: u8,
+}
+
+impl HilbertCurve {
+    /// Creates a curve of the given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= order <= 31` (31 keeps `d` within `u64` and cell
+    /// coordinates within `u32`).
+    pub fn new(order: u8) -> Self {
+        assert!(
+            (1..=31).contains(&order),
+            "Hilbert order must be in 1..=31, got {order}"
+        );
+        Self { order }
+    }
+
+    /// The order of the curve.
+    #[inline]
+    pub fn order(&self) -> u8 {
+        self.order
+    }
+
+    /// Number of cells per grid side (`2^order`).
+    #[inline]
+    pub fn side(&self) -> u32 {
+        1u32 << self.order
+    }
+
+    /// The largest HC value on the curve (`4^order - 1`).
+    #[inline]
+    pub fn max_d(&self) -> u64 {
+        (1u64 << (2 * self.order)) - 1
+    }
+
+    /// Maps a grid cell to its position along the curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the cell lies outside the grid.
+    pub fn xy2d(&self, cell: Cell) -> u64 {
+        debug_assert!(
+            cell.x < self.side() && cell.y < self.side(),
+            "cell {cell:?} outside order-{} grid",
+            self.order
+        );
+        let (mut x, mut y) = (cell.x, cell.y);
+        let mut d: u64 = 0;
+        let mut s: u32 = self.side() >> 1;
+        while s > 0 {
+            let rx = u32::from(x & s > 0);
+            let ry = u32::from(y & s > 0);
+            d += (s as u64) * (s as u64) * ((3 * rx) ^ ry) as u64;
+            rotate(s, &mut x, &mut y, rx, ry);
+            s >>= 1;
+        }
+        d
+    }
+
+    /// Maps a position along the curve back to its grid cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `d` exceeds [`HilbertCurve::max_d`].
+    pub fn d2xy(&self, d: u64) -> Cell {
+        debug_assert!(d <= self.max_d(), "d {d} outside order-{} curve", self.order);
+        let (mut x, mut y) = (0u32, 0u32);
+        let mut t = d;
+        let mut s: u32 = 1;
+        while s < self.side() {
+            let rx = (1 & (t >> 1)) as u32;
+            let ry = (1 & (t ^ rx as u64)) as u32;
+            rotate(s, &mut x, &mut y, rx, ry);
+            x += s * rx;
+            y += s * ry;
+            t >>= 2;
+            s <<= 1;
+        }
+        Cell::new(x, y)
+    }
+
+    /// The HC value of the *entry cell* of the aligned block of side
+    /// `2^level` containing `cell` — i.e. the smallest `d` in that block.
+    ///
+    /// Every grid-aligned `2^level × 2^level` block is traversed contiguously
+    /// by the Hilbert curve, so its positions form the interval
+    /// `[block_base, block_base + 4^level - 1]`. This identity is what makes
+    /// the window decomposition emit exact, maximal ranges.
+    #[inline]
+    pub fn block_base(&self, cell: Cell, level: u8) -> u64 {
+        debug_assert!(level <= self.order);
+        let d = self.xy2d(cell);
+        let span = 1u64 << (2 * level);
+        d & !(span - 1)
+    }
+}
+
+/// The quadrant rotation/reflection step shared by both conversions.
+#[inline]
+fn rotate(s: u32, x: &mut u32, y: &mut u32, rx: u32, ry: u32) {
+    if ry == 0 {
+        if rx == 1 {
+            *x = s.wrapping_sub(1).wrapping_sub(*x);
+            *y = s.wrapping_sub(1).wrapping_sub(*y);
+        }
+        core::mem::swap(x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_one_square() {
+        // The order-1 curve visits (0,0) (0,1) (1,1) (1,0).
+        let c = HilbertCurve::new(1);
+        let expected = [(0, 0), (0, 1), (1, 1), (1, 0)];
+        for (d, &(x, y)) in expected.iter().enumerate() {
+            assert_eq!(c.d2xy(d as u64), Cell::new(x, y));
+            assert_eq!(c.xy2d(Cell::new(x, y)), d as u64);
+        }
+    }
+
+    #[test]
+    fn paper_running_example_value() {
+        // Paper §2.1: on the order-3 curve, point (1,1) has HC value 2.
+        let c = HilbertCurve::new(3);
+        assert_eq!(c.xy2d(Cell::new(1, 1)), 2);
+    }
+
+    #[test]
+    fn bijective_on_small_orders() {
+        for order in 1..=5u8 {
+            let c = HilbertCurve::new(order);
+            let mut seen = vec![false; (c.max_d() + 1) as usize];
+            for x in 0..c.side() {
+                for y in 0..c.side() {
+                    let d = c.xy2d(Cell::new(x, y));
+                    assert!(!seen[d as usize], "duplicate d={d} at ({x},{y})");
+                    seen[d as usize] = true;
+                    assert_eq!(c.d2xy(d), Cell::new(x, y));
+                }
+            }
+            assert!(seen.iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn consecutive_positions_are_grid_neighbours() {
+        // The defining locality property of the Hilbert curve.
+        let c = HilbertCurve::new(5);
+        let mut prev = c.d2xy(0);
+        for d in 1..=c.max_d() {
+            let cur = c.d2xy(d);
+            let manhattan =
+                (cur.x as i64 - prev.x as i64).abs() + (cur.y as i64 - prev.y as i64).abs();
+            assert_eq!(manhattan, 1, "jump at d={d}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn block_base_is_min_of_block() {
+        let c = HilbertCurve::new(4);
+        for level in 0..=4u8 {
+            let bs = 1u32 << level;
+            for bx in (0..c.side()).step_by(bs as usize) {
+                for by in (0..c.side()).step_by(bs as usize) {
+                    let base = c.block_base(Cell::new(bx, by), level);
+                    let mut min_d = u64::MAX;
+                    for x in bx..bx + bs {
+                        for y in by..by + bs {
+                            min_d = min_d.min(c.xy2d(Cell::new(x, y)));
+                        }
+                    }
+                    assert_eq!(base, min_d, "level {level} block ({bx},{by})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_d_matches_area() {
+        assert_eq!(HilbertCurve::new(3).max_d(), 63);
+        assert_eq!(HilbertCurve::new(16).max_d(), (1u64 << 32) - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Hilbert order")]
+    fn order_32_rejected() {
+        let _ = HilbertCurve::new(32);
+    }
+}

@@ -1,0 +1,154 @@
+//! Minimum distance from a point to a Hilbert interval.
+//!
+//! The kNN algorithms repeatedly ask: "can the HC region `[lo, hi]` — which
+//! I have not listened to yet — still contain an object closer than my
+//! current k-th candidate?" Answering it exactly requires the minimum
+//! distance from the query point to the *set of cells* whose HC values fall
+//! in the interval. We compute it by branch-and-bound over grid-aligned
+//! blocks: a block whose HC span is disjoint from the interval is pruned, a
+//! block fully inside contributes its rectangle *mindist*, and partial
+//! blocks are split — visiting children nearest to the query point first so
+//! the bound tightens quickly.
+
+use dsi_geom::{Cell, GridMapper, Point};
+
+use crate::curve::HilbertCurve;
+use crate::ranges::HcRange;
+
+/// Exact squared minimum distance from `q` to any cell (its full extent)
+/// whose HC value lies in `range`.
+///
+/// Returns `f64::INFINITY` if the range is outside the curve (cannot happen
+/// for ranges produced by this crate).
+pub fn min_dist2_to_range(
+    curve: &HilbertCurve,
+    mapper: &GridMapper,
+    q: Point,
+    range: HcRange,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    visit(curve, mapper, q, range, 0, 0, curve.order(), &mut best);
+    best
+}
+
+#[allow(clippy::too_many_arguments)]
+fn visit(
+    curve: &HilbertCurve,
+    mapper: &GridMapper,
+    q: Point,
+    range: HcRange,
+    x0: u32,
+    y0: u32,
+    level: u8,
+    best: &mut f64,
+) {
+    // HC span of this aligned block.
+    let base = curve.block_base(Cell::new(x0, y0), level);
+    let span = HcRange::new(base, base + (1u64 << (2 * level)) - 1);
+    if !span.overlaps(&range) {
+        return;
+    }
+    // Geometric lower bound of the whole block.
+    let lb = block_rect(mapper, x0, y0, level).min_dist2(q);
+    if lb >= *best {
+        return;
+    }
+    // Block completely inside the interval: the bound is attained.
+    if range.lo <= span.lo && span.hi <= range.hi {
+        *best = lb;
+        return;
+    }
+    if level == 0 {
+        // Single cell whose d is inside the range (overlap checked above).
+        *best = lb;
+        return;
+    }
+    // Recurse children nearest-first so later children prune on `best`.
+    let half = 1u32 << (level - 1);
+    let mut children = [
+        (x0, y0),
+        (x0 + half, y0),
+        (x0, y0 + half),
+        (x0 + half, y0 + half),
+    ];
+    children.sort_by(|&(ax, ay), &(bx, by)| {
+        let da = block_rect(mapper, ax, ay, level - 1).min_dist2(q);
+        let db = block_rect(mapper, bx, by, level - 1).min_dist2(q);
+        da.partial_cmp(&db).expect("mindist is never NaN")
+    });
+    for (cx, cy) in children {
+        visit(curve, mapper, q, range, cx, cy, level - 1, best);
+    }
+}
+
+fn block_rect(mapper: &GridMapper, x0: u32, y0: u32, level: u8) -> dsi_geom::Rect {
+    let bs = 1u32 << level;
+    let lo = mapper.cell_rect(Cell::new(x0, y0));
+    let hi = mapper.cell_rect(Cell::new(x0 + bs - 1, y0 + bs - 1));
+    lo.union(&hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute(curve: &HilbertCurve, mapper: &GridMapper, q: Point, range: HcRange) -> f64 {
+        let mut best = f64::INFINITY;
+        for d in range.lo..=range.hi.min(curve.max_d()) {
+            let cell = curve.d2xy(d);
+            best = best.min(mapper.cell_rect(cell).min_dist2(q));
+        }
+        best
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_grid() {
+        let c = HilbertCurve::new(3);
+        let m = GridMapper::unit_square(3);
+        let queries = [
+            Point::new(0.1, 0.1),
+            Point::new(0.9, 0.2),
+            Point::new(0.5, 0.5),
+            Point::new(-0.3, 1.4),
+        ];
+        let ranges = [
+            HcRange::new(0, 63),
+            HcRange::new(10, 11),
+            HcRange::new(28, 35),
+            HcRange::new(52, 53),
+            HcRange::new(0, 0),
+            HcRange::new(63, 63),
+            HcRange::new(17, 44),
+        ];
+        for q in queries {
+            for r in ranges {
+                let got = min_dist2_to_range(&c, &m, q, r);
+                let want = brute(&c, &m, q, r);
+                assert!(
+                    (got - want).abs() < 1e-12,
+                    "q={q:?} r={r:?}: got {got}, want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn point_inside_range_cell_gives_zero() {
+        let c = HilbertCurve::new(4);
+        let m = GridMapper::unit_square(4);
+        let q = Point::new(0.53, 0.27);
+        let d = c.xy2d(m.cell_of(q));
+        assert_eq!(min_dist2_to_range(&c, &m, q, HcRange::new(d, d)), 0.0);
+    }
+
+    #[test]
+    fn whole_curve_is_distance_zero_inside_grid() {
+        let c = HilbertCurve::new(5);
+        let m = GridMapper::unit_square(5);
+        let full = HcRange::new(0, c.max_d());
+        assert_eq!(
+            min_dist2_to_range(&c, &m, Point::new(0.42, 0.77), full),
+            0.0
+        );
+    }
+}

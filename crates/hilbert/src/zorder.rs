@@ -1,0 +1,183 @@
+//! Z-order (Morton) curve — the design-choice foil for Hilbert.
+//!
+//! The paper adopts the Hilbert curve because "the key is to keep
+//! neighbors in a high dimensional space remaining close to each other in
+//! the broadcast channel" (§2.1), citing its superior metric properties
+//! (Gotsman & Lindenbaum). This module provides the obvious cheaper
+//! alternative — bit-interleaved Morton order — with the same interface,
+//! so tests and benches can quantify exactly how much locality Hilbert
+//! buys: the mean curve-distance between grid neighbours, which drives
+//! both the number of window target segments and the kNN circle
+//! decomposition size.
+
+use dsi_geom::Cell;
+
+/// A Z-order (Morton) curve of a given order over the `2^order × 2^order`
+/// grid. Positions are bit-interleavings of the cell coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZOrderCurve {
+    order: u8,
+}
+
+impl ZOrderCurve {
+    /// Creates a curve of the given order (1..=31).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= order <= 31`.
+    pub fn new(order: u8) -> Self {
+        assert!(
+            (1..=31).contains(&order),
+            "Z-order curve order must be in 1..=31, got {order}"
+        );
+        Self { order }
+    }
+
+    /// The order of the curve.
+    #[inline]
+    pub fn order(&self) -> u8 {
+        self.order
+    }
+
+    /// Cells per grid side.
+    #[inline]
+    pub fn side(&self) -> u32 {
+        1u32 << self.order
+    }
+
+    /// Largest curve position (`4^order − 1`).
+    #[inline]
+    pub fn max_d(&self) -> u64 {
+        (1u64 << (2 * self.order)) - 1
+    }
+
+    /// Maps a grid cell to its Morton code.
+    pub fn xy2d(&self, cell: Cell) -> u64 {
+        debug_assert!(cell.x < self.side() && cell.y < self.side());
+        interleave(cell.x) | (interleave(cell.y) << 1)
+    }
+
+    /// Maps a Morton code back to its grid cell.
+    pub fn d2xy(&self, d: u64) -> Cell {
+        debug_assert!(d <= self.max_d());
+        Cell::new(deinterleave(d), deinterleave(d >> 1))
+    }
+}
+
+/// Spreads the 32 bits of `v` to the even bit positions of a `u64`.
+fn interleave(v: u32) -> u64 {
+    let mut x = v as u64;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Collects the even bit positions of `x` into a `u32`.
+fn deinterleave(x: u64) -> u32 {
+    let mut x = x & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+    x as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HilbertCurve;
+
+    #[test]
+    fn bijective_on_small_orders() {
+        for order in 1..=5u8 {
+            let c = ZOrderCurve::new(order);
+            let mut seen = vec![false; (c.max_d() + 1) as usize];
+            for x in 0..c.side() {
+                for y in 0..c.side() {
+                    let d = c.xy2d(Cell::new(x, y));
+                    assert!(!seen[d as usize], "duplicate at ({x},{y})");
+                    seen[d as usize] = true;
+                    assert_eq!(c.d2xy(d), Cell::new(x, y));
+                }
+            }
+            assert!(seen.iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn known_morton_codes() {
+        let c = ZOrderCurve::new(3);
+        assert_eq!(c.xy2d(Cell::new(0, 0)), 0);
+        assert_eq!(c.xy2d(Cell::new(1, 0)), 1);
+        assert_eq!(c.xy2d(Cell::new(0, 1)), 2);
+        assert_eq!(c.xy2d(Cell::new(1, 1)), 3);
+        assert_eq!(c.xy2d(Cell::new(7, 7)), 63);
+    }
+
+    /// The design-choice evidence the paper leans on: along the broadcast,
+    /// the Hilbert curve's consecutive positions are always grid
+    /// neighbours, while Z-order takes long diagonal jumps — so windows
+    /// decompose into fewer, longer segments under Hilbert.
+    #[test]
+    fn hilbert_has_strictly_better_step_locality() {
+        let order = 6u8;
+        let h = HilbertCurve::new(order);
+        let z = ZOrderCurve::new(order);
+        let step = |a: Cell, b: Cell| {
+            ((a.x as i64 - b.x as i64).abs() + (a.y as i64 - b.y as i64).abs()) as u64
+        };
+        let mut h_total = 0u64;
+        let mut z_total = 0u64;
+        for d in 0..h.max_d() {
+            h_total += step(h.d2xy(d), h.d2xy(d + 1));
+            z_total += step(z.d2xy(d), z.d2xy(d + 1));
+        }
+        assert_eq!(
+            h_total,
+            h.max_d(),
+            "every Hilbert step is a unit step"
+        );
+        assert!(
+            z_total > 19 * h_total / 10,
+            "Z-order steps should average nearly twice the unit length: {z_total} vs {h_total}"
+        );
+    }
+
+    /// Windows decompose into fewer runs under Hilbert than under Z-order:
+    /// fewer target segments means fewer EEF descents per window query.
+    #[test]
+    fn hilbert_yields_fewer_window_segments() {
+        let order = 6u8;
+        let h = HilbertCurve::new(order);
+        let z = ZOrderCurve::new(order);
+        let runs = |ds: &mut Vec<u64>| {
+            ds.sort_unstable();
+            ds.windows(2).filter(|w| w[1] != w[0] + 1).count() + 1
+        };
+        let mut h_runs = 0usize;
+        let mut z_runs = 0usize;
+        // A grid of test windows of side 12 cells.
+        for wx in (0..52u32).step_by(13) {
+            for wy in (0..52u32).step_by(13) {
+                let mut hd = Vec::new();
+                let mut zd = Vec::new();
+                for x in wx..wx + 12 {
+                    for y in wy..wy + 12 {
+                        hd.push(h.xy2d(Cell::new(x, y)));
+                        zd.push(z.xy2d(Cell::new(x, y)));
+                    }
+                }
+                h_runs += runs(&mut hd);
+                z_runs += runs(&mut zd);
+            }
+        }
+        assert!(
+            h_runs < z_runs,
+            "Hilbert should give fewer segments: {h_runs} vs {z_runs}"
+        );
+    }
+}

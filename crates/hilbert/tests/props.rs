@@ -1,0 +1,95 @@
+//! Property tests for the Hilbert kernels: bijectivity, decomposition
+//! exactness, and distance lower bounds.
+
+use dsi_geom::{Cell, GridMapper, Point, Rect};
+use dsi_hilbert::{min_dist2_to_range, ranges_in_cell_rect, ranges_in_rect, HcRange, HilbertCurve};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn xy2d_d2xy_roundtrip(order in 1u8..16, seed in any::<u64>()) {
+        let c = HilbertCurve::new(order);
+        let d = seed % (c.max_d() + 1);
+        prop_assert_eq!(c.xy2d(c.d2xy(d)), d);
+    }
+
+    #[test]
+    fn neighbours_along_curve(order in 2u8..10, seed in any::<u64>()) {
+        let c = HilbertCurve::new(order);
+        let d = seed % c.max_d();
+        let a = c.d2xy(d);
+        let b = c.d2xy(d + 1);
+        let manhattan = (a.x as i64 - b.x as i64).abs() + (a.y as i64 - b.y as i64).abs();
+        prop_assert_eq!(manhattan, 1);
+    }
+
+    #[test]
+    fn decomposition_matches_membership(
+        order in 2u8..7,
+        x0 in 0u32..32, y0 in 0u32..32, w in 0u32..16, h in 0u32..16,
+        probe in any::<u64>(),
+    ) {
+        let c = HilbertCurve::new(order);
+        let side = c.side();
+        let lo = Cell::new(x0 % side, y0 % side);
+        let hi = Cell::new((lo.x + w).min(side - 1), (lo.y + h).min(side - 1));
+        let ranges = ranges_in_cell_rect(&c, lo, hi);
+        // Ranges are sorted, disjoint, non-adjacent.
+        for win in ranges.windows(2) {
+            prop_assert!(win[0].hi + 1 < win[1].lo);
+        }
+        // A random cell is in the rectangle iff its d is in some range.
+        let d = probe % (c.max_d() + 1);
+        let cell = c.d2xy(d);
+        let inside = cell.x >= lo.x && cell.x <= hi.x && cell.y >= lo.y && cell.y <= hi.y;
+        let covered = ranges.iter().any(|r| r.contains(d));
+        prop_assert_eq!(inside, covered);
+        // Total length equals the rectangle's area.
+        let total: u64 = ranges.iter().map(|r| r.len()).sum();
+        prop_assert_eq!(total, ((hi.x - lo.x + 1) as u64) * ((hi.y - lo.y + 1) as u64));
+    }
+
+    #[test]
+    fn range_distance_is_exact_lower_bound(
+        order in 2u8..6,
+        qx in -0.5..1.5f64, qy in -0.5..1.5f64,
+        a in any::<u64>(), b in any::<u64>(),
+    ) {
+        let c = HilbertCurve::new(order);
+        let m = GridMapper::unit_square(order);
+        let q = Point::new(qx, qy);
+        let (mut lo, mut hi) = (a % (c.max_d() + 1), b % (c.max_d() + 1));
+        if lo > hi {
+            std::mem::swap(&mut lo, &mut hi);
+        }
+        let range = HcRange::new(lo, hi);
+        let got = min_dist2_to_range(&c, &m, q, range);
+        // Brute force over every cell in the range.
+        let mut want = f64::INFINITY;
+        for d in lo..=hi {
+            want = want.min(m.cell_rect(c.d2xy(d)).min_dist2(q));
+        }
+        prop_assert!((got - want).abs() < 1e-12, "got {got}, want {want}");
+    }
+
+    #[test]
+    fn continuous_window_covers_all_objects(
+        order in 3u8..9,
+        cx in 0.0..1.0f64, cy in 0.0..1.0f64, side in 0.01..0.5f64,
+        px in 0.0..1.0f64, py in 0.0..1.0f64,
+    ) {
+        let c = HilbertCurve::new(order);
+        let m = GridMapper::unit_square(order);
+        let w = Rect::window_in_unit_square(Point::new(cx, cy), side);
+        let ranges = ranges_in_rect(&c, &m, &w);
+        // Any point inside the window has its cell's HC covered.
+        let p = Point::new(px, py);
+        if w.contains(p) {
+            let d = c.xy2d(m.cell_of(p));
+            prop_assert!(ranges.iter().any(|r| r.contains(d)),
+                "point {p:?} in window but HC {d} uncovered");
+        }
+    }
+}

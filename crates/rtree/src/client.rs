@@ -1,0 +1,448 @@
+//! On-air R-tree query processing.
+//!
+//! The client seeds its search by reading the root copy at the next
+//! segment boundary, then processes a pending queue ordered by broadcast
+//! position: pop the earliest item, doze to it, read it, and push whatever
+//! qualifies. Child pointers resolve to the child's next occurrence, so a
+//! child already broadcast this cycle rolls over to the next one — the
+//! branch-and-bound-vs-broadcast-order mismatch of the paper's Figure 1.
+//!
+//! Link errors follow the paper's tree-index analysis: a lost node can
+//! only be re-read at its next occurrence (the next cycle for subtree
+//! nodes, the next covering segment for replicated path nodes), and a lost
+//! root seed means waiting for the next segment boundary.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dsi_broadcast::Tuner;
+use dsi_geom::{dist2, Point, Rect};
+
+use crate::air::{RTreeAir, RtPacket};
+use crate::tree::Children;
+
+/// A pending read, ordered by broadcast position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Item {
+    Node { level: u8, idx: u32 },
+    Object { obj: u32 },
+}
+
+type Pending = BinaryHeap<Reverse<(u64, u8, u32)>>;
+
+/// Encodes an item into the heap key (position, kind, payload) so the heap
+/// needs no trait objects. Kind 0 = node (level in high bits), 1 = object.
+fn push(pending: &mut Pending, pos: u64, item: Item) {
+    match item {
+        Item::Node { level, idx } => pending.push(Reverse((pos, level, idx))),
+        Item::Object { obj } => pending.push(Reverse((pos, u8::MAX, obj))),
+    }
+}
+
+fn decode(kind: u8, payload: u32) -> Item {
+    if kind == u8::MAX {
+        Item::Object { obj: payload }
+    } else {
+        Item::Node {
+            level: kind,
+            idx: payload,
+        }
+    }
+}
+
+impl RTreeAir {
+    /// Reads the root by dozing to segment boundaries until a copy
+    /// survives the channel. Returns the heap seeded with the root.
+    fn seed(&self, tuner: &mut Tuner<'_, RtPacket>) -> Pending {
+        let root_level = (self.tree.height() - 1) as u8;
+        let mut pending = Pending::new();
+        let start = self.next_segment_start(tuner.pos());
+        push(
+            &mut pending,
+            // The root copy heads every segment (or is the first subtree
+            // node when the whole tree is one segment).
+            self.node_next_occurrence(start, root_level, 0),
+            Item::Node {
+                level: root_level,
+                idx: 0,
+            },
+        );
+        pending
+    }
+
+    /// Reads all packets of a node slot; `Err` = lost.
+    fn read_node(&self, tuner: &mut Tuner<'_, RtPacket>, level: u8) -> Result<(), ()> {
+        for _ in 0..self.node_packets(level) {
+            if tuner.read().is_err() {
+                return Err(());
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads an object record; `Err` = some packet lost.
+    fn read_object(&self, tuner: &mut Tuner<'_, RtPacket>) -> Result<(), ()> {
+        for _ in 0..self.config.object_packets() {
+            if tuner.read().is_err() {
+                return Err(());
+            }
+        }
+        Ok(())
+    }
+
+    /// Answers a window query on the air: ids of all objects inside
+    /// `window`, ascending. Metrics accrue on `tuner`.
+    pub fn window_query(&self, tuner: &mut Tuner<'_, RtPacket>, window: &Rect) -> Vec<u32> {
+        let mut result = Vec::new();
+        if !self.tree.root().mbr.intersects(window) {
+            return result;
+        }
+        let mut pending = self.seed(tuner);
+        while let Some(Reverse((pos, kind, payload))) = pending.pop() {
+            match decode(kind, payload) {
+                Item::Node { level, idx } => {
+                    tuner.doze_to(pos);
+                    if self.read_node(tuner, level).is_err() {
+                        // Wait for the node's rebroadcast.
+                        let next = self.node_next_occurrence(tuner.pos(), level, idx);
+                        push(&mut pending, next, Item::Node { level, idx });
+                        continue;
+                    }
+                    let node = &self.tree.levels[level as usize][idx as usize];
+                    match &node.children {
+                        Children::Nodes(kids) => {
+                            for &k in kids {
+                                let child = &self.tree.levels[level as usize - 1][k as usize];
+                                if child.mbr.intersects(window) {
+                                    let at =
+                                        self.node_next_occurrence(tuner.pos(), level - 1, k);
+                                    push(&mut pending, at, Item::Node { level: level - 1, idx: k });
+                                }
+                            }
+                        }
+                        Children::Objects { start, count } => {
+                            for obj in *start..*start + *count {
+                                if window.contains(self.tree.objects[obj as usize].1) {
+                                    let at = self
+                                        .program
+                                        .next_occurrence(tuner.pos(), self.object_pos[obj as usize]);
+                                    push(&mut pending, at, Item::Object { obj });
+                                }
+                            }
+                        }
+                    }
+                }
+                Item::Object { obj } => {
+                    tuner.doze_to(pos);
+                    if self.read_object(tuner).is_ok() {
+                        result.push(self.tree.objects[obj as usize].0);
+                    } else {
+                        let next = self
+                            .program
+                            .next_occurrence(tuner.pos(), self.object_pos[obj as usize]);
+                        push(&mut pending, next, Item::Object { obj });
+                    }
+                }
+            }
+        }
+        result.sort_unstable();
+        result
+    }
+
+    /// Answers a kNN query on the air: ids of the `k` nearest objects to
+    /// `q` (ties by id), ascending. Metrics accrue on `tuner`.
+    pub fn knn_query(&self, tuner: &mut Tuner<'_, RtPacket>, q: Point, k: usize) -> Vec<u32> {
+        let k = k.min(self.tree.objects.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut cands = RtCandidates::new(k);
+        let root_level = (self.tree.height() - 1) as u8;
+        cands.add_virtual(
+            Item::Node {
+                level: root_level,
+                idx: 0,
+            },
+            self.tree.root().mbr.max_dist2(q),
+        );
+        let mut pending = self.seed(tuner);
+        while let Some(Reverse((pos, kind, payload))) = pending.pop() {
+            let item = decode(kind, payload);
+            // Prune anything provably outside the search space.
+            let min2 = match item {
+                Item::Node { level, idx } => {
+                    self.tree.levels[level as usize][idx as usize].mbr.min_dist2(q)
+                }
+                Item::Object { obj } => dist2(q, self.tree.objects[obj as usize].1),
+            };
+            if min2 > cands.r2() {
+                cands.remove(item);
+                continue;
+            }
+            match item {
+                Item::Node { level, idx } => {
+                    tuner.doze_to(pos);
+                    if self.read_node(tuner, level).is_err() {
+                        let next = self.node_next_occurrence(tuner.pos(), level, idx);
+                        push(&mut pending, next, Item::Node { level, idx });
+                        continue;
+                    }
+                    // Expanded: the node's virtual is replaced by its
+                    // children's (disjoint subtrees keep candidates
+                    // distinct).
+                    cands.remove(item);
+                    let node = &self.tree.levels[level as usize][idx as usize];
+                    match &node.children {
+                        Children::Nodes(kids) => {
+                            for &k in kids {
+                                let child = &self.tree.levels[level as usize - 1][k as usize];
+                                if child.mbr.min_dist2(q) <= cands.r2() {
+                                    let it = Item::Node {
+                                        level: level - 1,
+                                        idx: k,
+                                    };
+                                    cands.add_virtual(it, child.mbr.max_dist2(q));
+                                    let at =
+                                        self.node_next_occurrence(tuner.pos(), level - 1, k);
+                                    push(&mut pending, at, it);
+                                }
+                            }
+                        }
+                        Children::Objects { start, count } => {
+                            for obj in *start..*start + *count {
+                                let (_, p) = self.tree.objects[obj as usize];
+                                let d2 = dist2(q, p);
+                                if d2 <= cands.r2() {
+                                    let it = Item::Object { obj };
+                                    cands.add_exact(it, d2);
+                                    let at = self
+                                        .program
+                                        .next_occurrence(tuner.pos(), self.object_pos[obj as usize]);
+                                    push(&mut pending, at, it);
+                                }
+                            }
+                        }
+                    }
+                }
+                Item::Object { obj } => {
+                    tuner.doze_to(pos);
+                    if self.read_object(tuner).is_ok() {
+                        cands.mark_retrieved(Item::Object { obj });
+                    } else {
+                        let next = self
+                            .program
+                            .next_occurrence(tuner.pos(), self.object_pos[obj as usize]);
+                        push(&mut pending, next, Item::Object { obj });
+                    }
+                }
+            }
+        }
+        cands.result_ids(&self.tree)
+    }
+}
+
+/// Candidate bookkeeping for the air R-tree kNN: one virtual candidate per
+/// pending (unexpanded) node — every unexpanded subtree holds at least one
+/// object within its MBR's max-distance — plus exact candidates for leaf
+/// entries. Subtrees in the pending set are disjoint and disjoint from all
+/// seen leaf entries, so candidates always denote distinct objects.
+struct RtCandidates {
+    k: usize,
+    /// (key, upper bound, exact distance or NaN, retrieved)
+    entries: std::collections::HashMap<(u8, u32), CandState>,
+    r2_cache: std::cell::Cell<f64>,
+    dirty: std::cell::Cell<bool>,
+}
+
+#[derive(Clone, Copy)]
+struct CandState {
+    ub2: f64,
+    d2: f64,
+    retrieved: bool,
+}
+
+fn key_of(item: Item) -> (u8, u32) {
+    match item {
+        Item::Node { level, idx } => (level, idx),
+        Item::Object { obj } => (u8::MAX, obj),
+    }
+}
+
+impl RtCandidates {
+    fn new(k: usize) -> Self {
+        Self {
+            k,
+            entries: std::collections::HashMap::new(),
+            r2_cache: std::cell::Cell::new(f64::INFINITY),
+            dirty: std::cell::Cell::new(true),
+        }
+    }
+
+    fn r2(&self) -> f64 {
+        if self.dirty.get() {
+            let v = if self.entries.len() < self.k {
+                f64::INFINITY
+            } else {
+                let mut ubs: Vec<f64> = self.entries.values().map(|c| c.ub2).collect();
+                let (_, kth, _) = ubs.select_nth_unstable_by(self.k - 1, |a, b| {
+                    a.partial_cmp(b).expect("bounds are never NaN")
+                });
+                *kth
+            };
+            self.r2_cache.set(v);
+            self.dirty.set(false);
+        }
+        self.r2_cache.get()
+    }
+
+    fn add_virtual(&mut self, item: Item, ub2: f64) {
+        self.entries.insert(
+            key_of(item),
+            CandState {
+                ub2,
+                d2: f64::NAN,
+                retrieved: false,
+            },
+        );
+        self.dirty.set(true);
+    }
+
+    fn add_exact(&mut self, item: Item, d2: f64) {
+        self.entries.insert(
+            key_of(item),
+            CandState {
+                ub2: d2,
+                d2,
+                retrieved: false,
+            },
+        );
+        self.dirty.set(true);
+    }
+
+    fn remove(&mut self, item: Item) {
+        if self.entries.remove(&key_of(item)).is_some() {
+            self.dirty.set(true);
+        }
+    }
+
+    fn mark_retrieved(&mut self, item: Item) {
+        if let Some(c) = self.entries.get_mut(&key_of(item)) {
+            c.retrieved = true;
+        }
+    }
+
+    /// Final answer: k nearest retrieved objects (distance, then id).
+    fn result_ids(&self, tree: &crate::tree::RTree) -> Vec<u32> {
+        let mut retr: Vec<(f64, u32)> = self
+            .entries
+            .iter()
+            .filter(|(&(kind, _), c)| kind == u8::MAX && c.retrieved)
+            .map(|(&(_, obj), c)| (c.d2, tree.objects[obj as usize].0))
+            .collect();
+        retr.sort_unstable_by(|a, b| a.partial_cmp(b).expect("distances are never NaN"));
+        let mut ids: Vec<u32> = retr.into_iter().take(self.k).map(|(_, id)| id).collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::air::RtreeAirConfig;
+    use dsi_broadcast::LossModel;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn points(n: usize, seed: u64) -> Vec<(u32, Point)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n as u32)
+            .map(|id| (id, Point::new(rng.gen(), rng.gen())))
+            .collect()
+    }
+
+    fn brute_window(pts: &[(u32, Point)], w: &Rect) -> Vec<u32> {
+        let mut v: Vec<u32> = pts.iter().filter(|(_, p)| w.contains(*p)).map(|(id, _)| *id).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn brute_knn(pts: &[(u32, Point)], q: Point, k: usize) -> Vec<u32> {
+        let mut v: Vec<(f64, u32)> = pts.iter().map(|&(id, p)| (dist2(q, p), id)).collect();
+        v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let mut ids: Vec<u32> = v.into_iter().take(k).map(|(_, id)| id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn window_matches_brute_force() {
+        let pts = points(500, 11);
+        for cap in [64u32, 128, 512] {
+            let air = RTreeAir::build(&pts, RtreeAirConfig::new(cap));
+            let mut rng = StdRng::seed_from_u64(5);
+            for i in 0..20 {
+                let c = Point::new(rng.gen(), rng.gen());
+                let w = Rect::window_in_unit_square(c, 0.3);
+                let start = (i * 9973) % air.program().len();
+                let mut t = Tuner::tune_in(air.program(), start, LossModel::None, i);
+                assert_eq!(air.window_query(&mut t, &w), brute_window(&pts, &w), "cap {cap}");
+                let s = t.stats();
+                assert!(s.latency_packets <= 3 * air.program().len());
+            }
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let pts = points(500, 13);
+        for cap in [64u32, 256] {
+            let air = RTreeAir::build(&pts, RtreeAirConfig::new(cap));
+            let mut rng = StdRng::seed_from_u64(6);
+            for i in 0..15 {
+                let q = Point::new(rng.gen(), rng.gen());
+                for k in [1usize, 5, 10] {
+                    let start = (i * 7919) % air.program().len();
+                    let mut t = Tuner::tune_in(air.program(), start, LossModel::None, i);
+                    assert_eq!(air.knn_query(&mut t, q, k), brute_knn(&pts, q, k), "cap {cap} k {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queries_survive_loss() {
+        let pts = points(300, 17);
+        let air = RTreeAir::build(&pts, RtreeAirConfig::new(64));
+        let mut rng = StdRng::seed_from_u64(8);
+        for i in 0..10 {
+            let c = Point::new(rng.gen(), rng.gen());
+            let w = Rect::window_in_unit_square(c, 0.25);
+            let mut t = Tuner::tune_in(air.program(), i * 131, LossModel::iid(0.4), i);
+            assert_eq!(air.window_query(&mut t, &w), brute_window(&pts, &w));
+            let q = Point::new(rng.gen(), rng.gen());
+            let mut t = Tuner::tune_in(air.program(), i * 131, LossModel::iid(0.4), i);
+            assert_eq!(air.knn_query(&mut t, q, 5), brute_knn(&pts, q, 5));
+        }
+    }
+
+    #[test]
+    fn empty_window_costs_one_root_read() {
+        let pts = points(200, 19);
+        let air = RTreeAir::build(&pts, RtreeAirConfig::new(64));
+        let mut t = Tuner::tune_in(air.program(), 3, LossModel::None, 1);
+        // Window outside the root MBR: answered without any reads.
+        let got = air.window_query(&mut t, &Rect::new(2.0, 2.0, 3.0, 3.0));
+        assert!(got.is_empty());
+        assert_eq!(t.stats().tuning_packets, 0);
+    }
+
+    #[test]
+    fn k_equals_n() {
+        let pts = points(50, 23);
+        let air = RTreeAir::build(&pts, RtreeAirConfig::new(128));
+        let mut t = Tuner::tune_in(air.program(), 0, LossModel::None, 1);
+        let got = air.knn_query(&mut t, Point::new(0.5, 0.5), 50);
+        assert_eq!(got.len(), 50);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for the R-tree baseline: STR invariants and on-air query
+//! correctness.
+
+use dsi_broadcast::{LossModel, Tuner};
+use dsi_geom::{dist2, Point, Rect};
+use dsi_rtree::{str_pack, RTreeAir, RtreeAirConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn points(n: usize, seed: u64) -> Vec<(u32, Point)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n as u32)
+        .map(|id| (id, Point::new(rng.gen(), rng.gen())))
+        .collect()
+}
+
+fn brute_window(pts: &[(u32, Point)], w: &Rect) -> Vec<u32> {
+    let mut v: Vec<u32> = pts
+        .iter()
+        .filter(|(_, p)| w.contains(*p))
+        .map(|(id, _)| *id)
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn brute_knn(pts: &[(u32, Point)], q: Point, k: usize) -> Vec<u32> {
+    let mut v: Vec<(f64, u32)> = pts.iter().map(|&(id, p)| (dist2(q, p), id)).collect();
+    v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let mut ids: Vec<u32> = v.into_iter().take(k).map(|(_, id)| id).collect();
+    ids.sort_unstable();
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn str_invariants_hold(n in 1usize..300, seed in any::<u64>(), lf in 2u32..12, nf in 2u32..12) {
+        let t = str_pack(&points(n, seed), lf, nf);
+        t.validate();
+    }
+
+    #[test]
+    fn air_window_matches_brute(
+        n in 10usize..150, seed in any::<u64>(),
+        cap in prop_oneof![Just(64u32), Just(128), Just(512)],
+        start_seed in any::<u64>(),
+        cx in 0.0..1.0f64, cy in 0.0..1.0f64, side in 0.05..0.6f64,
+        theta in prop_oneof![Just(0.0f64), Just(0.3)],
+    ) {
+        let pts = points(n, seed);
+        let air = RTreeAir::build(&pts, RtreeAirConfig::new(cap));
+        let w = Rect::window_in_unit_square(Point::new(cx, cy), side);
+        let start = start_seed % air.program().len();
+        let mut t = Tuner::tune_in(air.program(), start, LossModel::iid(theta), start_seed);
+        prop_assert_eq!(air.window_query(&mut t, &w), brute_window(&pts, &w));
+    }
+
+    #[test]
+    fn air_knn_matches_brute(
+        n in 10usize..150, seed in any::<u64>(),
+        start_seed in any::<u64>(),
+        qx in 0.0..1.0f64, qy in 0.0..1.0f64, k in 1usize..10,
+        theta in prop_oneof![Just(0.0f64), Just(0.3)],
+    ) {
+        let pts = points(n, seed);
+        let air = RTreeAir::build(&pts, RtreeAirConfig::new(64));
+        let q = Point::new(qx, qy);
+        let start = start_seed % air.program().len();
+        let mut t = Tuner::tune_in(air.program(), start, LossModel::iid(theta), start_seed);
+        prop_assert_eq!(air.knn_query(&mut t, q, k), brute_knn(&pts, q, k.min(n)));
+    }
+}

@@ -1,0 +1,162 @@
+//! Scheme-agnostic query engines.
+
+use dsi_bptree::{BpAir, BpAirConfig};
+use dsi_broadcast::{LossModel, QueryStats, Tuner};
+use dsi_core::{DsiAir, DsiConfig, KnnStrategy};
+use dsi_datagen::SpatialDataset;
+use dsi_geom::{Point, Rect};
+use dsi_rtree::{RTreeAir, RtreeAirConfig};
+
+/// Which air index to build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scheme {
+    /// DSI with a full configuration and a kNN strategy.
+    Dsi(DsiConfig, KnnStrategy),
+    /// STR-packed R-tree with the distributed layout.
+    RTree,
+    /// HCI: B+-tree over HC values.
+    Hci,
+}
+
+impl Scheme {
+    /// The paper's main DSI configuration (two-segment reorganized
+    /// broadcast, conservative navigation) at a given capacity.
+    pub fn dsi_reorganized(capacity: u32) -> Self {
+        Scheme::Dsi(
+            DsiConfig::paper_reorganized().with_capacity(capacity),
+            KnnStrategy::Conservative,
+        )
+    }
+
+    /// DSI on the original ascending-HC broadcast.
+    pub fn dsi_original(capacity: u32, strategy: KnnStrategy) -> Self {
+        Scheme::Dsi(
+            DsiConfig::paper_default().with_capacity(capacity),
+            strategy,
+        )
+    }
+}
+
+/// A built broadcast with its on-air query algorithms.
+pub enum Engine {
+    /// DSI broadcast.
+    Dsi(Box<DsiAir>, KnnStrategy),
+    /// R-tree broadcast.
+    RTree(Box<RTreeAir>),
+    /// HCI broadcast.
+    Hci(Box<BpAir>),
+}
+
+impl Engine {
+    /// Builds the broadcast program for `scheme` at `capacity` bytes.
+    pub fn build(scheme: Scheme, dataset: &SpatialDataset, capacity: u32) -> Self {
+        match scheme {
+            Scheme::Dsi(cfg, strat) => {
+                let cfg = cfg.with_capacity(capacity);
+                Engine::Dsi(Box::new(DsiAir::build(dataset, cfg)), strat)
+            }
+            Scheme::RTree => {
+                let pts: Vec<(u32, Point)> =
+                    dataset.objects().iter().map(|o| (o.id, o.pos)).collect();
+                Engine::RTree(Box::new(RTreeAir::build(&pts, RtreeAirConfig::new(capacity))))
+            }
+            Scheme::Hci => Engine::Hci(Box::new(BpAir::build(dataset, BpAirConfig::new(capacity)))),
+        }
+    }
+
+    /// Packets per broadcast cycle.
+    pub fn cycle_packets(&self) -> u64 {
+        match self {
+            Engine::Dsi(a, _) => a.program().len(),
+            Engine::RTree(a) => a.program().len(),
+            Engine::Hci(a) => a.program().len(),
+        }
+    }
+
+    /// Bytes per broadcast cycle.
+    pub fn cycle_bytes(&self) -> u64 {
+        match self {
+            Engine::Dsi(a, _) => a.program().cycle_bytes(),
+            Engine::RTree(a) => a.program().cycle_bytes(),
+            Engine::Hci(a) => a.program().cycle_bytes(),
+        }
+    }
+
+    /// Runs one window query from tune-in packet `start`.
+    pub fn window(
+        &self,
+        start: u64,
+        loss: LossModel,
+        seed: u64,
+        w: &Rect,
+    ) -> (Vec<u32>, QueryStats) {
+        match self {
+            Engine::Dsi(a, _) => {
+                let mut t = Tuner::tune_in(a.program(), start, loss, seed);
+                (a.window_query(&mut t, w), t.stats())
+            }
+            Engine::RTree(a) => {
+                let mut t = Tuner::tune_in(a.program(), start, loss, seed);
+                (a.window_query(&mut t, w), t.stats())
+            }
+            Engine::Hci(a) => {
+                let mut t = Tuner::tune_in(a.program(), start, loss, seed);
+                (a.window_query(&mut t, w), t.stats())
+            }
+        }
+    }
+
+    /// Runs one kNN query from tune-in packet `start`.
+    pub fn knn(
+        &self,
+        start: u64,
+        loss: LossModel,
+        seed: u64,
+        q: Point,
+        k: usize,
+    ) -> (Vec<u32>, QueryStats) {
+        match self {
+            Engine::Dsi(a, strat) => {
+                let mut t = Tuner::tune_in(a.program(), start, loss, seed);
+                (a.knn_query(&mut t, q, k, *strat), t.stats())
+            }
+            Engine::RTree(a) => {
+                let mut t = Tuner::tune_in(a.program(), start, loss, seed);
+                (a.knn_query(&mut t, q, k), t.stats())
+            }
+            Engine::Hci(a) => {
+                let mut t = Tuner::tune_in(a.program(), start, loss, seed);
+                (a.knn_query(&mut t, q, k), t.stats())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform_dataset_n;
+
+    #[test]
+    fn all_engines_answer_identically() {
+        let ds = uniform_dataset_n(300);
+        let w = Rect::new(0.2, 0.2, 0.5, 0.55);
+        let q = Point::new(0.4, 0.3);
+        let want_w = ds.brute_window(&w);
+        let want_k = ds.brute_knn(q, 7);
+        for scheme in [
+            Scheme::dsi_reorganized(64),
+            Scheme::dsi_original(64, KnnStrategy::Aggressive),
+            Scheme::RTree,
+            Scheme::Hci,
+        ] {
+            let e = Engine::build(scheme, &ds, 64);
+            let (got_w, sw) = e.window(17, LossModel::None, 5, &w);
+            assert_eq!(got_w, want_w);
+            assert!(sw.tuning_packets <= sw.latency_packets);
+            let (got_k, sk) = e.knn(17, LossModel::None, 5, q, 7);
+            assert_eq!(got_k, want_k);
+            assert!(sk.tuning_packets <= sk.latency_packets);
+        }
+    }
+}

@@ -1,0 +1,594 @@
+//! One function per paper artefact (figures 8–12, Table 1, the REAL
+//! summaries, and extension ablations).
+//!
+//! Every function builds the relevant broadcast programs, runs seeded
+//! workloads through [`crate::runner`], validates the answers, and returns
+//! [`Table`]s shaped like the paper's panels: the x-axis in the first
+//! column, one series per curve.
+
+use dsi_broadcast::LossModel;
+use dsi_core::{DsiConfig, KnnStrategy, ReorgStyle};
+use dsi_datagen::{knn_points, window_queries, SpatialDataset};
+
+use crate::engine::{Engine, Scheme};
+use crate::runner::{run_knn_batch, run_window_batch, BatchOptions, BatchResult};
+use crate::table::{fmt_bytes, fmt_pct, Table};
+use crate::{real_dataset, uniform_dataset, uniform_dataset_n};
+
+/// Packet capacities swept by the paper (bytes).
+pub const CAPACITIES: [u32; 5] = [32, 64, 128, 256, 512];
+/// Capacities at which the R-tree exists (an internal entry does not fit a
+/// 32-byte packet; paper §4).
+pub const RTREE_CAPACITIES: [u32; 4] = [64, 128, 256, 512];
+/// The paper's default window side ratio.
+pub const DEFAULT_RATIO: f64 = 0.1;
+/// The paper's default k.
+pub const DEFAULT_K: usize = 10;
+
+/// Global experiment options.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpOptions {
+    /// Queries per measured point.
+    pub n_queries: usize,
+    /// Dataset size (10,000 reproduces the paper; smaller for smoke runs).
+    pub dataset_n: usize,
+    /// Validate every answer against brute force.
+    pub validate: bool,
+}
+
+impl ExpOptions {
+    /// Paper-scale defaults, overridable via `DSI_QUERIES` / `DSI_N` /
+    /// `DSI_VALIDATE=0` environment variables.
+    pub fn from_env() -> Self {
+        let n_queries = std::env::var("DSI_QUERIES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200);
+        let dataset_n = std::env::var("DSI_N")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10_000);
+        let validate = std::env::var("DSI_VALIDATE").map(|v| v != "0").unwrap_or(true);
+        Self {
+            n_queries,
+            dataset_n,
+            validate,
+        }
+    }
+
+    /// Tiny configuration for tests.
+    pub fn smoke() -> Self {
+        Self {
+            n_queries: 6,
+            dataset_n: 400,
+            validate: true,
+        }
+    }
+
+    fn dataset(&self) -> SpatialDataset {
+        if self.dataset_n == 10_000 {
+            uniform_dataset()
+        } else {
+            uniform_dataset_n(self.dataset_n)
+        }
+    }
+
+    fn batch(&self) -> BatchOptions {
+        BatchOptions {
+            loss: LossModel::None,
+            seed: 7,
+            validate: self.validate,
+        }
+    }
+}
+
+fn series_tables(
+    title_latency: &str,
+    title_tuning: &str,
+    x_label: &str,
+    xs: &[String],
+    series: &[(String, Vec<Option<BatchResult>>)],
+) -> (Table, Table) {
+    let mut cols = vec![x_label.to_string()];
+    cols.extend(series.iter().map(|(name, _)| name.clone()));
+    let mut lat = Table::new(title_latency, cols.clone());
+    let mut tun = Table::new(title_tuning, cols);
+    for (i, x) in xs.iter().enumerate() {
+        let mut lrow = vec![x.clone()];
+        let mut trow = vec![x.clone()];
+        for (_, results) in series {
+            match &results[i] {
+                Some(r) => {
+                    lrow.push(fmt_bytes(r.latency_bytes));
+                    trow.push(fmt_bytes(r.tuning_bytes));
+                }
+                None => {
+                    lrow.push("-".to_string());
+                    trow.push("-".to_string());
+                }
+            }
+        }
+        lat.push_row(lrow);
+        tun.push_row(trow);
+    }
+    (lat, tun)
+}
+
+/// Figure 8 — broadcast reorganization (UNIFORM): window latency/tuning of
+/// the original vs reorganized DSI broadcast, and 10NN latency/tuning of
+/// reorganized vs conservative vs aggressive.
+pub fn fig8(opts: &ExpOptions) -> Vec<Table> {
+    let ds = opts.dataset();
+    let windows = window_queries(opts.n_queries, DEFAULT_RATIO, 11);
+    let points = knn_points(opts.n_queries, 13);
+    let batch = opts.batch();
+    let xs: Vec<String> = CAPACITIES.iter().map(|c| c.to_string()).collect();
+
+    let mut win_orig = Vec::new();
+    let mut win_reorg = Vec::new();
+    let mut knn_cons = Vec::new();
+    let mut knn_aggr = Vec::new();
+    let mut knn_reorg = Vec::new();
+    for &cap in &CAPACITIES {
+        let orig = Engine::build(
+            Scheme::dsi_original(cap, KnnStrategy::Conservative),
+            &ds,
+            cap,
+        );
+        let reorg = Engine::build(Scheme::dsi_reorganized(cap), &ds, cap);
+        win_orig.push(Some(run_window_batch(&orig, &ds, &windows, &batch)));
+        win_reorg.push(Some(run_window_batch(&reorg, &ds, &windows, &batch)));
+        knn_cons.push(Some(run_knn_batch(&orig, &ds, &points, DEFAULT_K, &batch)));
+        let aggr = Engine::build(
+            Scheme::dsi_original(cap, KnnStrategy::Aggressive),
+            &ds,
+            cap,
+        );
+        knn_aggr.push(Some(run_knn_batch(&aggr, &ds, &points, DEFAULT_K, &batch)));
+        knn_reorg.push(Some(run_knn_batch(&reorg, &ds, &points, DEFAULT_K, &batch)));
+    }
+    let (a, b) = series_tables(
+        "Figure 8(a) — window access latency, bytes (UNIFORM)",
+        "Figure 8(b) — window tuning time, bytes (UNIFORM)",
+        "capacity",
+        &xs,
+        &[
+            ("Original".into(), win_orig),
+            ("Reorganized".into(), win_reorg),
+        ],
+    );
+    let (c, d) = series_tables(
+        "Figure 8(c) — 10NN access latency, bytes (UNIFORM)",
+        "Figure 8(d) — 10NN tuning time, bytes (UNIFORM)",
+        "capacity",
+        &xs,
+        &[
+            ("Conservative".into(), knn_cons),
+            ("Aggressive".into(), knn_aggr),
+            ("Reorganized".into(), knn_reorg),
+        ],
+    );
+    vec![a, b, c, d]
+}
+
+fn three_scheme_sweep(
+    ds: &SpatialDataset,
+    caps: &[u32],
+    batch: &BatchOptions,
+    mut run: impl FnMut(&Engine, &BatchOptions) -> BatchResult,
+) -> Vec<(String, Vec<Option<BatchResult>>)> {
+    let mut dsi = Vec::new();
+    let mut rtree = Vec::new();
+    let mut hci = Vec::new();
+    for &cap in caps {
+        let e = Engine::build(Scheme::dsi_reorganized(cap), ds, cap);
+        dsi.push(Some(run(&e, batch)));
+        if RTREE_CAPACITIES.contains(&cap) {
+            let e = Engine::build(Scheme::RTree, ds, cap);
+            rtree.push(Some(run(&e, batch)));
+        } else {
+            rtree.push(None);
+        }
+        let e = Engine::build(Scheme::Hci, ds, cap);
+        hci.push(Some(run(&e, batch)));
+    }
+    vec![
+        ("DSI".into(), dsi),
+        ("R-tree".into(), rtree),
+        ("HCI".into(), hci),
+    ]
+}
+
+/// Figure 9 — window queries vs packet capacity (UNIFORM), DSI vs R-tree
+/// vs HCI.
+pub fn fig9(opts: &ExpOptions) -> Vec<Table> {
+    let ds = opts.dataset();
+    let windows = window_queries(opts.n_queries, DEFAULT_RATIO, 11);
+    let batch = opts.batch();
+    let series = three_scheme_sweep(&ds, &CAPACITIES, &batch, |e, b| {
+        run_window_batch(e, &ds, &windows, b)
+    });
+    let xs: Vec<String> = CAPACITIES.iter().map(|c| c.to_string()).collect();
+    let (a, b) = series_tables(
+        "Figure 9(a) — window access latency, bytes (UNIFORM)",
+        "Figure 9(b) — window tuning time, bytes (UNIFORM)",
+        "capacity",
+        &xs,
+        &series,
+    );
+    vec![a, b]
+}
+
+/// Figure 10 — window queries vs WinSideRatio at 64-byte packets.
+pub fn fig10(opts: &ExpOptions) -> Vec<Table> {
+    let ds = opts.dataset();
+    let batch = opts.batch();
+    let ratios = [0.02, 0.05, 0.1, 0.15, 0.2];
+    let engines = [
+        ("DSI", Engine::build(Scheme::dsi_reorganized(64), &ds, 64)),
+        ("R-tree", Engine::build(Scheme::RTree, &ds, 64)),
+        ("HCI", Engine::build(Scheme::Hci, &ds, 64)),
+    ];
+    let mut series: Vec<(String, Vec<Option<BatchResult>>)> = engines
+        .iter()
+        .map(|(n, _)| (n.to_string(), Vec::new()))
+        .collect();
+    for &ratio in &ratios {
+        let windows = window_queries(opts.n_queries, ratio, 11);
+        for (si, (_, e)) in engines.iter().enumerate() {
+            series[si].1.push(Some(run_window_batch(e, &ds, &windows, &batch)));
+        }
+    }
+    let xs: Vec<String> = ratios.iter().map(|r| r.to_string()).collect();
+    let (a, b) = series_tables(
+        "Figure 10(a) — window access latency vs WinSideRatio, bytes (UNIFORM, 64 B)",
+        "Figure 10(b) — window tuning time vs WinSideRatio, bytes (UNIFORM, 64 B)",
+        "ratio",
+        &xs,
+        &series,
+    );
+    vec![a, b]
+}
+
+/// Figure 11 — kNN (k = 1 and k = 10) vs packet capacity (UNIFORM).
+pub fn fig11(opts: &ExpOptions) -> Vec<Table> {
+    let ds = opts.dataset();
+    let points = knn_points(opts.n_queries, 13);
+    let batch = opts.batch();
+    let xs: Vec<String> = RTREE_CAPACITIES.iter().map(|c| c.to_string()).collect();
+    let mut tables = Vec::new();
+    for (k, label) in [(1usize, "NN"), (10, "10NN")] {
+        let series = three_scheme_sweep(&ds, &RTREE_CAPACITIES, &batch, |e, b| {
+            run_knn_batch(e, &ds, &points, k, b)
+        });
+        let (a, b) = series_tables(
+            &format!("Figure 11 — {label} access latency, bytes (UNIFORM)"),
+            &format!("Figure 11 — {label} tuning time, bytes (UNIFORM)"),
+            "capacity",
+            &xs,
+            &series,
+        );
+        tables.push(a);
+        tables.push(b);
+    }
+    tables
+}
+
+/// Figure 12 — kNN vs k at 64-byte packets (UNIFORM).
+pub fn fig12(opts: &ExpOptions) -> Vec<Table> {
+    let ds = opts.dataset();
+    let points = knn_points(opts.n_queries, 13);
+    let batch = opts.batch();
+    let ks = [1usize, 3, 5, 10, 20, 30];
+    let engines = [
+        ("DSI", Engine::build(Scheme::dsi_reorganized(64), &ds, 64)),
+        ("R-tree", Engine::build(Scheme::RTree, &ds, 64)),
+        ("HCI", Engine::build(Scheme::Hci, &ds, 64)),
+    ];
+    let mut series: Vec<(String, Vec<Option<BatchResult>>)> = engines
+        .iter()
+        .map(|(n, _)| (n.to_string(), Vec::new()))
+        .collect();
+    for &k in &ks {
+        for (si, (_, e)) in engines.iter().enumerate() {
+            series[si].1.push(Some(run_knn_batch(e, &ds, &points, k, &batch)));
+        }
+    }
+    let xs: Vec<String> = ks.iter().map(|k| k.to_string()).collect();
+    let (a, b) = series_tables(
+        "Figure 12(a) — kNN access latency vs k, bytes (UNIFORM, 64 B)",
+        "Figure 12(b) — kNN tuning time vs k, bytes (UNIFORM, 64 B)",
+        "k",
+        &xs,
+        &series,
+    );
+    vec![a, b]
+}
+
+/// Table 1 — performance deterioration under link errors (θ ∈ {0.2, 0.5,
+/// 0.7}) relative to the lossless channel, for window and 10NN queries.
+pub fn table1(opts: &ExpOptions) -> Vec<Table> {
+    let ds = opts.dataset();
+    let windows = window_queries(opts.n_queries, DEFAULT_RATIO, 11);
+    let points = knn_points(opts.n_queries, 13);
+    let thetas = [0.2, 0.5, 0.7];
+    let mut t = Table::new(
+        "Table 1 — deterioration vs lossless channel (UNIFORM, 64 B)",
+        vec![
+            "index".into(),
+            "theta".into(),
+            "win latency".into(),
+            "win tuning".into(),
+            "10NN latency".into(),
+            "10NN tuning".into(),
+        ],
+    );
+    for (name, scheme) in [
+        ("HCI", Scheme::Hci),
+        ("R-tree", Scheme::RTree),
+        ("DSI", Scheme::dsi_reorganized(64)),
+    ] {
+        let engine = Engine::build(scheme, &ds, 64);
+        let base_opts = opts.batch();
+        let base_w = run_window_batch(&engine, &ds, &windows, &base_opts);
+        let base_k = run_knn_batch(&engine, &ds, &points, DEFAULT_K, &base_opts);
+        for &theta in &thetas {
+            let lossy = BatchOptions {
+                loss: LossModel::iid(theta),
+                ..base_opts
+            };
+            let w = run_window_batch(&engine, &ds, &windows, &lossy);
+            let k = run_knn_batch(&engine, &ds, &points, DEFAULT_K, &lossy);
+            let pct = |lossy: f64, base: f64| fmt_pct((lossy / base - 1.0) * 100.0);
+            t.push_row(vec![
+                name.to_string(),
+                format!("{theta}"),
+                pct(w.latency_bytes, base_w.latency_bytes),
+                pct(w.tuning_bytes, base_w.tuning_bytes),
+                pct(k.latency_bytes, base_k.latency_bytes),
+                pct(k.tuning_bytes, base_k.tuning_bytes),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// REAL-dataset summaries quoted in the paper's §4.2/§4.3 text: window and
+/// kNN metrics of the three schemes on the clustered surrogate, plus the
+/// DSI/baseline ratios.
+pub fn real_summary(opts: &ExpOptions) -> Vec<Table> {
+    let ds = if opts.dataset_n == 10_000 {
+        real_dataset()
+    } else {
+        // Scale the surrogate down with the smoke dataset size.
+        SpatialDataset::build(
+            &dsi_datagen::clustered(opts.dataset_n, 64, 4242),
+            crate::EVAL_ORDER,
+        )
+    };
+    let windows = window_queries(opts.n_queries, DEFAULT_RATIO, 11);
+    let points = knn_points(opts.n_queries, 13);
+    let batch = opts.batch();
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for (name, scheme) in [
+        ("DSI", Scheme::dsi_reorganized(64)),
+        ("R-tree", Scheme::RTree),
+        ("HCI", Scheme::Hci),
+    ] {
+        let e = Engine::build(scheme, &ds, 64);
+        let w = run_window_batch(&e, &ds, &windows, &batch);
+        let k = run_knn_batch(&e, &ds, &points, DEFAULT_K, &batch);
+        results.push((name, w, k));
+    }
+    for (name, w, k) in &results {
+        rows.push(vec![
+            name.to_string(),
+            fmt_bytes(w.latency_bytes),
+            fmt_bytes(w.tuning_bytes),
+            fmt_bytes(k.latency_bytes),
+            fmt_bytes(k.tuning_bytes),
+        ]);
+    }
+    let mut t = Table::new(
+        "REAL surrogate (clustered, 5,848 points unless scaled) — 64 B packets",
+        vec![
+            "index".into(),
+            "win latency".into(),
+            "win tuning".into(),
+            "10NN latency".into(),
+            "10NN tuning".into(),
+        ],
+    );
+    for r in rows {
+        t.push_row(r);
+    }
+    let (dsi, rt, hci) = (&results[0], &results[1], &results[2]);
+    let mut ratios = Table::new(
+        "REAL surrogate — DSI as a fraction of each baseline (paper §4.2/4.3 quotes)",
+        vec![
+            "metric".into(),
+            "DSI/R-tree".into(),
+            "DSI/HCI".into(),
+        ],
+    );
+    let frac = |a: f64, b: f64| fmt_pct(a / b * 100.0);
+    ratios.push_row(vec![
+        "win latency".into(),
+        frac(dsi.1.latency_bytes, rt.1.latency_bytes),
+        frac(dsi.1.latency_bytes, hci.1.latency_bytes),
+    ]);
+    ratios.push_row(vec![
+        "win tuning".into(),
+        frac(dsi.1.tuning_bytes, rt.1.tuning_bytes),
+        frac(dsi.1.tuning_bytes, hci.1.tuning_bytes),
+    ]);
+    ratios.push_row(vec![
+        "10NN latency".into(),
+        frac(dsi.2.latency_bytes, rt.2.latency_bytes),
+        frac(dsi.2.latency_bytes, hci.2.latency_bytes),
+    ]);
+    ratios.push_row(vec![
+        "10NN tuning".into(),
+        frac(dsi.2.tuning_bytes, rt.2.tuning_bytes),
+        frac(dsi.2.tuning_bytes, hci.2.tuning_bytes),
+    ]);
+    vec![t, ratios]
+}
+
+/// Extension ablations called out in DESIGN.md: index base r, segment
+/// count m, interleave style, and the loss-scope model.
+pub fn ablations(opts: &ExpOptions) -> Vec<Table> {
+    let ds = opts.dataset();
+    let windows = window_queries(opts.n_queries, DEFAULT_RATIO, 11);
+    let points = knn_points(opts.n_queries, 13);
+    let batch = opts.batch();
+    let mut tables = Vec::new();
+
+    // Index base r.
+    let mut t = Table::new(
+        "Ablation — index base r (DSI reorganized, 64 B)",
+        vec![
+            "r".into(),
+            "win latency".into(),
+            "win tuning".into(),
+            "10NN latency".into(),
+            "10NN tuning".into(),
+        ],
+    );
+    for r in [2u32, 4, 8] {
+        let cfg = DsiConfig {
+            index_base: r,
+            ..DsiConfig::paper_reorganized()
+        };
+        let e = Engine::build(Scheme::Dsi(cfg, KnnStrategy::Conservative), &ds, 64);
+        let w = run_window_batch(&e, &ds, &windows, &batch);
+        let k = run_knn_batch(&e, &ds, &points, DEFAULT_K, &batch);
+        t.push_row(vec![
+            r.to_string(),
+            fmt_bytes(w.latency_bytes),
+            fmt_bytes(w.tuning_bytes),
+            fmt_bytes(k.latency_bytes),
+            fmt_bytes(k.tuning_bytes),
+        ]);
+    }
+    tables.push(t);
+
+    // Segment count m.
+    let mut t = Table::new(
+        "Ablation — broadcast segments m (DSI conservative, 256 B)",
+        vec![
+            "m".into(),
+            "10NN latency".into(),
+            "10NN tuning".into(),
+        ],
+    );
+    for m in [1u32, 2, 4, 8] {
+        let cfg = DsiConfig {
+            segments: m,
+            ..DsiConfig::paper_default().with_capacity(256)
+        };
+        let e = Engine::build(Scheme::Dsi(cfg, KnnStrategy::Conservative), &ds, 256);
+        let k = run_knn_batch(&e, &ds, &points, DEFAULT_K, &batch);
+        t.push_row(vec![
+            m.to_string(),
+            fmt_bytes(k.latency_bytes),
+            fmt_bytes(k.tuning_bytes),
+        ]);
+    }
+    tables.push(t);
+
+    // Interleave style.
+    let mut t = Table::new(
+        "Ablation — interleave style (m = 2, 256 B)",
+        vec![
+            "style".into(),
+            "10NN latency".into(),
+            "10NN tuning".into(),
+        ],
+    );
+    for (name, style) in [
+        ("round-robin", ReorgStyle::RoundRobin),
+        ("folded", ReorgStyle::Folded),
+    ] {
+        let cfg = DsiConfig {
+            reorg_style: style,
+            ..DsiConfig::paper_reorganized().with_capacity(256)
+        };
+        let e = Engine::build(Scheme::Dsi(cfg, KnnStrategy::Conservative), &ds, 256);
+        let k = run_knn_batch(&e, &ds, &points, DEFAULT_K, &batch);
+        t.push_row(vec![
+            name.to_string(),
+            fmt_bytes(k.latency_bytes),
+            fmt_bytes(k.tuning_bytes),
+        ]);
+    }
+    tables.push(t);
+
+    // Loss scope: what if data payloads were NOT protected?
+    let mut t = Table::new(
+        "Ablation — loss scope at theta = 0.2 (DSI reorganized, 64 B, window)",
+        vec![
+            "scope".into(),
+            "latency".into(),
+            "tuning".into(),
+        ],
+    );
+    let e = Engine::build(Scheme::dsi_reorganized(64), &ds, 64);
+    for (name, loss) in [
+        ("lossless", LossModel::None),
+        (
+            "index-only",
+            LossModel::Iid {
+                theta: 0.2,
+                scope: dsi_broadcast::LossScope::IndexOnly,
+            },
+        ),
+        (
+            "all-packets",
+            LossModel::Iid {
+                theta: 0.2,
+                scope: dsi_broadcast::LossScope::All,
+            },
+        ),
+    ] {
+        let o = BatchOptions {
+            loss,
+            ..opts.batch()
+        };
+        let w = run_window_batch(&e, &ds, &windows, &o);
+        t.push_row(vec![
+            name.to_string(),
+            fmt_bytes(w.latency_bytes),
+            fmt_bytes(w.tuning_bytes),
+        ]);
+    }
+    tables.push(t);
+
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_smoke_produces_full_tables() {
+        let tables = fig9(&ExpOptions::smoke());
+        assert_eq!(tables.len(), 2);
+        for t in &tables {
+            assert_eq!(t.rows.len(), CAPACITIES.len());
+            assert_eq!(t.columns.len(), 4);
+        }
+        // R-tree column is "-" at 32 bytes.
+        assert_eq!(tables[0].rows[0][2], "-");
+        assert_ne!(tables[0].rows[1][2], "-");
+    }
+
+    #[test]
+    fn table1_smoke_has_nine_rows() {
+        let tables = table1(&ExpOptions::smoke());
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), 9);
+    }
+}

@@ -1,0 +1,48 @@
+//! Experiment harness for the DSI reproduction.
+//!
+//! This crate drives the three air indexes (DSI, R-tree, HCI) through the
+//! paper's evaluation (§4–5): it builds broadcast programs, fires seeded
+//! query workloads at random tune-in positions, validates every answer
+//! against brute-force ground truth, and aggregates access latency and
+//! tuning time in bytes — the exact quantities on the paper's axes.
+//!
+//! One function per paper artefact lives in [`experiments`]:
+//! `fig8` … `fig12`, `table1`, the REAL-dataset summaries and the
+//! extension ablations. Each returns [`Table`]s that the `dsi-bench`
+//! binaries print and dump as CSV.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod experiments;
+pub mod runner;
+pub mod table;
+
+pub use engine::{Engine, Scheme};
+pub use runner::{run_knn_batch, run_window_batch, BatchOptions, BatchResult};
+pub use table::Table;
+
+use dsi_datagen::{clustered, uniform, SpatialDataset};
+
+/// Hilbert order used throughout the evaluation: `4^12 ≈ 1.7·10⁷` cells,
+/// ample for distinct HC values at the paper's dataset sizes while keeping
+/// window decompositions small.
+pub const EVAL_ORDER: u8 = 12;
+
+/// The paper's UNIFORM dataset: 10,000 uniform points.
+pub fn uniform_dataset() -> SpatialDataset {
+    SpatialDataset::build(&uniform(10_000, 42), EVAL_ORDER)
+}
+
+/// A reduced UNIFORM dataset for quick runs and tests.
+pub fn uniform_dataset_n(n: usize) -> SpatialDataset {
+    SpatialDataset::build(&uniform(n, 42), EVAL_ORDER)
+}
+
+/// The REAL-dataset surrogate: 5,848 points (the size of the paper's
+/// Greek towns set) from a heavy-tailed Gaussian mixture; see DESIGN.md
+/// §3.2 for the substitution argument.
+pub fn real_dataset() -> SpatialDataset {
+    SpatialDataset::build(&clustered(5_848, 64, 4242), EVAL_ORDER)
+}

@@ -1,0 +1,158 @@
+//! Seeded, parallel, validated query batches.
+
+use dsi_broadcast::{LossModel, MeanStats, QueryStats};
+use dsi_datagen::SpatialDataset;
+use dsi_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::engine::Engine;
+
+/// Batch configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchOptions {
+    /// Link-error model handed to every client.
+    pub loss: LossModel,
+    /// Master seed (tune-in positions and per-query loss seeds derive from
+    /// it deterministically).
+    pub seed: u64,
+    /// Cross-check every answer against brute force; panics on mismatch.
+    pub validate: bool,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        Self {
+            loss: LossModel::None,
+            seed: 7,
+            validate: true,
+        }
+    }
+}
+
+/// Aggregated batch result (mean bytes over all queries).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchResult {
+    /// Mean access latency, bytes.
+    pub latency_bytes: f64,
+    /// Mean tuning time, bytes.
+    pub tuning_bytes: f64,
+    /// Number of queries.
+    pub queries: u64,
+}
+
+fn aggregate(stats: Vec<QueryStats>) -> BatchResult {
+    let mut m = MeanStats::default();
+    for s in stats {
+        m.push(s);
+    }
+    BatchResult {
+        latency_bytes: m.latency_bytes(),
+        tuning_bytes: m.tuning_bytes(),
+        queries: m.count(),
+    }
+}
+
+/// Runs every query of `queries` through `run`, in parallel, with a
+/// deterministic (start, seed) pair per query.
+fn run_batch<Q: Sync>(
+    engine: &Engine,
+    queries: &[Q],
+    opts: &BatchOptions,
+    run: impl Fn(&Engine, u64, u64, &Q) -> QueryStats + Sync,
+) -> BatchResult {
+    let cycle = engine.cycle_packets();
+    // Pre-draw tune-in positions so parallelism cannot change them.
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let starts: Vec<u64> = (0..queries.len())
+        .map(|_| rng.gen_range(0..cycle))
+        .collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(queries.len().max(1));
+    let chunk = queries.len().div_ceil(threads.max(1)).max(1);
+    let mut stats = vec![QueryStats::default(); queries.len()];
+    std::thread::scope(|scope| {
+        for (qi_chunk, out_chunk) in queries.chunks(chunk).zip(stats.chunks_mut(chunk)).enumerate().map(|(ci, (q, s))| ((ci * chunk, q), s)) {
+            let ((base, qs), out) = (qi_chunk, out_chunk);
+            let starts = &starts;
+            let run = &run;
+            scope.spawn(move || {
+                for (i, q) in qs.iter().enumerate() {
+                    let qi = base + i;
+                    out[i] = run(engine, starts[qi], opts.seed ^ (qi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15), q);
+                }
+            });
+        }
+    });
+    aggregate(stats)
+}
+
+/// Runs a window-query batch; validates against [`SpatialDataset::brute_window`].
+pub fn run_window_batch(
+    engine: &Engine,
+    dataset: &SpatialDataset,
+    windows: &[Rect],
+    opts: &BatchOptions,
+) -> BatchResult {
+    run_batch(engine, windows, opts, |e, start, seed, w| {
+        let (ids, stats) = e.window(start, opts.loss, seed, w);
+        if opts.validate {
+            assert_eq!(ids, dataset.brute_window(w), "window answer mismatch");
+        }
+        stats
+    })
+}
+
+/// Runs a kNN batch; validates against [`SpatialDataset::brute_knn`].
+pub fn run_knn_batch(
+    engine: &Engine,
+    dataset: &SpatialDataset,
+    queries: &[Point],
+    k: usize,
+    opts: &BatchOptions,
+) -> BatchResult {
+    run_batch(engine, queries, opts, |e, start, seed, q| {
+        let (ids, stats) = e.knn(start, opts.loss, seed, *q, k);
+        if opts.validate {
+            assert_eq!(ids, dataset.brute_knn(*q, k), "kNN answer mismatch");
+        }
+        stats
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Scheme;
+    use crate::uniform_dataset_n;
+    use dsi_datagen::{knn_points, window_queries};
+
+    #[test]
+    fn batches_are_deterministic_and_validated() {
+        let ds = uniform_dataset_n(250);
+        let e = Engine::build(Scheme::dsi_reorganized(64), &ds, 64);
+        let ws = window_queries(12, 0.2, 3);
+        let opts = BatchOptions::default();
+        let a = run_window_batch(&e, &ds, &ws, &opts);
+        let b = run_window_batch(&e, &ds, &ws, &opts);
+        assert_eq!(a.latency_bytes, b.latency_bytes);
+        assert_eq!(a.tuning_bytes, b.tuning_bytes);
+        assert_eq!(a.queries, 12);
+        assert!(a.latency_bytes >= a.tuning_bytes);
+    }
+
+    #[test]
+    fn knn_batch_runs_under_loss() {
+        let ds = uniform_dataset_n(200);
+        let e = Engine::build(Scheme::Hci, &ds, 64);
+        let qs = knn_points(6, 9);
+        let opts = BatchOptions {
+            loss: LossModel::iid(0.3),
+            ..BatchOptions::default()
+        };
+        let r = run_knn_batch(&e, &ds, &qs, 5, &opts);
+        assert_eq!(r.queries, 6);
+    }
+}

@@ -1,0 +1,142 @@
+//! Result tables: aligned text for the terminal, CSV for post-processing.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A rectangular result table with a caption, mirroring one panel of a
+/// paper figure or one table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Caption shown above the table (e.g. "Figure 9(a) — …").
+    pub title: String,
+    /// Column headers; the first column is the x-axis label.
+    pub columns: Vec<String>,
+    /// Rows of cells, already formatted.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
+        Self {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the aligned text form.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "  {}", header.join("  "));
+        let _ = writeln!(
+            out,
+            "  {}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "  {}", line.join("  "));
+        }
+        out
+    }
+
+    /// Writes the table as CSV.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut s = String::new();
+        let _ = writeln!(s, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let _ = writeln!(s, "{}", row.join(","));
+        }
+        std::fs::write(path, s)
+    }
+}
+
+/// Formats mean bytes compactly (e.g. `6.25e6`).
+pub fn fmt_bytes(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+/// Formats a percentage with two decimals.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{v:.2}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", vec!["x".into(), "latency".into()]);
+        t.push_row(vec!["64".into(), "1.0e6".into()]);
+        t.push_row(vec!["512".into(), "2.5e6".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("latency"));
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut t = Table::new("demo", vec!["x".into(), "y".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let dir = std::env::temp_dir().join("dsi_sim_table_test");
+        let path = dir.join("t.csv");
+        t.write_csv(&path).unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(s, "x,y\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("demo", vec!["x".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn number_formats() {
+        assert_eq!(fmt_bytes(0.0), "0");
+        assert_eq!(fmt_bytes(6_250_000.0), "6.250e6");
+        assert_eq!(fmt_pct(13.904), "13.90%");
+    }
+}

@@ -1,0 +1,40 @@
+//! Traffic map: window queries across the three air indexes.
+//!
+//! A navigation device shows local traffic conditions for the map viewport
+//! — a window query over the broadcast. We run the same viewport workload
+//! against DSI, the STR R-tree and HCI, and print the latency/tuning
+//! comparison of the paper's Figure 9 for one packet capacity.
+//!
+//! Run with: `cargo run --release --example traffic_window`
+
+use dsi::broadcast::LossModel;
+use dsi::datagen::{uniform, window_queries, SpatialDataset};
+use dsi::sim::{run_window_batch, BatchOptions, Engine, Scheme};
+
+fn main() {
+    let dataset = SpatialDataset::build(&uniform(10_000, 42), 12);
+    // 150 viewports of 10 % side length, uniformly placed.
+    let viewports = window_queries(150, 0.1, 11);
+    let opts = BatchOptions {
+        loss: LossModel::None,
+        seed: 5,
+        validate: true,
+    };
+
+    println!("index    mean latency      mean tuning   (viewport queries, 64 B packets)");
+    for (name, scheme) in [
+        ("DSI   ", Scheme::dsi_reorganized(64)),
+        ("R-tree", Scheme::RTree),
+        ("HCI   ", Scheme::Hci),
+    ] {
+        let engine = Engine::build(scheme, &dataset, 64);
+        let r = run_window_batch(&engine, &dataset, &viewports, &opts);
+        println!(
+            "{name}  {:>12.3e} B   {:>12.3e} B",
+            r.latency_bytes, r.tuning_bytes
+        );
+    }
+    println!();
+    println!("Every answer set is validated against brute force; the shapes");
+    println!("correspond to the paper's Figure 9 at capacity 64.");
+}
