@@ -17,7 +17,12 @@ fn bench_builds(c: &mut Criterion) {
         b.iter(|| black_box(SpatialDataset::build(black_box(&raw), 12)))
     });
     c.bench_function("build/dsi_air_64B", |b| {
-        b.iter(|| black_box(DsiAir::build(black_box(&ds), DsiConfig::paper_reorganized())))
+        b.iter(|| {
+            black_box(DsiAir::build(
+                black_box(&ds),
+                DsiConfig::paper_reorganized(),
+            ))
+        })
     });
     c.bench_function("build/str_pack", |b| {
         b.iter(|| black_box(str_pack(black_box(&pts), 10, 10)))

@@ -38,7 +38,9 @@ impl BpAirConfig {
     /// Node fanout at this capacity (leaf and internal entries are both 18
     /// bytes).
     pub fn fanout(&self) -> u32 {
-        ((self.capacity.saturating_sub(PACKET_HEADER_BYTES + BP_NODE_HEADER_BYTES))
+        ((self
+            .capacity
+            .saturating_sub(PACKET_HEADER_BYTES + BP_NODE_HEADER_BYTES))
             / BP_ENTRY_BYTES)
             .max(2)
     }
@@ -171,7 +173,15 @@ impl BpAir {
                 }
             }
             let mut objs = Vec::new();
-            emit_subtree(&tree, cut_level, seg_root, &mut packets, &mut node_where, np, &mut objs);
+            emit_subtree(
+                &tree,
+                cut_level,
+                seg_root,
+                &mut packets,
+                &mut node_where,
+                np,
+                &mut objs,
+            );
             for obj in objs {
                 object_pos[obj as usize] = packets.len() as u64;
                 packets.push(BpPacket::ObjHeader { obj });
@@ -279,7 +289,8 @@ fn covers(tree: &BpTree, level: usize, idx: u32, cut: usize, seg_root: u32) -> b
     let BpChildren::Nodes(kids) = &tree.levels[level][idx as usize].children else {
         return false;
     };
-    kids.iter().any(|&k| covers(tree, level - 1, k, cut, seg_root))
+    kids.iter()
+        .any(|&k| covers(tree, level - 1, k, cut, seg_root))
 }
 
 fn emit_subtree(
@@ -337,7 +348,11 @@ mod tests {
             for idx in 0..air.tree.levels[level].len() as u32 {
                 let at = air.node_next_occurrence(0, level as u8, idx);
                 match air.program().get(at) {
-                    BpPacket::Node { level: l, idx: i, part: 0 } => {
+                    BpPacket::Node {
+                        level: l,
+                        idx: i,
+                        part: 0,
+                    } => {
                         assert_eq!((*l as usize, *i), (level, idx));
                     }
                     p => panic!("expected node ({level},{idx}), found {p:?}"),

@@ -303,7 +303,9 @@ impl PartialOrd for OrderedF64 {
 }
 impl Ord for OrderedF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("distances are never NaN")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("distances are never NaN")
     }
 }
 
@@ -363,7 +365,11 @@ mod tests {
                 for k in [1usize, 5, 10] {
                     let start = (i as u64 * 7919) % air.program().len();
                     let mut t = Tuner::tune_in(air.program(), start, LossModel::None, i as u64);
-                    assert_eq!(air.knn_query(&mut t, q, k), ds.brute_knn(q, k), "cap {cap} k {k}");
+                    assert_eq!(
+                        air.knn_query(&mut t, q, k),
+                        ds.brute_knn(q, k),
+                        "cap {cap} k {k}"
+                    );
                 }
             }
         }
@@ -374,11 +380,13 @@ mod tests {
         let ds = SpatialDataset::build(&uniform(250, 17), 9);
         let air = BpAir::build(&ds, BpAirConfig::new(64));
         for (i, w) in window_queries(8, 0.3, 7).iter().enumerate() {
-            let mut t = Tuner::tune_in(air.program(), i as u64 * 401, LossModel::iid(0.4), i as u64);
+            let mut t =
+                Tuner::tune_in(air.program(), i as u64 * 401, LossModel::iid(0.4), i as u64);
             assert_eq!(air.window_query(&mut t, w), ds.brute_window(w));
         }
         for (i, q) in knn_points(8, 9).into_iter().enumerate() {
-            let mut t = Tuner::tune_in(air.program(), i as u64 * 401, LossModel::iid(0.4), i as u64);
+            let mut t =
+                Tuner::tune_in(air.program(), i as u64 * 401, LossModel::iid(0.4), i as u64);
             assert_eq!(air.knn_query(&mut t, q, 5), ds.brute_knn(q, 5));
         }
     }

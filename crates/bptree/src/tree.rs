@@ -109,7 +109,13 @@ impl BpTree {
 
     /// Exclusive upper bound of the key interval of child `c` within a
     /// node: the next sibling's separator, or the parent's own bound.
-    pub fn child_upper(&self, level: usize, node: &BpNode, child_pos: usize, parent_ub: u64) -> u64 {
+    pub fn child_upper(
+        &self,
+        level: usize,
+        node: &BpNode,
+        child_pos: usize,
+        parent_ub: u64,
+    ) -> u64 {
         let BpChildren::Nodes(kids) = &node.children else {
             panic!("child_upper on a leaf");
         };
@@ -179,10 +185,7 @@ mod tests {
         let t = bulk_load(&objects(200), 5);
         // Every leaf's objects lie in [min_hc, next leaf's min_hc).
         for (i, leaf) in t.levels[0].iter().enumerate() {
-            let ub = t.levels[0]
-                .get(i + 1)
-                .map(|n| n.min_hc)
-                .unwrap_or(u64::MAX);
+            let ub = t.levels[0].get(i + 1).map(|n| n.min_hc).unwrap_or(u64::MAX);
             let BpChildren::Objects { start, count } = leaf.children else {
                 unreachable!()
             };

@@ -141,7 +141,16 @@ mod tests {
     fn program() -> Program<P> {
         Program::new(
             64,
-            vec![P::Idx(0), P::Hdr, P::Pay, P::Pay, P::Idx(1), P::Hdr, P::Pay, P::Pay],
+            vec![
+                P::Idx(0),
+                P::Hdr,
+                P::Pay,
+                P::Pay,
+                P::Idx(1),
+                P::Hdr,
+                P::Pay,
+                P::Pay,
+            ],
         )
     }
 

@@ -4,10 +4,11 @@
 //! queries) share one skeleton, which this module implements once:
 //!
 //! 1. tune in, doze to the next frame boundary, read its index table;
-//! 2. fold the table's entries into [`Knowledge`] (and hand them to the
-//!    query as *virtual candidates* — "the object represented by HC′ᵢ",
-//!    Algorithm 2);
-//! 3. derive the *remainders*: target HC intervals not yet accounted for;
+//! 2. fold the table's entries into the client's [`Knowledge`] (and hand
+//!    them to the query as *virtual candidates* — "the object represented
+//!    by HC′ᵢ", Algorithm 2);
+//! 3. keep the *remainders* current: target HC intervals not yet accounted
+//!    for;
 //! 4. scan the current frame's object headers if its (conservatively
 //!    estimated) span may overlap a remainder, retrieving qualifying
 //!    objects;
@@ -17,19 +18,28 @@
 //!    forwarding generalised to interval targets; repeated hops converge
 //!    like a base-`r` search.
 //!
+//! The remainder state is **incremental**: every learned bound and every
+//! resolved header applies a localized delta inside [`QueryState`], so the
+//! steady-state loop re-derives nothing and — together with the scratch
+//! buffers in [`QueryScratch`] — performs no per-iteration allocations on
+//! the no-loss path. The original from-scratch derivation remains
+//! available per thread via [`crate::hotpath`] as benchmark baseline and
+//! differential-test oracle.
+//!
 //! What differs between queries — which intervals are targets, which
 //! objects qualify, when the query is complete, which remainder to chase
 //! first — is abstracted as [`QueryMode`]. Link errors never abort a query:
 //! a lost table is skipped (the next frame has another one), a lost header
-//! or payload is recorded in [`Retries`] and re-fetched a cycle later,
-//! while all previously gathered knowledge stays valid (§5).
+//! or payload is recorded in [`Retries`](crate::state::Retries) and
+//! re-fetched a cycle later, while all previously gathered knowledge stays
+//! valid (§5).
 
 use dsi_broadcast::Tuner;
 use dsi_datagen::Object;
 use dsi_hilbert::HcRange;
 
 use crate::build::{DsiAir, DsiPacket};
-use crate::state::{cleared_regions, subtract_ranges, Knowledge, Retries, ScanLog};
+use crate::state::{Knowledge, QueryState, ScanLog};
 use crate::table::IndexTable;
 
 /// Which destination the navigator should chase.
@@ -46,12 +56,16 @@ pub(crate) enum NavPick {
 
 /// Query-specific behaviour plugged into the shared driver.
 pub(crate) trait QueryMode {
-    /// Current target intervals (sorted, disjoint). May be recomputed when
-    /// the query's internal state changed (kNN shrinks its circle).
-    fn targets(&mut self, know: &Knowledge) -> Vec<HcRange>;
+    /// Rebuilds the current target intervals (sorted, disjoint) into
+    /// `out` **iff they changed** since the last call, returning whether
+    /// they did. The driver owns `out` and derives remainders from it
+    /// incrementally, so modes must only signal genuine changes (kNN: the
+    /// search circle shrank).
+    fn refresh_targets(&mut self, know: &Knowledge, out: &mut Vec<HcRange>) -> bool;
 
     /// Whether an unaccounted remainder still matters (kNN drops intervals
-    /// farther than the current k-th candidate).
+    /// farther than the current k-th candidate). Must be monotone: once a
+    /// range is dead it stays dead.
     fn is_live(&mut self, r: &HcRange) -> bool {
         let _ = r;
         true
@@ -71,7 +85,7 @@ pub(crate) trait QueryMode {
 
     /// Extra completion condition beyond "no remainders, no retries"
     /// (kNN: the k best candidates are all retrieved).
-    fn complete(&self) -> bool {
+    fn complete(&mut self) -> bool {
         true
     }
 
@@ -97,12 +111,28 @@ enum Pending {
     },
 }
 
+/// Reusable buffers owned by the driver so the steady-state loop performs
+/// no per-iteration allocations.
+#[derive(Default)]
+struct QueryScratch {
+    /// `(object index, is_retry)` visit plan of the current frame.
+    visit: Vec<(u32, bool)>,
+    /// Targets of the most recently received index table, for the
+    /// aggressive strategy's "reachable frame nearest the query point".
+    entry_targets: Vec<(u32, u64)>,
+    /// Entry targets that can still contribute, rebuilt per navigation.
+    useful_entries: Vec<(u32, u64)>,
+}
+
 /// Runs a query to completion. The tuner carries the metrics.
-pub(crate) fn run_query<M: QueryMode>(air: &DsiAir, tuner: &mut Tuner<'_, DsiPacket>, mode: &mut M) {
+pub(crate) fn run_query<M: QueryMode>(
+    air: &DsiAir,
+    tuner: &mut Tuner<'_, DsiPacket>,
+    mode: &mut M,
+) {
     let l = air.layout();
-    let mut know = Knowledge::new(l, air.curve().max_d());
-    let mut log = ScanLog::new();
-    let mut retries = Retries::new();
+    let mut state = QueryState::new(l, air.curve().max_d());
+    let mut scratch = QueryScratch::default();
     // The schema's block boundaries are minimum HC values of real objects.
     for &hc in l.block_min_hc() {
         mode.on_virtual(hc);
@@ -111,9 +141,6 @@ pub(crate) fn run_query<M: QueryMode>(air: &DsiAir, tuner: &mut Tuner<'_, DsiPac
     let (abs, slot0) = l.next_frame_boundary(tuner.pos());
     tuner.doze_to(abs);
     let mut pending = Pending::Table(slot0);
-    // Targets of the most recently received index table, for the
-    // aggressive strategy's "reachable frame nearest the query point".
-    let mut entry_targets: Vec<(u32, u64)> = Vec::new();
 
     // Defensive bound: every iteration makes progress (reads a packet or
     // resolves a retry); the bound only trips on internal logic errors or
@@ -128,11 +155,14 @@ pub(crate) fn run_query<M: QueryMode>(air: &DsiAir, tuner: &mut Tuner<'_, DsiPac
         let just_read_table = match pending {
             Pending::Table(slot) => {
                 if let Some(tbl) = read_table(air, tuner, slot) {
-                    entry_targets.clear();
+                    scratch.entry_targets.clear();
+                    let nf = l.n_frames();
                     for e in &tbl.entries {
-                        entry_targets.push(((slot + e.delta) % l.n_frames(), e.hc));
+                        let target = (slot + e.delta) % nf;
+                        scratch.entry_targets.push((target, e.hc));
+                        state.learn(l.hc_index_of_slot(target), e.hc);
+                        mode.on_virtual(e.hc);
                     }
-                    learn_table(air, &mut know, mode, slot, tbl);
                 }
                 Some(slot)
             }
@@ -142,19 +172,25 @@ pub(crate) fn run_query<M: QueryMode>(air: &DsiAir, tuner: &mut Tuner<'_, DsiPac
                 max_hi,
             } => {
                 visit_frame(
-                    air, tuner, slot, include_fresh, max_hi, mode, &mut know, &mut log,
-                    &mut retries,
+                    air,
+                    tuner,
+                    slot,
+                    include_fresh,
+                    max_hi,
+                    mode,
+                    &mut state,
+                    &mut scratch.visit,
                 );
                 None
             }
         };
 
-        // Re-derive what is still missing.
-        let cleared = cleared_regions(&log, &know, l);
-        let targets = mode.targets(&know);
-        let mut rem = subtract_ranges(&targets, &cleared);
-        rem.retain(|r| mode.is_live(r));
-        if rem.is_empty() && retries.is_empty() && mode.complete() {
+        // Bring the remainder state up to date (incremental path: only
+        // target changes trigger work; events already applied deltas).
+        state.refresh_targets(|know, out| mode.refresh_targets(know, out));
+        state.retain_live(|r| mode.is_live(r));
+        state.audit_rem(|r| mode.is_live(r));
+        if state.settled() && mode.complete() {
             break;
         }
 
@@ -162,21 +198,29 @@ pub(crate) fn run_query<M: QueryMode>(air: &DsiAir, tuner: &mut Tuner<'_, DsiPac
         // frame may hold something we need.
         if let Some(slot) = just_read_table {
             let t = l.hc_index_of_slot(slot);
-            let (lb, ub) = know.span_est(t);
-            let overlap = rem.iter().any(|r| r.lo < ub && r.hi >= lb);
-            let attempted = fully_attempted(&log, t, l.objects_in_slot(slot));
-            let has_retry = retries.iter().any(|(s, _)| s == slot);
+            let (lb, ub) = state.know.span_est(t);
+            let rem = state.rem();
+            let overlap = overlaps_any(rem, lb, ub);
+            let attempted = fully_attempted(&state.log, t, l.objects_in_slot(slot));
+            let has_retry = !state.retries.for_slot(slot).is_empty();
             if (overlap && !attempted) || has_retry {
                 pending = Pending::Visit {
                     slot,
                     include_fresh: overlap && !attempted,
-                    max_hi: max_hi_of(&rem),
+                    max_hi: max_hi_of(rem),
                 };
                 continue;
             }
         }
 
-        match navigate(air, tuner, mode, &know, &log, &retries, &rem, &entry_targets) {
+        match navigate(
+            air,
+            tuner,
+            mode,
+            &state,
+            &scratch.entry_targets,
+            &mut scratch.useful_entries,
+        ) {
             Some(p) => pending = p,
             None => break,
         }
@@ -190,13 +234,26 @@ fn fully_attempted(log: &ScanLog, t: u32, n_obj: u32) -> bool {
 }
 
 fn max_hi_of(rem: &[HcRange]) -> u64 {
-    rem.iter().map(|r| r.hi).max().unwrap_or(0)
+    // Sorted and disjoint: the last range has the largest end.
+    rem.last().map_or(0, |r| r.hi)
+}
+
+/// Whether any remainder intersects the half-open span `[lb, ub)`.
+/// Remainders are sorted and disjoint, so a binary search answers it —
+/// the navigation sweep calls this once per candidate frame.
+fn overlaps_any(rem: &[HcRange], lb: u64, ub: u64) -> bool {
+    let i = rem.partition_point(|r| r.hi < lb);
+    i < rem.len() && rem[i].lo < ub
 }
 
 /// Reads the (possibly multi-packet) index table at the current position.
 /// All-or-nothing: a lost packet discards the table — the client simply
 /// proceeds with its existing knowledge.
-fn read_table<'a>(air: &'a DsiAir, tuner: &mut Tuner<'_, DsiPacket>, slot: u32) -> Option<&'a IndexTable> {
+fn read_table<'a>(
+    air: &'a DsiAir,
+    tuner: &mut Tuner<'_, DsiPacket>,
+    slot: u32,
+) -> Option<&'a IndexTable> {
     debug_assert!(
         matches!(tuner.program().get(tuner.pos()), DsiPacket::Table { slot: s, part: 0 } if *s == slot),
         "tuner not at the table of slot {slot}"
@@ -209,27 +266,10 @@ fn read_table<'a>(air: &'a DsiAir, tuner: &mut Tuner<'_, DsiPacket>, slot: u32) 
     Some(air.table(slot))
 }
 
-/// Folds a received table into knowledge and surfaces its entries as
-/// virtual candidates.
-fn learn_table<M: QueryMode>(
-    air: &DsiAir,
-    know: &mut Knowledge,
-    mode: &mut M,
-    slot: u32,
-    tbl: &IndexTable,
-) {
-    let l = air.layout();
-    let nf = l.n_frames();
-    for e in &tbl.entries {
-        let target = (slot + e.delta) % nf;
-        know.learn(l.hc_index_of_slot(target), e.hc);
-        mode.on_virtual(e.hc);
-    }
-}
-
 /// Visits objects of a frame: pending retries first, then (optionally) the
 /// unread fresh tail, all in ascending header order. Updates the scan log,
-/// knowledge (frame minimum from header 0) and retry sets.
+/// knowledge (frame minimum from header 0) and retry sets through the
+/// incremental state.
 #[allow(clippy::too_many_arguments)]
 fn visit_frame<M: QueryMode>(
     air: &DsiAir,
@@ -238,29 +278,27 @@ fn visit_frame<M: QueryMode>(
     include_fresh: bool,
     max_hi: u64,
     mode: &mut M,
-    know: &mut Knowledge,
-    log: &mut ScanLog,
-    retries: &mut Retries,
+    state: &mut QueryState<'_>,
+    visit: &mut Vec<(u32, bool)>,
 ) {
     let l = air.layout();
     let t = l.hc_index_of_slot(slot);
     let n_obj = l.objects_in_slot(slot);
     let payload_packets = l.framing().object_packets - 1;
 
-    let mut idxs: Vec<(u32, bool)> = retries
-        .iter()
-        .filter(|&(s, _)| s == slot)
-        .map(|(_, idx)| (idx, true))
-        .collect();
-    idxs.sort_unstable();
-    idxs.dedup();
-    let scan = log.entry(t, n_obj);
+    // Retry indices are sorted and all precede the fresh tail (a retry is
+    // only ever recorded for an attempted index), so the concatenation is
+    // already in ascending header order.
+    visit.clear();
+    visit.extend(state.retries.for_slot(slot).iter().map(|&i| (i, true)));
     if include_fresh {
-        idxs.extend((scan.read_upto..n_obj).map(|i| (i, false)));
+        let read_upto = state.log.entry(t, n_obj).read_upto;
+        visit.extend((read_upto..n_obj).map(|i| (i, false)));
     }
+    debug_assert!(visit.windows(2).all(|w| w[0].0 < w[1].0));
 
     let mut stop_fresh = false;
-    for (idx, is_retry) in idxs {
+    for &(idx, is_retry) in visit.iter() {
         if !is_retry && stop_fresh {
             break;
         }
@@ -274,33 +312,27 @@ fn visit_frame<M: QueryMode>(
                     matches!(p, DsiPacket::ObjHeader { slot: s, idx: i } if *s == slot && *i == idx)
                 );
                 let o = air.object(slot, idx);
-                scan.hcs[idx as usize] = Some(o.hc);
-                if idx == 0 {
-                    know.learn(t, o.hc);
+                if !is_retry {
+                    state.note_attempted(t, n_obj, idx);
                 }
-                if is_retry {
-                    retries.headers.remove(&(slot, idx));
-                }
-                retries.payloads.remove(&(slot, idx));
+                state.resolve_header(t, n_obj, idx, o.hc);
+                state.retries.remove(slot, idx);
                 if mode.on_header(o) {
                     if read_payload(tuner, payload_packets) {
                         mode.on_retrieved(o);
                     } else {
-                        retries.payloads.insert((slot, idx));
+                        state.retries.insert(slot, idx);
                     }
                 }
-                if !is_retry {
-                    scan.read_upto = idx + 1;
-                    if o.hc > max_hi {
-                        stop_fresh = true;
-                    }
+                if !is_retry && o.hc > max_hi {
+                    stop_fresh = true;
                 }
             }
             Err(_) => {
                 if !is_retry {
-                    scan.read_upto = idx + 1;
+                    state.note_attempted(t, n_obj, idx);
                 }
-                retries.headers.insert((slot, idx));
+                state.retries.insert(slot, idx);
             }
         }
     }
@@ -320,19 +352,16 @@ fn read_payload(tuner: &mut Tuner<'_, DsiPacket>, n: u32) -> bool {
 /// The cheapest way to reach frame `slot` from `pos`: through its index
 /// table (fresh frames) or straight to its first unread header (partially
 /// scanned frames, or frames whose table occurrence already passed).
-fn approach(
-    air: &DsiAir,
-    pos: u64,
-    log: &ScanLog,
-    slot: u32,
-    max_hi: u64,
-) -> (u64, Pending) {
+fn approach(air: &DsiAir, pos: u64, log: &ScanLog, slot: u32, max_hi: u64) -> (u64, Pending) {
     let l = air.layout();
     let prog = air.program();
     let t = l.hc_index_of_slot(slot);
     let read_upto = log.get(t).map_or(0, |s| s.read_upto);
     let table_abs = prog.next_occurrence(pos, l.frame_start(slot));
-    let visit_abs = prog.next_occurrence(pos, l.header_packet(slot, read_upto.min(l.objects_in_slot(slot) - 1)));
+    let visit_abs = prog.next_occurrence(
+        pos,
+        l.header_packet(slot, read_upto.min(l.objects_in_slot(slot) - 1)),
+    );
     if table_abs <= visit_abs && log.get(t).is_none() {
         (table_abs, Pending::Table(slot))
     } else {
@@ -350,24 +379,23 @@ fn approach(
 /// Chooses the next destination and dozes there.
 ///
 /// Candidates are (a) the first pending retry header of every affected
-/// slot and (b) frames that may still hold remainder content. Window
-/// queries and conservative kNN sweep the broadcast order for the
-/// earliest-arriving such frame; aggressive kNN jumps to the slot its
-/// strategy picked (the entry target nearest the query point).
-#[allow(clippy::too_many_arguments)]
+/// slot — read directly off the per-slot sorted retry lists — and (b)
+/// frames that may still hold remainder content. Window queries and
+/// conservative kNN sweep the broadcast order for the earliest-arriving
+/// such frame; aggressive kNN jumps to the slot its strategy picked (the
+/// entry target nearest the query point).
 fn navigate<M: QueryMode>(
     air: &DsiAir,
     tuner: &mut Tuner<'_, DsiPacket>,
     mode: &mut M,
-    know: &Knowledge,
-    log: &ScanLog,
-    retries: &Retries,
-    rem: &[HcRange],
+    state: &QueryState<'_>,
     entry_targets: &[(u32, u64)],
+    useful_entries: &mut Vec<(u32, u64)>,
 ) -> Option<Pending> {
     let l = air.layout();
     let pos = tuner.pos();
     let prog = tuner.program();
+    let (know, log, retries, rem) = (&state.know, &state.log, &state.retries, state.rem());
     let max_hi = max_hi_of(rem);
     let mut best: Option<(u64, Pending)> = None;
     let consider = |abs: u64, p: Pending, best: &mut Option<(u64, Pending)>| {
@@ -376,17 +404,10 @@ fn navigate<M: QueryMode>(
         }
     };
 
-    // Retry visits (first pending index per slot; headers and payloads are
-    // separate sets, so take the minimum across both).
-    let mut first_retry: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
-    for (slot, idx) in retries.iter() {
-        first_retry
-            .entry(slot)
-            .and_modify(|m| *m = (*m).min(idx))
-            .or_insert(idx);
-    }
-    for (&slot, &idx) in &first_retry {
-        let abs = prog.next_occurrence(pos, l.header_packet(slot, idx));
+    // Retry visits: the earliest pending index per slot is the head of its
+    // maintained sorted list.
+    for (slot, idxs) in retries.iter_slots() {
+        let abs = prog.next_occurrence(pos, l.header_packet(slot, idxs[0]));
         consider(
             abs,
             Pending::Visit {
@@ -402,21 +423,18 @@ fn navigate<M: QueryMode>(
     // attempted whose conservative span can still overlap a remainder.
     // Without this filter the aggressive strategy would keep re-picking a
     // "nearest" frame that has nothing left to offer.
-    let useful_entries: Vec<(u32, u64)> = entry_targets
-        .iter()
-        .copied()
-        .filter(|&(slot, _)| {
-            let t = l.hc_index_of_slot(slot);
-            if fully_attempted(log, t, l.objects_in_slot(slot)) {
-                return false;
-            }
-            let (lb, ub) = know.span_est(t);
-            rem.iter().any(|r| r.lo < ub && r.hi >= lb)
-        })
-        .collect();
+    useful_entries.clear();
+    useful_entries.extend(entry_targets.iter().copied().filter(|&(slot, _)| {
+        let t = l.hc_index_of_slot(slot);
+        if fully_attempted(log, t, l.objects_in_slot(slot)) {
+            return false;
+        }
+        let (lb, ub) = know.span_est(t);
+        overlaps_any(rem, lb, ub)
+    }));
 
     if !rem.is_empty() {
-        match mode.nav_pick(rem, &useful_entries) {
+        match mode.nav_pick(rem, useful_entries) {
             NavPick::Slot(slot) => {
                 let (abs, p) = approach(air, pos, log, slot, max_hi);
                 consider(abs, p, &mut best);
@@ -433,7 +451,7 @@ fn navigate<M: QueryMode>(
                         continue;
                     }
                     let (lb, ub) = know.span_est(t);
-                    if !rem.iter().any(|r| r.lo < ub && r.hi >= lb) {
+                    if !overlaps_any(rem, lb, ub) {
                         continue;
                     }
                     let (abs, p) = approach(air, pos, log, slot, max_hi);

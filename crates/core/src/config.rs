@@ -109,7 +109,11 @@ impl DsiConfig {
 
     /// Validates invariants; called by the builder.
     pub(crate) fn validate(&self) {
-        assert!(self.capacity >= 16, "packet capacity too small: {}", self.capacity);
+        assert!(
+            self.capacity >= 16,
+            "packet capacity too small: {}",
+            self.capacity
+        );
         assert!(self.index_base >= 2, "index base must be >= 2");
         assert!(self.segments >= 1, "segment count must be >= 1");
         assert!(

@@ -18,12 +18,19 @@ use crate::state::Knowledge;
 
 struct EefMode {
     target: u64,
+    published: bool,
     found: Option<Object>,
 }
 
 impl QueryMode for EefMode {
-    fn targets(&mut self, _know: &Knowledge) -> Vec<HcRange> {
-        vec![HcRange::new(self.target, self.target)]
+    fn refresh_targets(&mut self, _know: &Knowledge, out: &mut Vec<HcRange>) -> bool {
+        if self.published {
+            return false;
+        }
+        self.published = true;
+        out.clear();
+        out.push(HcRange::new(self.target, self.target));
+        true
     }
 
     fn on_header(&mut self, o: &Object) -> bool {
@@ -48,6 +55,7 @@ impl DsiAir {
     pub fn point_query_hc(&self, tuner: &mut Tuner<'_, DsiPacket>, hc: u64) -> Option<Object> {
         let mut mode = EefMode {
             target: hc,
+            published: false,
             found: None,
         };
         run_query(self, tuner, &mut mode);
@@ -68,8 +76,12 @@ mod tests {
         for cfg in [DsiConfig::paper_default(), DsiConfig::paper_reorganized()] {
             let air = DsiAir::build(&ds, cfg);
             for (i, o) in ds.objects().iter().enumerate().step_by(17) {
-                let mut tuner =
-                    Tuner::tune_in(air.program(), (i as u64 * 101) % air.program().len(), LossModel::None, i as u64);
+                let mut tuner = Tuner::tune_in(
+                    air.program(),
+                    (i as u64 * 101) % air.program().len(),
+                    LossModel::None,
+                    i as u64,
+                );
                 let got = air.point_query_hc(&mut tuner, o.hc);
                 assert_eq!(got.map(|g| g.id), Some(o.id));
                 // A point query should finish within ~one cycle, error-free.
@@ -84,7 +96,9 @@ mod tests {
         let air = DsiAir::build(&ds, DsiConfig::paper_default());
         // Find an unoccupied HC value.
         let taken: std::collections::HashSet<u64> = ds.objects().iter().map(|o| o.hc).collect();
-        let free = (0..air.curve().max_d()).find(|d| !taken.contains(d)).unwrap();
+        let free = (0..air.curve().max_d())
+            .find(|d| !taken.contains(d))
+            .unwrap();
         let mut tuner = Tuner::tune_in(air.program(), 0, LossModel::None, 7);
         assert_eq!(air.point_query_hc(&mut tuner, free), None);
     }
@@ -101,8 +115,12 @@ mod tests {
         };
         let air = DsiAir::build(&ds, cfg);
         for (i, o) in ds.objects().iter().enumerate().step_by(41) {
-            let mut tuner =
-                Tuner::tune_in(air.program(), (i as u64 * 379) % air.program().len(), LossModel::None, 1);
+            let mut tuner = Tuner::tune_in(
+                air.program(),
+                (i as u64 * 379) % air.program().len(),
+                LossModel::None,
+                1,
+            );
             air.point_query_hc(&mut tuner, o.hc);
             let tuning = tuner.stats().tuning_packets;
             // log2(512) = 9 hops; allow headroom for the header + payload
@@ -115,11 +133,12 @@ mod tests {
     }
 
     #[test]
-    fn survives_loss(){
+    fn survives_loss() {
         let ds = SpatialDataset::build(&uniform(128, 3), 9);
         let air = DsiAir::build(&ds, DsiConfig::paper_reorganized());
         for (i, o) in ds.objects().iter().enumerate().step_by(13) {
-            let mut tuner = Tuner::tune_in(air.program(), i as u64 * 53, LossModel::iid(0.4), i as u64);
+            let mut tuner =
+                Tuner::tune_in(air.program(), i as u64 * 53, LossModel::iid(0.4), i as u64);
             let got = air.point_query_hc(&mut tuner, o.hc);
             assert_eq!(got.map(|g| g.id), Some(o.id));
         }

@@ -27,7 +27,7 @@ use std::collections::{BTreeMap, HashMap};
 use dsi_broadcast::Tuner;
 use dsi_datagen::Object;
 use dsi_geom::{dist2, GridMapper, Point, Rect};
-use dsi_hilbert::{min_dist2_to_range, ranges_in_rect, HcRange, HilbertCurve};
+use dsi_hilbert::{min_dist2_to_range, ranges_in_rect_with_dist_into, HcRange, HilbertCurve};
 
 use crate::build::{DsiAir, DsiPacket};
 use crate::client::{run_query, NavPick, QueryMode};
@@ -61,6 +61,9 @@ struct Candidates {
     k: usize,
     by_hc: BTreeMap<u64, Cand>,
     r2_cache: Option<f64>,
+    /// Reused selection buffer: the radius and completion checks run every
+    /// driver iteration and must not allocate in steady state.
+    select_buf: Vec<(f64, u64, bool)>,
 }
 
 impl Candidates {
@@ -69,7 +72,26 @@ impl Candidates {
             k,
             by_hc: BTreeMap::new(),
             r2_cache: None,
+            select_buf: Vec::new(),
         }
+    }
+
+    /// Fills `select_buf` and partitions it so its first `k` entries are
+    /// the k best candidates (smallest upper bound, ties broken by HC
+    /// value). Returns `false` while fewer than k candidates are known.
+    /// Single selection shared by the radius and the completion check so
+    /// the two can never disagree on the top-k.
+    fn select_top_k(&mut self) -> bool {
+        if self.by_hc.len() < self.k {
+            return false;
+        }
+        self.select_buf.clear();
+        self.select_buf
+            .extend(self.by_hc.iter().map(|(&hc, c)| (c.ub2, hc, c.retrieved)));
+        self.select_buf.select_nth_unstable_by(self.k - 1, |a, b| {
+            a.partial_cmp(b).expect("bounds are never NaN")
+        });
+        true
     }
 
     /// The squared radius of the search space: the k-th smallest upper
@@ -78,17 +100,18 @@ impl Candidates {
         if let Some(v) = self.r2_cache {
             return v;
         }
-        let v = if self.by_hc.len() < self.k {
-            f64::INFINITY
+        let v = if self.select_top_k() {
+            self.select_buf[self.k - 1].0
         } else {
-            let mut ubs: Vec<f64> = self.by_hc.values().map(|c| c.ub2).collect();
-            let (_, kth, _) = ubs.select_nth_unstable_by(self.k - 1, |a, b| {
-                a.partial_cmp(b).expect("distance bounds are never NaN")
-            });
-            *kth
+            f64::INFINITY
         };
         self.r2_cache = Some(v);
         v
+    }
+
+    /// Whether the k best candidates have all been retrieved.
+    fn top_k_retrieved(&mut self) -> bool {
+        self.select_top_k() && self.select_buf[..self.k].iter().all(|&(_, _, r)| r)
     }
 
     /// Offers a virtual candidate. Skipped if it cannot tighten the k-th
@@ -168,12 +191,15 @@ struct KnnMode {
     mapper: GridMapper,
     strategy: KnnStrategy,
     cands: Candidates,
-    /// Target ranges of the current search circle and the radius they were
-    /// computed for.
-    targets: Vec<HcRange>,
+    /// Radius the driver-held target set was computed for; targets are
+    /// rebuilt (in the driver's buffer) only when the circle shrinks.
     targets_r2: f64,
+    /// Whether the initial whole-space target set has been published.
+    published: bool,
     /// Min-distance cache for HC intervals (distances never change).
     dist_cache: HashMap<(u64, u64), f64>,
+    /// Reused decomposition buffer for target rebuilds.
+    decomp_buf: Vec<(HcRange, f64)>,
 }
 
 impl KnnMode {
@@ -184,9 +210,10 @@ impl KnnMode {
             mapper: *air.mapper(),
             strategy,
             cands: Candidates::new(k),
-            targets: vec![HcRange::new(0, air.curve().max_d())],
             targets_r2: f64::INFINITY,
+            published: false,
             dist_cache: HashMap::new(),
+            decomp_buf: Vec::new(),
         }
     }
 
@@ -200,14 +227,38 @@ impl KnnMode {
 }
 
 impl QueryMode for KnnMode {
-    fn targets(&mut self, _know: &Knowledge) -> Vec<HcRange> {
+    fn refresh_targets(&mut self, _know: &Knowledge, out: &mut Vec<HcRange>) -> bool {
         let r2 = self.cands.r2();
-        if r2 < self.targets_r2 {
-            self.targets_r2 = r2;
-            let bbox = Rect::bounding_square(self.q, r2.sqrt());
-            self.targets = ranges_in_rect(&self.curve, &self.mapper, &bbox);
+        if self.published && r2 >= self.targets_r2 {
+            return false;
         }
-        self.targets.clone()
+        self.published = true;
+        self.targets_r2 = r2;
+        if r2.is_infinite() {
+            // Fewer than k candidates known: the whole space is in play.
+            out.clear();
+            out.push(HcRange::new(0, self.curve.max_d()));
+        } else {
+            // Decompose the circle's bounding square; the exact min
+            // distance of every produced range falls out of the same pass
+            // and pre-warms the liveness cache, so the per-iteration
+            // `is_live` sweep never branch-and-bounds over fresh targets.
+            let bbox = Rect::bounding_square(self.q, r2.sqrt());
+            ranges_in_rect_with_dist_into(
+                &self.curve,
+                &self.mapper,
+                &bbox,
+                self.q,
+                &mut self.decomp_buf,
+            );
+            out.clear();
+            out.reserve(self.decomp_buf.len());
+            for &(r, d2) in &self.decomp_buf {
+                self.dist_cache.insert((r.lo, r.hi), d2);
+                out.push(r);
+            }
+        }
+        true
     }
 
     fn is_live(&mut self, r: &HcRange) -> bool {
@@ -236,20 +287,8 @@ impl QueryMode for KnnMode {
         self.cands.mark_retrieved(o.hc);
     }
 
-    fn complete(&self) -> bool {
-        // `top_k_retrieved` needs &mut for the radius cache; clone-free
-        // workaround: recompute here on a shadow view.
-        let mut v: Vec<(f64, u64, bool)> = self
-            .cands
-            .by_hc
-            .iter()
-            .map(|(&hc, c)| (c.ub2, hc, c.retrieved))
-            .collect();
-        if v.len() < self.cands.k {
-            return false;
-        }
-        v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("bounds are never NaN"));
-        v[..self.cands.k].iter().all(|&(_, _, r)| r)
+    fn complete(&mut self) -> bool {
+        self.cands.top_k_retrieved()
     }
 
     fn nav_pick(&mut self, rem: &[HcRange], entry_targets: &[(u32, u64)]) -> NavPick {
@@ -264,10 +303,7 @@ impl QueryMode for KnnMode {
                 let _ = rem;
                 let mut best: Option<(f64, u32)> = None;
                 for &(slot, hc) in entry_targets {
-                    let d2 = self
-                        .mapper
-                        .cell_rect(self.curve.d2xy(hc))
-                        .min_dist2(self.q);
+                    let d2 = self.mapper.cell_rect(self.curve.d2xy(hc)).min_dist2(self.q);
                     if best.is_none_or(|(b, _)| d2 < b) {
                         best = Some((d2, slot));
                     }
@@ -372,11 +408,21 @@ mod tests {
         let ds = SpatialDataset::build(&uniform(40, 3), 8);
         let air = DsiAir::build(&ds, DsiConfig::paper_reorganized());
         let mut tuner = Tuner::tune_in(air.program(), 11, LossModel::None, 1);
-        let got = air.knn_query(&mut tuner, Point::new(0.4, 0.6), 40, KnnStrategy::Conservative);
+        let got = air.knn_query(
+            &mut tuner,
+            Point::new(0.4, 0.6),
+            40,
+            KnnStrategy::Conservative,
+        );
         assert_eq!(got.len(), 40);
         // k larger than N clamps.
         let mut tuner = Tuner::tune_in(air.program(), 11, LossModel::None, 1);
-        let got = air.knn_query(&mut tuner, Point::new(0.4, 0.6), 99, KnnStrategy::Conservative);
+        let got = air.knn_query(
+            &mut tuner,
+            Point::new(0.4, 0.6),
+            99,
+            KnnStrategy::Conservative,
+        );
         assert_eq!(got.len(), 40);
     }
 

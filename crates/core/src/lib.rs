@@ -52,6 +52,7 @@ mod build;
 mod client;
 mod config;
 mod eef;
+pub mod hotpath;
 mod knn;
 mod layout;
 mod state;
@@ -60,8 +61,8 @@ mod window;
 
 pub use build::{DsiAir, DsiPacket, FrameMeta};
 pub use config::{
-    compute_framing, DsiConfig, Framing, FramingPolicy, ReorgStyle, ENTRY_BYTES, HC_BYTES, OBJECT_BYTES,
-    PACKET_HEADER_BYTES, POINTER_BYTES, TABLE_HEADER_BYTES,
+    compute_framing, DsiConfig, Framing, FramingPolicy, ReorgStyle, ENTRY_BYTES, HC_BYTES,
+    OBJECT_BYTES, PACKET_HEADER_BYTES, POINTER_BYTES, TABLE_HEADER_BYTES,
 };
 pub use knn::KnnStrategy;
 pub use layout::DsiLayout;

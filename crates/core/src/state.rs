@@ -13,27 +13,38 @@
 //! * [`ScanLog`] — which object headers of which frames the client has
 //!   resolved, including partial frames interrupted by link errors or
 //!   early exits.
-//! * [`cleared_regions`] — the derived set of HC intervals the client has
-//!   fully accounted for. A query terminates when its target segments are
-//!   covered by cleared regions (window queries) or when every uncleared
-//!   part of the search circle is provably farther than the k-th candidate
-//!   (kNN queries).
+//! * [`QueryState`] — the driver-facing aggregate: knowledge, scan log,
+//!   retries, the *cleared* HC intervals the client has fully accounted
+//!   for, and the *remainders* (targets − cleared) the query still
+//!   chases. Cleared regions and remainders are maintained
+//!   **incrementally**: every `learn` / header event applies a localized
+//!   delta instead of re-deriving the whole state, which is what keeps
+//!   the query loop allocation-free in steady state. The from-scratch
+//!   derivation survives as [`cleared_regions`] — the differential-test
+//!   oracle and the benchmark baseline (see [`crate::hotpath`]).
 //! * [`Retries`] — object slots whose header or payload was lost and must
-//!   be re-fetched in a later cycle.
+//!   be re-fetched in a later cycle, kept sorted per broadcast slot so
+//!   both visits and navigation read them without re-sorting.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::HashMap;
 
 use dsi_hilbert::{merge_ranges, HcRange};
 
+use crate::hotpath::{self, StatePath};
 use crate::layout::DsiLayout;
 
 /// Accumulated frame-boundary knowledge (exact minimum HC per frame).
+///
+/// One flat `Vec` of `(frame index, min HC)` pairs, sorted by frame
+/// index. Minimum HC values increase strictly with frame index, so the
+/// same Vec is simultaneously sorted by HC value and serves both lookup
+/// directions with a binary search; inserts shift the tail, which for
+/// frame counts in the thousands beats the pointer-chasing of the twin
+/// `BTreeMap`s it replaced.
 #[derive(Debug, Clone)]
 pub(crate) struct Knowledge {
-    /// HC-order frame index → exact minimum HC value of that frame.
-    by_idx: BTreeMap<u32, u64>,
-    /// Inverse direction (values are strictly increasing with index).
-    by_hc: BTreeMap<u64, u32>,
+    /// `(HC-order frame index, exact minimum HC of that frame)`, sorted.
+    bounds: Vec<(u32, u64)>,
     n_frames: u32,
     /// One past the largest representable HC value.
     max_hc_excl: u64,
@@ -43,51 +54,56 @@ impl Knowledge {
     /// Seeds knowledge with the broadcast schema: block start boundaries.
     pub fn new(layout: &DsiLayout, max_hc: u64) -> Self {
         let mut k = Self {
-            by_idx: BTreeMap::new(),
-            by_hc: BTreeMap::new(),
+            bounds: Vec::with_capacity(layout.n_blocks() as usize + 8),
             n_frames: layout.n_frames(),
             max_hc_excl: max_hc + 1,
         };
         for c in 0..layout.n_blocks() {
-            k.learn(layout.block_start_frame(c), layout.block_min_hc()[c as usize]);
+            k.learn(
+                layout.block_start_frame(c),
+                layout.block_min_hc()[c as usize],
+            );
         }
         k
     }
 
-    /// Records that HC-order frame `idx` starts at HC value `hc`.
-    pub fn learn(&mut self, idx: u32, hc: u64) {
+    /// Records that HC-order frame `idx` starts at HC value `hc`. Returns
+    /// whether this was new knowledge.
+    pub fn learn(&mut self, idx: u32, hc: u64) -> bool {
         debug_assert!(idx < self.n_frames);
-        if let Some(&old) = self.by_idx.get(&idx) {
-            debug_assert_eq!(old, hc, "inconsistent bound learned for frame {idx}");
-            return;
+        match self.bounds.binary_search_by_key(&idx, |&(i, _)| i) {
+            Ok(pos) => {
+                debug_assert_eq!(
+                    self.bounds[pos].1, hc,
+                    "inconsistent bound learned for frame {idx}"
+                );
+                false
+            }
+            Err(pos) => {
+                debug_assert!(pos == 0 || self.bounds[pos - 1].1 < hc);
+                debug_assert!(pos == self.bounds.len() || hc < self.bounds[pos].1);
+                self.bounds.insert(pos, (idx, hc));
+                true
+            }
         }
-        self.by_idx.insert(idx, hc);
-        self.by_hc.insert(hc, idx);
     }
 
     /// Exact minimum HC of frame `idx`, if known.
     pub fn known(&self, idx: u32) -> Option<u64> {
-        self.by_idx.get(&idx).copied()
+        self.bounds
+            .binary_search_by_key(&idx, |&(i, _)| i)
+            .ok()
+            .map(|pos| self.bounds[pos].1)
     }
 
     /// Conservative span `[lb, ub)` of frame `idx`: the true span is always
     /// contained in it. `lb` is the largest known bound at or before `idx`
-    /// (frames hold ascending HC runs, so the true start is ≥ `lb`… is ≥
-    /// the previous known bound and ≤ the next); `ub` is the smallest known
-    /// bound after `idx`.
+    /// (frames hold ascending HC runs, so the true start is ≥ `lb`); `ub`
+    /// is the smallest known bound after `idx`.
     pub fn span_est(&self, idx: u32) -> (u64, u64) {
-        let lb = self
-            .by_idx
-            .range(..=idx)
-            .next_back()
-            .map(|(_, &hc)| hc)
-            .unwrap_or(0);
-        let ub = self
-            .by_idx
-            .range(idx + 1..)
-            .next()
-            .map(|(_, &hc)| hc)
-            .unwrap_or(self.max_hc_excl);
+        let pos = self.bounds.partition_point(|&(i, _)| i <= idx);
+        let lb = if pos > 0 { self.bounds[pos - 1].1 } else { 0 };
+        let ub = self.bounds.get(pos).map_or(self.max_hc_excl, |&(_, hc)| hc);
         (lb, ub)
     }
 
@@ -110,11 +126,12 @@ impl Knowledge {
     /// knows).
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn safe_frame_for(&self, hc: u64) -> u32 {
-        self.by_hc
-            .range(..=hc)
-            .next_back()
-            .map(|(_, &idx)| idx)
-            .unwrap_or(0)
+        let pos = self.bounds.partition_point(|&(_, h)| h <= hc);
+        if pos > 0 {
+            self.bounds[pos - 1].0
+        } else {
+            0
+        }
     }
 
     /// One past the largest representable HC value.
@@ -132,6 +149,13 @@ pub(crate) struct FrameScan {
     /// First object index never attempted in a sequential pass (early-exit
     /// resume point).
     pub read_upto: u32,
+    /// Number of leading `Some` entries of `hcs` (maintained by
+    /// [`FrameScan::resolve`]). Headers are only resolved after their slot
+    /// was attempted, so this never exceeds `read_upto`.
+    prefix_len: u32,
+    /// Cleared contribution of this frame as last applied to the query's
+    /// [`ClearedSet`]. Contributions only ever grow.
+    contrib: Option<HcRange>,
 }
 
 impl FrameScan {
@@ -139,7 +163,44 @@ impl FrameScan {
         Self {
             hcs: vec![None; n_obj as usize],
             read_upto: 0,
+            prefix_len: 0,
+            contrib: None,
         }
+    }
+
+    /// Records the resolved HC of object `idx`, advancing the resolved
+    /// prefix over any holes this fills.
+    pub fn resolve(&mut self, idx: u32, hc: u64) {
+        self.hcs[idx as usize] = Some(hc);
+        let n = self.hcs.len() as u32;
+        while self.prefix_len < n && self.hcs[self.prefix_len as usize].is_some() {
+            self.prefix_len += 1;
+        }
+    }
+
+    /// The cleared interval this frame's scan currently vouches for: the
+    /// resolved header prefix `[h₀, h_{p−1}]`, extended through the empty
+    /// gap to the next frame's bound when the whole frame is resolved.
+    fn contribution(&self, t: u32, know: &Knowledge, layout: &DsiLayout) -> Option<HcRange> {
+        let p = self.prefix_len as usize;
+        if p == 0 {
+            return None;
+        }
+        let first = self.hcs[0].expect("non-empty resolved prefix");
+        let last = self.hcs[p - 1].expect("entry inside resolved prefix");
+        let hi = if p == self.hcs.len() {
+            if t + 1 == layout.n_frames() {
+                know.max_hc_excl() - 1
+            } else {
+                match know.known(t + 1) {
+                    Some(b) => b - 1,
+                    None => last,
+                }
+            }
+        } else {
+            last
+        };
+        Some(HcRange::new(first, hi.max(first)))
     }
 }
 
@@ -173,12 +234,25 @@ impl ScanLog {
 }
 
 /// Lost-packet bookkeeping: object slots to re-fetch in a later cycle.
+///
+/// Stored per broadcast slot with the pending object indices sorted, so a
+/// frame visit iterates its retries directly (no collect/sort/dedup) and
+/// the navigator reads each slot's earliest retry as `idxs[0]` (no
+/// per-call scratch map). Header and payload retries share one set: a
+/// payload retry re-reads the header anyway to re-qualify the object, so
+/// the distinction never changes the visit path.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Retries {
-    /// Headers lost: the client does not know the object yet.
-    pub headers: BTreeSet<(u32, u32)>,
-    /// Payload lost on an object that qualified: re-fetch the full record.
-    pub payloads: BTreeSet<(u32, u32)>,
+    /// Per-slot pending indices, sorted by slot id; `idxs` sorted, unique,
+    /// never empty.
+    slots: Vec<RetrySlot>,
+    total: usize,
+}
+
+#[derive(Debug, Clone)]
+struct RetrySlot {
+    slot: u32,
+    idxs: Vec<u32>,
 }
 
 impl Retries {
@@ -187,16 +261,111 @@ impl Retries {
     }
 
     pub fn is_empty(&self) -> bool {
-        self.headers.is_empty() && self.payloads.is_empty()
+        self.total == 0
     }
 
-    /// All pending (slot, idx) pairs, ascending.
-    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        self.headers.iter().chain(self.payloads.iter()).copied()
+    /// Marks object `idx` of broadcast slot `slot` as needing a re-fetch.
+    pub fn insert(&mut self, slot: u32, idx: u32) {
+        match self.slots.binary_search_by_key(&slot, |s| s.slot) {
+            Ok(si) => {
+                let idxs = &mut self.slots[si].idxs;
+                if let Err(pos) = idxs.binary_search(&idx) {
+                    idxs.insert(pos, idx);
+                    self.total += 1;
+                }
+            }
+            Err(si) => {
+                self.slots.insert(
+                    si,
+                    RetrySlot {
+                        slot,
+                        idxs: vec![idx],
+                    },
+                );
+                self.total += 1;
+            }
+        }
+    }
+
+    /// Clears the pending re-fetch of object `idx` in `slot`, if any.
+    pub fn remove(&mut self, slot: u32, idx: u32) {
+        if let Ok(si) = self.slots.binary_search_by_key(&slot, |s| s.slot) {
+            let idxs = &mut self.slots[si].idxs;
+            if let Ok(pos) = idxs.binary_search(&idx) {
+                idxs.remove(pos);
+                self.total -= 1;
+                if idxs.is_empty() {
+                    self.slots.remove(si);
+                }
+            }
+        }
+    }
+
+    /// Pending object indices of `slot`, ascending (empty slice if none).
+    pub fn for_slot(&self, slot: u32) -> &[u32] {
+        match self.slots.binary_search_by_key(&slot, |s| s.slot) {
+            Ok(si) => &self.slots[si].idxs,
+            Err(_) => &[],
+        }
+    }
+
+    /// All slots with pending retries as `(slot, sorted indices)`,
+    /// ascending by slot. Each slot's earliest retry is `idxs[0]`.
+    pub fn iter_slots(&self) -> impl Iterator<Item = (u32, &[u32])> {
+        self.slots.iter().map(|s| (s.slot, s.idxs.as_slice()))
     }
 }
 
-/// Derives the HC intervals the client has fully accounted for.
+/// The cleared HC intervals, kept sorted, disjoint and non-adjacent — the
+/// same canonical form [`merge_ranges`] produces, so the incremental set
+/// compares bit-for-bit against the from-scratch oracle.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ClearedSet {
+    ranges: Vec<HcRange>,
+}
+
+impl ClearedSet {
+    pub fn as_slice(&self) -> &[HcRange] {
+        &self.ranges
+    }
+
+    /// Inserts `r`, coalescing overlapping and adjacent ranges. Returns
+    /// whether the set's coverage grew.
+    pub fn insert(&mut self, r: HcRange) -> bool {
+        // First existing range that overlaps or is adjacent to `r`.
+        let start = self
+            .ranges
+            .partition_point(|c| c.hi.saturating_add(1) < r.lo);
+        let mut end = start;
+        while end < self.ranges.len() && self.ranges[end].lo <= r.hi.saturating_add(1) {
+            end += 1;
+        }
+        if start == end {
+            self.ranges.insert(start, r);
+            return true;
+        }
+        if end - start == 1 {
+            let c = self.ranges[start];
+            if c.lo <= r.lo && r.hi <= c.hi {
+                return false;
+            }
+        }
+        // `r` extends the first touched range and/or bridges to the later
+        // ones; ranges strictly between were separated by gaps `r` covers.
+        let merged = HcRange::new(
+            self.ranges[start].lo.min(r.lo),
+            self.ranges[end - 1].hi.max(r.hi),
+        );
+        self.ranges[start] = merged;
+        self.ranges.drain(start + 1..end);
+        true
+    }
+}
+
+/// Derives the HC intervals the client has fully accounted for, from
+/// scratch. This is the differential-test **oracle** and the
+/// `StatePath::FromScratch` benchmark baseline; the production path
+/// maintains the same set incrementally in [`QueryState`].
 ///
 /// For every scanned frame the resolved *prefix* of object headers
 /// `h₀ … h_{j−1}` clears `[h₀, h_{j−1}]` (those objects were examined, and
@@ -205,17 +374,13 @@ impl Retries {
 /// the end of HC space for the last frame) because the gap provably
 /// contains no objects. The region below the global minimum is cleared by
 /// the schema.
-pub(crate) fn cleared_regions(
-    log: &ScanLog,
-    know: &Knowledge,
-    layout: &DsiLayout,
-) -> Vec<HcRange> {
+pub(crate) fn cleared_regions(log: &ScanLog, know: &Knowledge, layout: &DsiLayout) -> Vec<HcRange> {
     let mut out = Vec::with_capacity(log.frames.len() + 1);
     if layout.global_min_hc() > 0 {
         out.push(HcRange::new(0, layout.global_min_hc() - 1));
     }
     for (&idx, scan) in log.iter() {
-        // Resolved prefix.
+        // Resolved prefix of the attempted part.
         let mut last = None;
         let mut first = None;
         let upto = scan.read_upto as usize;
@@ -257,10 +422,14 @@ pub(crate) fn cleared_regions(
     out
 }
 
-/// `targets − cleared`: the HC intervals still unaccounted for. Both input
-/// lists must be sorted and disjoint; the result is too.
-pub(crate) fn subtract_ranges(targets: &[HcRange], cleared: &[HcRange]) -> Vec<HcRange> {
-    let mut out = Vec::new();
+/// `targets − cleared` into a caller-provided buffer (cleared first). Both
+/// input lists must be sorted and disjoint; the result is too.
+pub(crate) fn subtract_ranges_into(
+    targets: &[HcRange],
+    cleared: &[HcRange],
+    out: &mut Vec<HcRange>,
+) {
+    out.clear();
     let mut ci = 0usize;
     for &t in targets {
         let mut lo = t.lo;
@@ -285,7 +454,247 @@ pub(crate) fn subtract_ranges(targets: &[HcRange], cleared: &[HcRange]) -> Vec<H
             cj += 1;
         }
     }
+}
+
+/// `targets − cleared` as a fresh Vec (oracle-side convenience).
+pub(crate) fn subtract_ranges(targets: &[HcRange], cleared: &[HcRange]) -> Vec<HcRange> {
+    let mut out = Vec::new();
+    subtract_ranges_into(targets, cleared, &mut out);
     out
+}
+
+/// Removes the single cleared interval `c` from the sorted disjoint
+/// remainder list, in place. At most one range is split in two; all other
+/// affected ranges shrink or vanish, so no allocation happens unless the
+/// list must grow past its capacity (amortized across the query).
+pub(crate) fn subtract_range_in_place(rem: &mut Vec<HcRange>, c: HcRange) {
+    let start = rem.partition_point(|t| t.hi < c.lo);
+    let mut end = start;
+    while end < rem.len() && rem[end].lo <= c.hi {
+        end += 1;
+    }
+    if start == end {
+        return;
+    }
+    let left = (rem[start].lo < c.lo).then(|| HcRange::new(rem[start].lo, c.lo - 1));
+    let last = rem[end - 1];
+    let right = (last.hi > c.hi).then(|| HcRange::new(c.hi + 1, last.hi));
+    match (left, right) {
+        (Some(l), Some(r)) => {
+            rem[start] = l;
+            if end - start >= 2 {
+                rem[start + 1] = r;
+                rem.drain(start + 2..end);
+            } else {
+                rem.insert(start + 1, r);
+            }
+        }
+        (Some(l), None) => {
+            rem[start] = l;
+            rem.drain(start + 1..end);
+        }
+        (None, Some(r)) => {
+            rem[start] = r;
+            rem.drain(start + 1..end);
+        }
+        (None, None) => {
+            rem.drain(start..end);
+        }
+    }
+}
+
+/// The query driver's aggregate state, with incremental cleared/remainder
+/// maintenance.
+///
+/// Invariant (checked against the oracle under `StatePath::Audit`): after
+/// every applied event, `cleared` equals [`cleared_regions`] of the
+/// current scan log and knowledge, and `rem` equals
+/// `targets − cleared` minus ranges the mode declared dead.
+pub(crate) struct QueryState<'l> {
+    layout: &'l DsiLayout,
+    pub know: Knowledge,
+    pub log: ScanLog,
+    pub retries: Retries,
+    cleared: ClearedSet,
+    /// Current target intervals (sorted, disjoint), owned here so modes
+    /// rebuild in place without allocating per iteration.
+    targets: Vec<HcRange>,
+    /// `targets − cleared`, minus dead ranges; maintained incrementally.
+    rem: Vec<HcRange>,
+    /// Whether `rem` changed since the last liveness sweep. Liveness is
+    /// monotone and only depends on mode state that changes together with
+    /// the targets, so an unchanged `rem` needs no re-sweep.
+    rem_dirty: bool,
+    path: StatePath,
+}
+
+impl<'l> QueryState<'l> {
+    pub fn new(layout: &'l DsiLayout, max_hc: u64) -> Self {
+        let know = Knowledge::new(layout, max_hc);
+        let mut cleared = ClearedSet::default();
+        if layout.global_min_hc() > 0 {
+            cleared.insert(HcRange::new(0, layout.global_min_hc() - 1));
+        }
+        Self {
+            layout,
+            know,
+            log: ScanLog::new(),
+            retries: Retries::new(),
+            cleared,
+            targets: Vec::new(),
+            rem: Vec::new(),
+            rem_dirty: false,
+            path: hotpath::state_path(),
+        }
+    }
+
+    /// The intervals the query has not accounted for yet.
+    pub fn rem(&self) -> &[HcRange] {
+        &self.rem
+    }
+
+    /// Records a learned frame bound and propagates the delta: a new bound
+    /// for frame `idx` can extend the cleared contribution of the fully
+    /// scanned frame `idx − 1`.
+    pub fn learn(&mut self, idx: u32, hc: u64) {
+        if self.know.learn(idx, hc) && idx > 0 {
+            self.refresh_frame(idx - 1);
+        }
+    }
+
+    /// Marks object `idx` of frame `t` as attempted (fresh sequential
+    /// read), moving the resume point past it.
+    pub fn note_attempted(&mut self, t: u32, n_obj: u32, idx: u32) {
+        let scan = self.log.entry(t, n_obj);
+        scan.read_upto = scan.read_upto.max(idx + 1);
+    }
+
+    /// Records a resolved object header: updates the scan, re-applies the
+    /// frame's cleared contribution, and (for the first object) learns the
+    /// frame's minimum. Call [`Self::note_attempted`] first for fresh
+    /// reads so the oracle's `read_upto` window always covers the
+    /// resolved prefix.
+    pub fn resolve_header(&mut self, t: u32, n_obj: u32, idx: u32, hc: u64) {
+        self.log.entry(t, n_obj).resolve(idx, hc);
+        self.refresh_frame(t);
+        if idx == 0 {
+            self.learn(t, hc);
+        }
+    }
+
+    /// Re-derives frame `t`'s cleared contribution and applies the growth
+    /// delta to the cleared set and the remainders.
+    fn refresh_frame(&mut self, t: u32) {
+        if self.path == StatePath::FromScratch {
+            // The baseline re-derives everything each loop iteration.
+            return;
+        }
+        let Some(scan) = self.log.get(t) else { return };
+        let Some(new) = scan.contribution(t, &self.know, self.layout) else {
+            return;
+        };
+        if scan.contrib == Some(new) {
+            return;
+        }
+        debug_assert!(
+            scan.contrib
+                .is_none_or(|old| old.lo == new.lo && old.hi <= new.hi),
+            "frame contribution must only grow: {:?} -> {new:?}",
+            scan.contrib
+        );
+        self.log
+            .frames
+            .get_mut(&t)
+            .expect("scan entry exists")
+            .contrib = Some(new);
+        hotpath::count_incremental_event();
+        self.cleared.insert(new);
+        subtract_range_in_place(&mut self.rem, new);
+        self.rem_dirty = true;
+        if self.path == StatePath::Audit {
+            self.audit_cleared();
+        }
+    }
+
+    /// Gives the mode a chance to rebuild its target set (in place, into
+    /// the state-owned buffer); rebuilds the remainders when it did. Under
+    /// `FromScratch` the remainders are instead re-derived fully, every
+    /// call — the pre-optimization behaviour the benchmarks compare
+    /// against.
+    pub fn refresh_targets(&mut self, refresh: impl FnOnce(&Knowledge, &mut Vec<HcRange>) -> bool) {
+        let changed = refresh(&self.know, &mut self.targets);
+        match self.path {
+            StatePath::FromScratch => {
+                hotpath::count_full_recompute();
+                // Faithful to the pre-optimization loop: a fresh copy of
+                // the targets, a fresh cleared list and a fresh remainder
+                // list, allocated every iteration.
+                let targets = self.targets.clone();
+                let cleared = cleared_regions(&self.log, &self.know, self.layout);
+                self.rem = subtract_ranges(&targets, &cleared);
+                self.rem_dirty = true;
+            }
+            StatePath::Incremental | StatePath::Audit => {
+                if changed {
+                    subtract_ranges_into(&self.targets, self.cleared.as_slice(), &mut self.rem);
+                    self.rem_dirty = true;
+                }
+            }
+        }
+    }
+
+    /// Drops remainders the mode declares dead (kNN: provably farther than
+    /// the k-th candidate). Liveness is monotone — dead ranges never
+    /// revive — so dropping them permanently preserves the audit
+    /// invariant, and an unchanged remainder list (already swept under the
+    /// same radius) needs no re-sweep.
+    pub fn retain_live(&mut self, mut is_live: impl FnMut(&HcRange) -> bool) {
+        if !self.rem_dirty {
+            return;
+        }
+        self.rem_dirty = false;
+        self.rem.retain(|r| is_live(r));
+    }
+
+    /// Whether nothing is missing: no remainders and no pending retries.
+    pub fn settled(&self) -> bool {
+        self.rem.is_empty() && self.retries.is_empty()
+    }
+
+    fn audit_cleared(&self) {
+        let oracle = cleared_regions(&self.log, &self.know, self.layout);
+        assert_eq!(
+            self.cleared.as_slice(),
+            oracle.as_slice(),
+            "incremental cleared set diverged from the from-scratch oracle"
+        );
+    }
+
+    /// Audit-path cross-check of the remainder state, called once per
+    /// driver iteration after liveness filtering.
+    ///
+    /// The cleared assert here is not redundant with the per-delta
+    /// [`Self::audit_cleared`] in `refresh_frame`: that one fires only
+    /// when a delta *is applied*, so it catches wrong deltas but not
+    /// *missed* ones (say, a `learn` that failed to refresh its
+    /// neighbour frame). This unconditional check catches the misses.
+    pub fn audit_rem(&self, mut is_live: impl FnMut(&HcRange) -> bool) {
+        if self.path != StatePath::Audit {
+            return;
+        }
+        let oracle_cleared = cleared_regions(&self.log, &self.know, self.layout);
+        assert_eq!(
+            self.cleared.as_slice(),
+            oracle_cleared.as_slice(),
+            "incremental cleared set diverged from the from-scratch oracle"
+        );
+        let mut oracle_rem = subtract_ranges(&self.targets, &oracle_cleared);
+        oracle_rem.retain(|r| is_live(r));
+        assert_eq!(
+            self.rem, oracle_rem,
+            "incremental remainders diverged from the from-scratch oracle"
+        );
+    }
 }
 
 #[cfg(test)]
@@ -309,8 +718,9 @@ mod tests {
         let mut k = Knowledge::new(&l, 1000);
         // Schema gives only frame 0's bound (one block).
         assert_eq!(k.span_est(3), (10, 1001));
-        k.learn(2, 30);
-        k.learn(5, 60);
+        assert!(k.learn(2, 30));
+        assert!(k.learn(5, 60));
+        assert!(!k.learn(5, 60), "re-learning is not new knowledge");
         assert_eq!(k.span_est(3), (30, 60));
         assert_eq!(k.span_est(2), (30, 60));
         assert_eq!(k.span_est(6), (60, 1001));
@@ -335,15 +745,23 @@ mod tests {
         assert_eq!(k.safe_frame_for(999), 5);
     }
 
+    fn scan_frame(log: &mut ScanLog, idx: u32, hcs: &[Option<u64>]) {
+        let s = log.entry(idx, hcs.len() as u32);
+        for (i, h) in hcs.iter().enumerate() {
+            if let Some(hc) = h {
+                s.resolve(i as u32, *hc);
+            }
+        }
+        s.read_upto = hcs.len() as u32;
+    }
+
     #[test]
     fn cleared_regions_prefix_and_extension() {
         let l = layout();
         let mut k = Knowledge::new(&l, 1000);
         let mut log = ScanLog::new();
         // Frame 1 fully scanned: objects at 20 and 25.
-        let s = log.entry(1, 2);
-        s.hcs = vec![Some(20), Some(25)];
-        s.read_upto = 2;
+        scan_frame(&mut log, 1, &[Some(20), Some(25)]);
         // Without frame 2's bound, cleared stops at 25.
         let c = cleared_regions(&log, &k, &l);
         assert_eq!(c, vec![HcRange::new(0, 9), HcRange::new(20, 25)]);
@@ -359,9 +777,7 @@ mod tests {
         let k = Knowledge::new(&l, 1000);
         let mut log = ScanLog::new();
         // Frame 3: first header lost, second resolved → nothing clearable.
-        let s = log.entry(3, 2);
-        s.hcs = vec![None, Some(45)];
-        s.read_upto = 2;
+        scan_frame(&mut log, 3, &[None, Some(45)]);
         let c = cleared_regions(&log, &k, &l);
         assert_eq!(c, vec![HcRange::new(0, 9)]);
     }
@@ -371,9 +787,7 @@ mod tests {
         let l = layout();
         let k = Knowledge::new(&l, 1000);
         let mut log = ScanLog::new();
-        let s = log.entry(7, 2);
-        s.hcs = vec![Some(80), Some(85)];
-        s.read_upto = 2;
+        scan_frame(&mut log, 7, &[Some(80), Some(85)]);
         let c = cleared_regions(&log, &k, &l);
         assert!(c.contains(&HcRange::new(80, 1000)));
     }
@@ -381,7 +795,11 @@ mod tests {
     #[test]
     fn subtract_ranges_cases() {
         let t = vec![HcRange::new(10, 50), HcRange::new(70, 80)];
-        let c = vec![HcRange::new(0, 14), HcRange::new(20, 29), HcRange::new(45, 75)];
+        let c = vec![
+            HcRange::new(0, 14),
+            HcRange::new(20, 29),
+            HcRange::new(45, 75),
+        ];
         assert_eq!(
             subtract_ranges(&t, &c),
             vec![
@@ -397,13 +815,97 @@ mod tests {
     }
 
     #[test]
-    fn retries_iterate_in_order() {
+    fn subtract_in_place_matches_oracle() {
+        let base = vec![
+            HcRange::new(10, 50),
+            HcRange::new(70, 80),
+            HcRange::new(90, 95),
+        ];
+        for c in [
+            HcRange::new(0, 5),
+            HcRange::new(0, 10),
+            HcRange::new(20, 30),
+            HcRange::new(10, 50),
+            HcRange::new(40, 75),
+            HcRange::new(45, 92),
+            HcRange::new(0, 200),
+            HcRange::new(96, 200),
+            HcRange::new(80, 90),
+        ] {
+            let mut got = base.clone();
+            subtract_range_in_place(&mut got, c);
+            let want = subtract_ranges(&base, &[c]);
+            assert_eq!(got, want, "subtracting {c:?}");
+        }
+    }
+
+    #[test]
+    fn cleared_set_insert_merges_and_reports_growth() {
+        let mut s = ClearedSet::default();
+        assert!(s.insert(HcRange::new(10, 20)));
+        assert!(s.insert(HcRange::new(30, 40)));
+        assert!(
+            !s.insert(HcRange::new(12, 18)),
+            "contained range is no growth"
+        );
+        // Adjacency coalesces like merge_ranges.
+        assert!(s.insert(HcRange::new(21, 25)));
+        assert_eq!(s.as_slice(), &[HcRange::new(10, 25), HcRange::new(30, 40)]);
+        // Bridging merges everything it touches.
+        assert!(s.insert(HcRange::new(24, 29)));
+        assert_eq!(s.as_slice(), &[HcRange::new(10, 40)]);
+        assert!(s.insert(HcRange::new(0, 2)));
+        assert_eq!(s.as_slice(), &[HcRange::new(0, 2), HcRange::new(10, 40)]);
+    }
+
+    #[test]
+    fn retries_sorted_per_slot() {
         let mut r = Retries::new();
         assert!(r.is_empty());
-        r.headers.insert((3, 1));
-        r.payloads.insert((2, 0));
-        let v: Vec<_> = r.iter().collect();
-        assert_eq!(v, vec![(3, 1), (2, 0)]);
+        r.insert(3, 1);
+        r.insert(2, 0);
+        r.insert(3, 0);
+        r.insert(3, 1); // duplicate ignored
         assert!(!r.is_empty());
+        assert_eq!(r.for_slot(3), &[0, 1]);
+        assert_eq!(r.for_slot(2), &[0]);
+        assert_eq!(r.for_slot(9), &[] as &[u32]);
+        let v: Vec<_> = r.iter_slots().map(|(s, i)| (s, i.to_vec())).collect();
+        assert_eq!(v, vec![(2, vec![0]), (3, vec![0, 1])]);
+        r.remove(3, 0);
+        assert_eq!(r.for_slot(3), &[1]);
+        r.remove(3, 1);
+        r.remove(2, 0);
+        assert!(r.is_empty());
+        assert_eq!(r.iter_slots().count(), 0);
+    }
+
+    #[test]
+    fn query_state_applies_deltas_incrementally() {
+        // Audit path: every delta below is cross-checked against the
+        // from-scratch oracle as it is applied.
+        hotpath::with_state_path(StatePath::Audit, query_state_delta_scenario);
+    }
+
+    fn query_state_delta_scenario() {
+        let l = layout();
+        let mut qs = QueryState::new(&l, 1000);
+        // Target the whole space; prime the remainder state.
+        qs.refresh_targets(|_, out| {
+            out.clear();
+            out.push(HcRange::new(0, 1000));
+            true
+        });
+        assert_eq!(qs.rem(), &[HcRange::new(10, 1000)]);
+        // Resolving frame 1 completely clears [20, 25] (no bound for 2 yet).
+        qs.note_attempted(1, 2, 0);
+        qs.resolve_header(1, 2, 0, 20);
+        qs.note_attempted(1, 2, 1);
+        qs.resolve_header(1, 2, 1, 25);
+        assert_eq!(qs.rem(), &[HcRange::new(10, 19), HcRange::new(26, 1000)]);
+        // Learning frame 2's bound extends the cleared gap to 29.
+        qs.learn(2, 30);
+        assert_eq!(qs.rem(), &[HcRange::new(10, 19), HcRange::new(30, 1000)]);
+        qs.audit_rem(|_| true);
     }
 }

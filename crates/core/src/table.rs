@@ -73,8 +73,11 @@ impl IndexTable {
             }
             let hc = u64::from_be_bytes(buf[at + pad..at + pad + 8].try_into().expect("8 bytes"));
             at += HC_BYTES as usize;
-            let delta =
-                u16::from_be_bytes(buf[at..at + POINTER_BYTES as usize].try_into().expect("2 bytes"));
+            let delta = u16::from_be_bytes(
+                buf[at..at + POINTER_BYTES as usize]
+                    .try_into()
+                    .expect("2 bytes"),
+            );
             at += POINTER_BYTES as usize;
             entries.push(TableEntry {
                 hc,
@@ -158,13 +161,43 @@ mod tests {
         // Slot 0: entries point 1, 2, 4 ahead (log2(8) = 3 entries).
         let t0 = &tables[0];
         assert_eq!(t0.entries.len(), 3);
-        assert_eq!(t0.entries[0], TableEntry { hc: mins[1], delta: 1 });
-        assert_eq!(t0.entries[1], TableEntry { hc: mins[2], delta: 2 });
-        assert_eq!(t0.entries[2], TableEntry { hc: mins[4], delta: 4 });
+        assert_eq!(
+            t0.entries[0],
+            TableEntry {
+                hc: mins[1],
+                delta: 1
+            }
+        );
+        assert_eq!(
+            t0.entries[1],
+            TableEntry {
+                hc: mins[2],
+                delta: 2
+            }
+        );
+        assert_eq!(
+            t0.entries[2],
+            TableEntry {
+                hc: mins[4],
+                delta: 4
+            }
+        );
         // Slot 6 wraps.
         let t6 = &tables[6];
-        assert_eq!(t6.entries[1], TableEntry { hc: mins[0], delta: 2 });
-        assert_eq!(t6.entries[2], TableEntry { hc: mins[2], delta: 4 });
+        assert_eq!(
+            t6.entries[1],
+            TableEntry {
+                hc: mins[0],
+                delta: 2
+            }
+        );
+        assert_eq!(
+            t6.entries[2],
+            TableEntry {
+                hc: mins[2],
+                delta: 4
+            }
+        );
     }
 
     #[test]

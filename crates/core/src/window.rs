@@ -20,12 +20,20 @@ use crate::state::Knowledge;
 struct WindowMode {
     window: Rect,
     segments: Vec<HcRange>,
+    /// Targets are static: they are handed to the driver exactly once.
+    published: bool,
     result: Vec<u32>,
 }
 
 impl QueryMode for WindowMode {
-    fn targets(&mut self, _know: &Knowledge) -> Vec<HcRange> {
-        self.segments.clone()
+    fn refresh_targets(&mut self, _know: &Knowledge, out: &mut Vec<HcRange>) -> bool {
+        if self.published {
+            return false;
+        }
+        self.published = true;
+        out.clear();
+        out.extend_from_slice(&self.segments);
+        true
     }
 
     fn on_header(&mut self, o: &Object) -> bool {
@@ -48,6 +56,7 @@ impl DsiAir {
         let mut mode = WindowMode {
             window: *window,
             segments,
+            published: false,
             result: Vec::new(),
         };
         run_query(self, tuner, &mut mode);

@@ -28,7 +28,9 @@ pub fn clustered(n: usize, n_clusters: usize, seed: u64) -> Vec<Point> {
         .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
         .collect();
     // Zipf-ish weights: w_i ∝ 1 / (i + 1)^0.8.
-    let weights: Vec<f64> = (0..n_clusters).map(|i| 1.0 / ((i + 1) as f64).powf(0.8)).collect();
+    let weights: Vec<f64> = (0..n_clusters)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(0.8))
+        .collect();
     let total: f64 = weights.iter().sum();
     let spreads: Vec<f64> = (0..n_clusters)
         .map(|_| 0.005 + rng.gen::<f64>() * 0.035)
@@ -118,7 +120,9 @@ mod tests {
         let a = uniform(1000, 42);
         let b = uniform(1000, 42);
         assert_eq!(a.len(), 1000);
-        assert!(a.iter().all(|p| (0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y)));
+        assert!(a
+            .iter()
+            .all(|p| (0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y)));
         assert_eq!(a, b);
         assert_ne!(a, uniform(1000, 43));
     }
@@ -127,7 +131,9 @@ mod tests {
     fn clustered_is_skewed() {
         let pts = clustered(2000, 16, 7);
         assert_eq!(pts.len(), 2000);
-        assert!(pts.iter().all(|p| (0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y)));
+        assert!(pts
+            .iter()
+            .all(|p| (0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y)));
         // Skew check: the occupied fraction of a 16×16 occupancy grid should
         // be well below uniform occupancy.
         let mut grid = [false; 256];
@@ -148,10 +154,16 @@ mod tests {
         let dir = std::env::temp_dir().join("dsi_datagen_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("pts.txt");
-        std::fs::write(&path, "# greek towns\n100.0 200.0\n300.0  250.0\n\n150 225\n").unwrap();
+        std::fs::write(
+            &path,
+            "# greek towns\n100.0 200.0\n300.0  250.0\n\n150 225\n",
+        )
+        .unwrap();
         let pts = load_points(&path).unwrap();
         assert_eq!(pts.len(), 3);
-        assert!(pts.iter().all(|p| (0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y)));
+        assert!(pts
+            .iter()
+            .all(|p| (0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y)));
         // Aspect ratio preserved: x spans [0,1], y spans [0, 0.25].
         assert!((pts[1].x - 1.0).abs() < 1e-12);
         assert!((pts[1].y - 0.25).abs() < 1e-12);

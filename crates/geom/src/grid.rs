@@ -193,7 +193,10 @@ mod tests {
         let m = GridMapper::covering(&pts, 8).unwrap();
         for &p in &pts {
             let c = m.cell_of(p);
-            assert!(m.cell_rect(c).contains(p), "point {p:?} not inside its cell");
+            assert!(
+                m.cell_rect(c).contains(p),
+                "point {p:?} not inside its cell"
+            );
         }
     }
 
@@ -205,9 +208,7 @@ mod tests {
     #[test]
     fn cells_overlapping_clips() {
         let m = GridMapper::unit_square(2); // 4×4
-        let (lo, hi) = m
-            .cells_overlapping(&Rect::new(0.3, 0.3, 0.8, 0.6))
-            .unwrap();
+        let (lo, hi) = m.cells_overlapping(&Rect::new(0.3, 0.3, 0.8, 0.6)).unwrap();
         assert_eq!(lo, Cell::new(1, 1));
         assert_eq!(hi, Cell::new(3, 2));
         assert!(m

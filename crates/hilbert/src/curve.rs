@@ -77,7 +77,11 @@ impl HilbertCurve {
     ///
     /// Panics in debug builds if `d` exceeds [`HilbertCurve::max_d`].
     pub fn d2xy(&self, d: u64) -> Cell {
-        debug_assert!(d <= self.max_d(), "d {d} outside order-{} curve", self.order);
+        debug_assert!(
+            d <= self.max_d(),
+            "d {d} outside order-{} curve",
+            self.order
+        );
         let (mut x, mut y) = (0u32, 0u32);
         let mut t = d;
         let mut s: u32 = 1;

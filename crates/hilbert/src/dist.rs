@@ -64,19 +64,17 @@ fn visit(
         return;
     }
     // Recurse children nearest-first so later children prune on `best`.
+    // Each child's bound is computed once (not per comparison).
     let half = 1u32 << (level - 1);
     let mut children = [
         (x0, y0),
         (x0 + half, y0),
         (x0, y0 + half),
         (x0 + half, y0 + half),
-    ];
-    children.sort_by(|&(ax, ay), &(bx, by)| {
-        let da = block_rect(mapper, ax, ay, level - 1).min_dist2(q);
-        let db = block_rect(mapper, bx, by, level - 1).min_dist2(q);
-        da.partial_cmp(&db).expect("mindist is never NaN")
-    });
-    for (cx, cy) in children {
+    ]
+    .map(|(cx, cy)| (block_rect(mapper, cx, cy, level - 1).min_dist2(q), cx, cy));
+    children.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("mindist is never NaN"));
+    for (_, cx, cy) in children {
         visit(curve, mapper, q, range, cx, cy, level - 1, best);
     }
 }

@@ -27,5 +27,8 @@ mod zorder;
 
 pub use curve::HilbertCurve;
 pub use dist::min_dist2_to_range;
-pub use ranges::{merge_ranges, ranges_in_cell_rect, ranges_in_rect, HcRange};
+pub use ranges::{
+    merge_ranges, ranges_in_cell_rect, ranges_in_rect, ranges_in_rect_into,
+    ranges_in_rect_with_dist_into, HcRange,
+};
 pub use zorder::ZOrderCurve;

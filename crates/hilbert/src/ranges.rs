@@ -9,7 +9,7 @@
 //! Adjacent intervals are then merged so the result is the minimal set of
 //! maximal segments.
 
-use dsi_geom::{Cell, GridMapper, Rect};
+use dsi_geom::{Cell, GridMapper, Point, Rect};
 
 use crate::curve::HilbertCurve;
 
@@ -62,9 +62,25 @@ impl HcRange {
 /// query). Returns maximal disjoint ranges in ascending order; empty if the
 /// window misses the grid.
 pub fn ranges_in_rect(curve: &HilbertCurve, mapper: &GridMapper, rect: &Rect) -> Vec<HcRange> {
-    match mapper.cells_overlapping(rect) {
-        Some((lo, hi)) => ranges_in_cell_rect(curve, lo, hi),
-        None => Vec::new(),
+    let mut out = Vec::new();
+    ranges_in_rect_into(curve, mapper, rect, &mut out);
+    out
+}
+
+/// Like [`ranges_in_rect`], but writes into a caller-provided buffer
+/// (cleared first) so repeated decompositions — e.g. a kNN client
+/// re-deriving its target set every time the search circle shrinks — can
+/// reuse one allocation.
+pub fn ranges_in_rect_into(
+    curve: &HilbertCurve,
+    mapper: &GridMapper,
+    rect: &Rect,
+    out: &mut Vec<HcRange>,
+) {
+    out.clear();
+    if let Some((lo, hi)) = mapper.cells_overlapping(rect) {
+        assert!(lo.x <= hi.x && lo.y <= hi.y, "inverted cell rectangle");
+        descend(curve, lo, hi, out);
     }
 }
 
@@ -73,21 +89,114 @@ pub fn ranges_in_rect(curve: &HilbertCurve, mapper: &GridMapper, rect: &Rect) ->
 pub fn ranges_in_cell_rect(curve: &HilbertCurve, lo: Cell, hi: Cell) -> Vec<HcRange> {
     assert!(lo.x <= hi.x && lo.y <= hi.y, "inverted cell rectangle");
     let mut out = Vec::new();
-    descend(curve, 0, 0, curve.order(), lo, hi, &mut out);
-    merge_ranges(&mut out);
+    descend(curve, lo, hi, &mut out);
     out
 }
 
-/// Recursive block descent. `(x0, y0)` is the block's lower-left cell and
-/// `level` its log2 side length.
-fn descend(
+/// Quadrant traversal tables of the 2D Hilbert curve: `CHILD_ORDER[s][k]`
+/// is the `(dx, dy)` offset of the k-th child visited by the curve in
+/// orientation `s`, and `CHILD_STATE[s][k]` that child's orientation.
+/// State 0 is the root orientation of [`HilbertCurve::xy2d`]; the tables
+/// were derived from it and are guarded by the exhaustive decomposition
+/// tests. Traversing children in curve order lets the descent carry each
+/// block's first HC value down the recursion — emissions arrive sorted,
+/// so no per-block `block_base`, no final sort, no merge pass.
+const CHILD_ORDER: [[(u32, u32); 4]; 4] = [
+    [(0, 0), (0, 1), (1, 1), (1, 0)],
+    [(0, 0), (1, 0), (1, 1), (0, 1)],
+    [(1, 1), (0, 1), (0, 0), (1, 0)],
+    [(1, 1), (1, 0), (0, 0), (0, 1)],
+];
+const CHILD_STATE: [[u8; 4]; 4] = [[1, 0, 0, 2], [0, 1, 1, 3], [3, 2, 2, 0], [2, 3, 3, 1]];
+
+/// Like [`ranges_in_rect_into`], but additionally reports each produced
+/// range's **exact** squared minimum distance from `q` to any cell of the
+/// range. The distance falls out of the decomposition for free (every
+/// emitted block's rectangle is known at emission; merged neighbours
+/// combine by minimum), which saves the caller a branch-and-bound
+/// [`crate::min_dist2_to_range`] per range — the dominant cost of kNN
+/// target refreshes.
+pub fn ranges_in_rect_with_dist_into(
     curve: &HilbertCurve,
+    mapper: &GridMapper,
+    rect: &Rect,
+    q: Point,
+    out: &mut Vec<(HcRange, f64)>,
+) {
+    out.clear();
+    let Some((lo, hi)) = mapper.cells_overlapping(rect) else {
+        return;
+    };
+    descend_ordered(
+        0,
+        0,
+        curve.order(),
+        0,
+        0,
+        lo,
+        hi,
+        &mut |x0, y0, level, base| {
+            let d2 = block_extent(mapper, x0, y0, level).min_dist2(q);
+            let r = HcRange::new(base, base + (1u64 << (2 * level)) - 1);
+            if let Some(last) = out.last_mut() {
+                if r.lo == last.0.hi + 1 {
+                    last.0.hi = r.hi;
+                    last.1 = last.1.min(d2);
+                    return;
+                }
+            }
+            out.push((r, d2));
+        },
+    );
+}
+
+/// The rectangle covering an aligned block's cell extents. Cells tile it,
+/// so its mindist to a point is the exact minimum over the block's cells.
+fn block_extent(mapper: &GridMapper, x0: u32, y0: u32, level: u8) -> Rect {
+    let bs = 1u32 << level;
+    let lo = mapper.cell_rect(Cell::new(x0, y0));
+    let hi = mapper.cell_rect(Cell::new(x0 + bs - 1, y0 + bs - 1));
+    lo.union(&hi)
+}
+
+/// Block descent emitting maximal merged ranges, already sorted.
+fn descend(curve: &HilbertCurve, lo: Cell, hi: Cell, out: &mut Vec<HcRange>) {
+    descend_ordered(
+        0,
+        0,
+        curve.order(),
+        0,
+        0,
+        lo,
+        hi,
+        &mut |_, _, level, base| {
+            let r = HcRange::new(base, base + (1u64 << (2 * level)) - 1);
+            if let Some(last) = out.last_mut() {
+                if r.lo == last.hi + 1 {
+                    last.hi = r.hi;
+                    return;
+                }
+            }
+            out.push(r);
+        },
+    );
+}
+
+/// Curve-order recursive block descent. `(x0, y0)` is the block's
+/// lower-left cell, `level` its log2 side length, `state` its curve
+/// orientation and `base` its first HC value. Calls `emit` once per
+/// maximal fully-contained block, in ascending HC order (so emissions
+/// merge with a single look-back).
+#[allow(clippy::too_many_arguments)]
+fn descend_ordered<F: FnMut(u32, u32, u8, u64)>(
     x0: u32,
     y0: u32,
     level: u8,
+    state: u8,
+    base: u64,
     lo: Cell,
     hi: Cell,
-    out: &mut Vec<HcRange>,
+    emit: &mut F,
 ) {
     let bs = 1u32 << level; // block side
     let bx1 = x0 + bs - 1;
@@ -96,24 +205,30 @@ fn descend(
     if bx1 < lo.x || x0 > hi.x || by1 < lo.y || y0 > hi.y {
         return;
     }
-    // Fully contained: the block's HC interval is contiguous.
+    // Fully contained: the block's HC interval is contiguous. This also
+    // catches every reached level-0 block — a single cell that overlaps
+    // the rectangle is inside it — so the recursion below never splits a
+    // cell.
     if x0 >= lo.x && bx1 <= hi.x && y0 >= lo.y && by1 <= hi.y {
-        let base = curve.block_base(Cell::new(x0, y0), level);
-        out.push(HcRange::new(base, base + (1u64 << (2 * level)) - 1));
+        emit(x0, y0, level, base);
         return;
     }
-    if level == 0 {
-        // Single cell partially checked above; reaching here means inside.
-        let d = curve.xy2d(Cell::new(x0, y0));
-        out.push(HcRange::new(d, d));
-        return;
-    }
+    debug_assert!(level > 0, "partial overlap is impossible for single cells");
     let half = bs >> 1;
-    let child = level - 1;
-    descend(curve, x0, y0, child, lo, hi, out);
-    descend(curve, x0 + half, y0, child, lo, hi, out);
-    descend(curve, x0, y0 + half, child, lo, hi, out);
-    descend(curve, x0 + half, y0 + half, child, lo, hi, out);
+    let child_span = 1u64 << (2 * (level - 1));
+    let s = state as usize;
+    for (k, &(dx, dy)) in CHILD_ORDER[s].iter().enumerate() {
+        descend_ordered(
+            x0 + dx * half,
+            y0 + dy * half,
+            level - 1,
+            CHILD_STATE[s][k],
+            base + k as u64 * child_span,
+            lo,
+            hi,
+            emit,
+        );
+    }
 }
 
 /// Sorts ranges and merges overlapping or adjacent ones in place.
@@ -244,7 +359,11 @@ mod tests {
         merge_ranges(&mut rs);
         assert_eq!(
             rs,
-            vec![HcRange::new(0, 6), HcRange::new(10, 15), HcRange::new(20, 20)]
+            vec![
+                HcRange::new(0, 6),
+                HcRange::new(10, 15),
+                HcRange::new(20, 20)
+            ]
         );
     }
 
@@ -275,7 +394,10 @@ mod tests {
             cells.iter().map(|c| c.y).max().unwrap(),
         );
         // The cells must form exactly that rectangle for the example to hold.
-        assert_eq!(((max.x - min.x + 1) * (max.y - min.y + 1)) as usize, cells.len());
+        assert_eq!(
+            ((max.x - min.x + 1) * (max.y - min.y + 1)) as usize,
+            cells.len()
+        );
         let rs = ranges_in_cell_rect(&c, min, max);
         assert_eq!(
             rs,

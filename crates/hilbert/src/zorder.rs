@@ -136,11 +136,7 @@ mod tests {
             h_total += step(h.d2xy(d), h.d2xy(d + 1));
             z_total += step(z.d2xy(d), z.d2xy(d + 1));
         }
-        assert_eq!(
-            h_total,
-            h.max_d(),
-            "every Hilbert step is a unit step"
-        );
+        assert_eq!(h_total, h.max_d(), "every Hilbert step is a unit step");
         assert!(
             z_total > 19 * h_total / 10,
             "Z-order steps should average nearly twice the unit length: {z_total} vs {h_total}"

@@ -2,7 +2,10 @@
 //! exactness, and distance lower bounds.
 
 use dsi_geom::{Cell, GridMapper, Point, Rect};
-use dsi_hilbert::{min_dist2_to_range, ranges_in_cell_rect, ranges_in_rect, HcRange, HilbertCurve};
+use dsi_hilbert::{
+    min_dist2_to_range, ranges_in_cell_rect, ranges_in_rect, ranges_in_rect_with_dist_into,
+    HcRange, HilbertCurve,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -90,6 +93,33 @@ proptest! {
             let d = c.xy2d(m.cell_of(p));
             prop_assert!(ranges.iter().any(|r| r.contains(d)),
                 "point {p:?} in window but HC {d} uncovered");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn with_dist_decomposition_matches_plain_and_exact_distances(
+        order in 2u8..7,
+        cx in -0.3..1.3f64, cy in -0.3..1.3f64, side in 0.05..0.9f64,
+        qx in -0.5..1.5f64, qy in -0.5..1.5f64,
+    ) {
+        let c = HilbertCurve::new(order);
+        let m = GridMapper::unit_square(order);
+        let w = Rect::window_in_unit_square(Point::new(cx, cy), side);
+        let q = Point::new(qx, qy);
+        let plain = ranges_in_rect(&c, &m, &w);
+        let mut with_dist = Vec::new();
+        ranges_in_rect_with_dist_into(&c, &m, &w, q, &mut with_dist);
+        // Same ranges…
+        let got_ranges: Vec<HcRange> = with_dist.iter().map(|&(r, _)| r).collect();
+        prop_assert_eq!(&got_ranges, &plain);
+        // …and each distance equals the branch-and-bound oracle.
+        for &(r, d2) in &with_dist {
+            let want = min_dist2_to_range(&c, &m, q, r);
+            prop_assert!((d2 - want).abs() < 1e-12, "range {r:?}: got {d2}, want {want}");
         }
     }
 }

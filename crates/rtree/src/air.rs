@@ -50,14 +50,18 @@ impl RtreeAirConfig {
     /// Internal-node fanout at this capacity (≥ 2; nodes may span several
     /// packets when the capacity cannot fit two 34-byte entries).
     pub fn internal_fanout(&self) -> u32 {
-        ((self.capacity.saturating_sub(PACKET_HEADER_BYTES + NODE_HEADER_BYTES))
+        ((self
+            .capacity
+            .saturating_sub(PACKET_HEADER_BYTES + NODE_HEADER_BYTES))
             / INTERNAL_ENTRY_BYTES)
             .max(2)
     }
 
     /// Leaf fanout at this capacity.
     pub fn leaf_fanout(&self) -> u32 {
-        ((self.capacity.saturating_sub(PACKET_HEADER_BYTES + NODE_HEADER_BYTES))
+        ((self
+            .capacity
+            .saturating_sub(PACKET_HEADER_BYTES + NODE_HEADER_BYTES))
             / LEAF_ENTRY_BYTES)
             .max(2)
     }
@@ -208,7 +212,9 @@ impl RTreeAir {
                             path_offset: off,
                         };
                     }
-                    NodeWhere::PerSegment { last, path_offset, .. } => {
+                    NodeWhere::PerSegment {
+                        last, path_offset, ..
+                    } => {
                         debug_assert_eq!(*path_offset, off);
                         *last = si as u32;
                     }
@@ -304,9 +310,9 @@ impl RTreeAir {
                 // Earliest copy at or after `from` among covered segments.
                 let mut best = u64::MAX;
                 for s in *first..=*last {
-                    let abs =
-                        self.program
-                            .next_occurrence(from, self.segment_starts[s as usize] + path_offset);
+                    let abs = self
+                        .program
+                        .next_occurrence(from, self.segment_starts[s as usize] + path_offset);
                     best = best.min(abs);
                 }
                 best

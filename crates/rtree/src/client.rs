@@ -114,18 +114,25 @@ impl RTreeAir {
                             for &k in kids {
                                 let child = &self.tree.levels[level as usize - 1][k as usize];
                                 if child.mbr.intersects(window) {
-                                    let at =
-                                        self.node_next_occurrence(tuner.pos(), level - 1, k);
-                                    push(&mut pending, at, Item::Node { level: level - 1, idx: k });
+                                    let at = self.node_next_occurrence(tuner.pos(), level - 1, k);
+                                    push(
+                                        &mut pending,
+                                        at,
+                                        Item::Node {
+                                            level: level - 1,
+                                            idx: k,
+                                        },
+                                    );
                                 }
                             }
                         }
                         Children::Objects { start, count } => {
                             for obj in *start..*start + *count {
                                 if window.contains(self.tree.objects[obj as usize].1) {
-                                    let at = self
-                                        .program
-                                        .next_occurrence(tuner.pos(), self.object_pos[obj as usize]);
+                                    let at = self.program.next_occurrence(
+                                        tuner.pos(),
+                                        self.object_pos[obj as usize],
+                                    );
                                     push(&mut pending, at, Item::Object { obj });
                                 }
                             }
@@ -170,9 +177,9 @@ impl RTreeAir {
             let item = decode(kind, payload);
             // Prune anything provably outside the search space.
             let min2 = match item {
-                Item::Node { level, idx } => {
-                    self.tree.levels[level as usize][idx as usize].mbr.min_dist2(q)
-                }
+                Item::Node { level, idx } => self.tree.levels[level as usize][idx as usize]
+                    .mbr
+                    .min_dist2(q),
                 Item::Object { obj } => dist2(q, self.tree.objects[obj as usize].1),
             };
             if min2 > cands.r2() {
@@ -202,8 +209,7 @@ impl RTreeAir {
                                         idx: k,
                                     };
                                     cands.add_virtual(it, child.mbr.max_dist2(q));
-                                    let at =
-                                        self.node_next_occurrence(tuner.pos(), level - 1, k);
+                                    let at = self.node_next_occurrence(tuner.pos(), level - 1, k);
                                     push(&mut pending, at, it);
                                 }
                             }
@@ -215,9 +221,10 @@ impl RTreeAir {
                                 if d2 <= cands.r2() {
                                     let it = Item::Object { obj };
                                     cands.add_exact(it, d2);
-                                    let at = self
-                                        .program
-                                        .next_occurrence(tuner.pos(), self.object_pos[obj as usize]);
+                                    let at = self.program.next_occurrence(
+                                        tuner.pos(),
+                                        self.object_pos[obj as usize],
+                                    );
                                     push(&mut pending, at, it);
                                 }
                             }
@@ -362,7 +369,11 @@ mod tests {
     }
 
     fn brute_window(pts: &[(u32, Point)], w: &Rect) -> Vec<u32> {
-        let mut v: Vec<u32> = pts.iter().filter(|(_, p)| w.contains(*p)).map(|(id, _)| *id).collect();
+        let mut v: Vec<u32> = pts
+            .iter()
+            .filter(|(_, p)| w.contains(*p))
+            .map(|(id, _)| *id)
+            .collect();
         v.sort_unstable();
         v
     }
@@ -386,7 +397,11 @@ mod tests {
                 let w = Rect::window_in_unit_square(c, 0.3);
                 let start = (i * 9973) % air.program().len();
                 let mut t = Tuner::tune_in(air.program(), start, LossModel::None, i);
-                assert_eq!(air.window_query(&mut t, &w), brute_window(&pts, &w), "cap {cap}");
+                assert_eq!(
+                    air.window_query(&mut t, &w),
+                    brute_window(&pts, &w),
+                    "cap {cap}"
+                );
                 let s = t.stats();
                 assert!(s.latency_packets <= 3 * air.program().len());
             }
@@ -404,7 +419,11 @@ mod tests {
                 for k in [1usize, 5, 10] {
                     let start = (i * 7919) % air.program().len();
                     let mut t = Tuner::tune_in(air.program(), start, LossModel::None, i);
-                    assert_eq!(air.knn_query(&mut t, q, k), brute_knn(&pts, q, k), "cap {cap} k {k}");
+                    assert_eq!(
+                        air.knn_query(&mut t, q, k),
+                        brute_knn(&pts, q, k),
+                        "cap {cap} k {k}"
+                    );
                 }
             }
         }

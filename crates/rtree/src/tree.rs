@@ -70,7 +70,11 @@ impl RTree {
     /// Panics when an invariant is violated.
     pub fn validate(&self) {
         assert!(!self.levels.is_empty(), "tree has no levels");
-        assert_eq!(self.levels.last().expect("non-empty").len(), 1, "root level must be single");
+        assert_eq!(
+            self.levels.last().expect("non-empty").len(),
+            1,
+            "root level must be single"
+        );
         // Leaves: MBR contains objects; ranges partition the object array.
         let mut covered = vec![false; self.objects.len()];
         for leaf in &self.levels[0] {
@@ -95,7 +99,10 @@ impl RTree {
                     panic!("internal node with object children at level {lv}");
                 };
                 for &k in kids {
-                    assert!(!covered[k as usize], "node {k} has two parents at level {lv}");
+                    assert!(
+                        !covered[k as usize],
+                        "node {k} has two parents at level {lv}"
+                    );
                     covered[k as usize] = true;
                     assert!(
                         node.mbr.contains_rect(&self.levels[lv - 1][k as usize].mbr),
@@ -103,7 +110,10 @@ impl RTree {
                     );
                 }
             }
-            assert!(covered.iter().all(|&b| b), "level {lv} does not cover level below");
+            assert!(
+                covered.iter().all(|&b| b),
+                "level {lv} does not cover level below"
+            );
         }
     }
 }

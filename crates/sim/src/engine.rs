@@ -30,10 +30,7 @@ impl Scheme {
 
     /// DSI on the original ascending-HC broadcast.
     pub fn dsi_original(capacity: u32, strategy: KnnStrategy) -> Self {
-        Scheme::Dsi(
-            DsiConfig::paper_default().with_capacity(capacity),
-            strategy,
-        )
+        Scheme::Dsi(DsiConfig::paper_default().with_capacity(capacity), strategy)
     }
 }
 
@@ -58,7 +55,10 @@ impl Engine {
             Scheme::RTree => {
                 let pts: Vec<(u32, Point)> =
                     dataset.objects().iter().map(|o| (o.id, o.pos)).collect();
-                Engine::RTree(Box::new(RTreeAir::build(&pts, RtreeAirConfig::new(capacity))))
+                Engine::RTree(Box::new(RTreeAir::build(
+                    &pts,
+                    RtreeAirConfig::new(capacity),
+                )))
             }
             Scheme::Hci => Engine::Hci(Box::new(BpAir::build(dataset, BpAirConfig::new(capacity)))),
         }

@@ -48,7 +48,9 @@ impl ExpOptions {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(10_000);
-        let validate = std::env::var("DSI_VALIDATE").map(|v| v != "0").unwrap_or(true);
+        let validate = std::env::var("DSI_VALIDATE")
+            .map(|v| v != "0")
+            .unwrap_or(true);
         Self {
             n_queries,
             dataset_n,
@@ -139,11 +141,7 @@ pub fn fig8(opts: &ExpOptions) -> Vec<Table> {
         win_orig.push(Some(run_window_batch(&orig, &ds, &windows, &batch)));
         win_reorg.push(Some(run_window_batch(&reorg, &ds, &windows, &batch)));
         knn_cons.push(Some(run_knn_batch(&orig, &ds, &points, DEFAULT_K, &batch)));
-        let aggr = Engine::build(
-            Scheme::dsi_original(cap, KnnStrategy::Aggressive),
-            &ds,
-            cap,
-        );
+        let aggr = Engine::build(Scheme::dsi_original(cap, KnnStrategy::Aggressive), &ds, cap);
         knn_aggr.push(Some(run_knn_batch(&aggr, &ds, &points, DEFAULT_K, &batch)));
         knn_reorg.push(Some(run_knn_batch(&reorg, &ds, &points, DEFAULT_K, &batch)));
     }
@@ -236,7 +234,9 @@ pub fn fig10(opts: &ExpOptions) -> Vec<Table> {
     for &ratio in &ratios {
         let windows = window_queries(opts.n_queries, ratio, 11);
         for (si, (_, e)) in engines.iter().enumerate() {
-            series[si].1.push(Some(run_window_batch(e, &ds, &windows, &batch)));
+            series[si]
+                .1
+                .push(Some(run_window_batch(e, &ds, &windows, &batch)));
         }
     }
     let xs: Vec<String> = ratios.iter().map(|r| r.to_string()).collect();
@@ -291,7 +291,9 @@ pub fn fig12(opts: &ExpOptions) -> Vec<Table> {
         .collect();
     for &k in &ks {
         for (si, (_, e)) in engines.iter().enumerate() {
-            series[si].1.push(Some(run_knn_batch(e, &ds, &points, k, &batch)));
+            series[si]
+                .1
+                .push(Some(run_knn_batch(e, &ds, &points, k, &batch)));
         }
     }
     let xs: Vec<String> = ks.iter().map(|k| k.to_string()).collect();
@@ -406,11 +408,7 @@ pub fn real_summary(opts: &ExpOptions) -> Vec<Table> {
     let (dsi, rt, hci) = (&results[0], &results[1], &results[2]);
     let mut ratios = Table::new(
         "REAL surrogate — DSI as a fraction of each baseline (paper §4.2/4.3 quotes)",
-        vec![
-            "metric".into(),
-            "DSI/R-tree".into(),
-            "DSI/HCI".into(),
-        ],
+        vec!["metric".into(), "DSI/R-tree".into(), "DSI/HCI".into()],
     );
     let frac = |a: f64, b: f64| fmt_pct(a / b * 100.0);
     ratios.push_row(vec![
@@ -477,11 +475,7 @@ pub fn ablations(opts: &ExpOptions) -> Vec<Table> {
     // Segment count m.
     let mut t = Table::new(
         "Ablation — broadcast segments m (DSI conservative, 256 B)",
-        vec![
-            "m".into(),
-            "10NN latency".into(),
-            "10NN tuning".into(),
-        ],
+        vec!["m".into(), "10NN latency".into(), "10NN tuning".into()],
     );
     for m in [1u32, 2, 4, 8] {
         let cfg = DsiConfig {
@@ -501,11 +495,7 @@ pub fn ablations(opts: &ExpOptions) -> Vec<Table> {
     // Interleave style.
     let mut t = Table::new(
         "Ablation — interleave style (m = 2, 256 B)",
-        vec![
-            "style".into(),
-            "10NN latency".into(),
-            "10NN tuning".into(),
-        ],
+        vec!["style".into(), "10NN latency".into(), "10NN tuning".into()],
     );
     for (name, style) in [
         ("round-robin", ReorgStyle::RoundRobin),
@@ -528,11 +518,7 @@ pub fn ablations(opts: &ExpOptions) -> Vec<Table> {
     // Loss scope: what if data payloads were NOT protected?
     let mut t = Table::new(
         "Ablation — loss scope at theta = 0.2 (DSI reorganized, 64 B, window)",
-        vec![
-            "scope".into(),
-            "latency".into(),
-            "tuning".into(),
-        ],
+        vec!["scope".into(), "latency".into(), "tuning".into()],
     );
     let e = Engine::build(Scheme::dsi_reorganized(64), &ds, 64);
     for (name, loss) in [

@@ -73,15 +73,30 @@ fn run_batch<Q: Sync>(
         .min(queries.len().max(1));
     let chunk = queries.len().div_ceil(threads.max(1)).max(1);
     let mut stats = vec![QueryStats::default(); queries.len()];
+    // The query engine's state-path switch (incremental vs from-scratch,
+    // see `dsi_core::hotpath`) is thread-local; propagate the caller's
+    // choice into the worker threads so batch experiments honour it.
+    let state_path = dsi_core::hotpath::state_path();
     std::thread::scope(|scope| {
-        for (qi_chunk, out_chunk) in queries.chunks(chunk).zip(stats.chunks_mut(chunk)).enumerate().map(|(ci, (q, s))| ((ci * chunk, q), s)) {
+        for (qi_chunk, out_chunk) in queries
+            .chunks(chunk)
+            .zip(stats.chunks_mut(chunk))
+            .enumerate()
+            .map(|(ci, (q, s))| ((ci * chunk, q), s))
+        {
             let ((base, qs), out) = (qi_chunk, out_chunk);
             let starts = &starts;
             let run = &run;
             scope.spawn(move || {
+                dsi_core::hotpath::set_state_path(state_path);
                 for (i, q) in qs.iter().enumerate() {
                     let qi = base + i;
-                    out[i] = run(engine, starts[qi], opts.seed ^ (qi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15), q);
+                    out[i] = run(
+                        engine,
+                        starts[qi],
+                        opts.seed ^ (qi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        q,
+                    );
                 }
             });
         }

@@ -57,7 +57,9 @@ fn main() {
     // ---- Point query (energy-efficient forwarding) ------------------------
     let target = dataset.objects()[1234];
     let mut tuner = Tuner::tune_in(air.program(), 55_555, LossModel::None, 3);
-    let found = air.point_query_hc(&mut tuner, target.hc).expect("object exists");
+    let found = air
+        .point_query_hc(&mut tuner, target.hc)
+        .expect("object exists");
     assert_eq!(found.id, target.id);
     println!(
         "point query via EEF: found object {} with {} packets of tuning",

@@ -14,7 +14,10 @@ fn dataset() -> SpatialDataset {
 fn schemes() -> Vec<(&'static str, Scheme)> {
     vec![
         ("dsi-reorg", Scheme::dsi_reorganized(64)),
-        ("dsi-aggressive", Scheme::dsi_original(64, KnnStrategy::Aggressive)),
+        (
+            "dsi-aggressive",
+            Scheme::dsi_original(64, KnnStrategy::Aggressive),
+        ),
         ("rtree", Scheme::RTree),
         ("hci", Scheme::Hci),
     ]
@@ -56,8 +59,14 @@ fn batches_are_reproducible_across_runs() {
         let e2 = Engine::build(scheme, &ds, 64);
         let a = run_window_batch(&e1, &ds, &windows, &opts);
         let b = run_window_batch(&e2, &ds, &windows, &opts);
-        assert_eq!(a.latency_bytes, b.latency_bytes, "{name} latency not deterministic");
-        assert_eq!(a.tuning_bytes, b.tuning_bytes, "{name} tuning not deterministic");
+        assert_eq!(
+            a.latency_bytes, b.latency_bytes,
+            "{name} latency not deterministic"
+        );
+        assert_eq!(
+            a.tuning_bytes, b.tuning_bytes,
+            "{name} tuning not deterministic"
+        );
     }
 }
 
@@ -102,8 +111,20 @@ fn dsi_beats_baselines_on_knn_latency() {
         10,
         &opts,
     );
-    let rtree = run_knn_batch(&Engine::build(Scheme::RTree, &ds, 64), &ds, &points, 10, &opts);
-    let hci = run_knn_batch(&Engine::build(Scheme::Hci, &ds, 64), &ds, &points, 10, &opts);
+    let rtree = run_knn_batch(
+        &Engine::build(Scheme::RTree, &ds, 64),
+        &ds,
+        &points,
+        10,
+        &opts,
+    );
+    let hci = run_knn_batch(
+        &Engine::build(Scheme::Hci, &ds, 64),
+        &ds,
+        &points,
+        10,
+        &opts,
+    );
     assert!(
         dsi.latency_bytes < rtree.latency_bytes,
         "DSI {} should beat R-tree {}",

@@ -1,0 +1,175 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of the criterion API the workspace's benches use
+//! (`bench_function`, `Bencher::iter`, `criterion_group!` /
+//! `criterion_main!`, `black_box`) on top of a plain wall-clock harness:
+//! per benchmark it warms up, picks an iteration count targeting a fixed
+//! measurement window, and reports mean ns/iter over `sample_size`
+//! samples. No statistics beyond mean/min/max, no HTML reports.
+//!
+//! When invoked with `--test` (as `cargo test` does for `harness = false`
+//! bench targets) every benchmark body runs exactly once as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample measurement window the harness aims for.
+const TARGET_SAMPLE: Duration = Duration::from_millis(25);
+
+/// Benchmark runner configuration and registry.
+pub struct Criterion {
+    sample_size: usize,
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke_test = std::env::args().any(|a| a == "--test");
+        Self {
+            sample_size: 20,
+            smoke_test,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Defines and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        if self.smoke_test {
+            f(&mut b);
+            println!("bench {name}: ok (smoke test)");
+            return self;
+        }
+        // Warm-up / calibration: double the iteration count until one
+        // sample fills the target window.
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed >= TARGET_SAMPLE || b.iters >= (1 << 24) {
+                break;
+            }
+            let grow = (TARGET_SAMPLE.as_secs_f64() / b.elapsed.as_secs_f64().max(1e-9)).min(64.0);
+            b.iters = ((b.iters as f64 * grow).ceil() as u64).max(b.iters + 1);
+        }
+        let mut samples_ns = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        }
+        samples_ns.sort_unstable_by(|a, b| a.partial_cmp(b).expect("durations are never NaN"));
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        println!(
+            "bench {name}: {:>12}/iter (min {}, max {}, {} iters x {} samples)",
+            fmt_ns(mean),
+            fmt_ns(samples_ns[0]),
+            fmt_ns(*samples_ns.last().expect("sample_size > 0")),
+            b.iters,
+            self.sample_size,
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, executed `iters` times back to back.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        c.smoke_test = true; // keep the unit test instant
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn calibration_terminates_on_fast_bodies() {
+        let mut c = Criterion {
+            sample_size: 2,
+            smoke_test: false,
+        };
+        c.bench_function("fast", |b| b.iter(|| black_box(1u64 + 1)));
+    }
+}
