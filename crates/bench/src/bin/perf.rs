@@ -1,5 +1,5 @@
 //! Perf-tracking harness: measures client query-engine throughput and
-//! writes `BENCH_PR1.json` so later PRs have a trajectory to beat.
+//! writes `BENCH_PR2.json` so later PRs have a trajectory to beat.
 //!
 //! Runs seeded window and 10NN batches over one DSI broadcast twice —
 //! once on the incremental state path and once on the from-scratch
@@ -7,9 +7,15 @@
 //! and reports mean latency/tuning bytes plus wall-clock queries per
 //! second and the incremental/from-scratch speedup.
 //!
+//! `--compare <prev.json>` reads a previous run (e.g. the committed
+//! `BENCH_PR1.json`), prints per-metric deltas, and exits non-zero when
+//! any incremental throughput regressed by more than
+//! `DSI_BENCH_MAX_REGRESSION` (a fraction, default 0.10) — so CI can keep
+//! both the harness and the perf trajectory honest.
+//!
 //! Scale knobs: `DSI_N` (objects, default 10,000), `DSI_QUERIES` (queries
 //! per batch, default 200), `DSI_BENCH_OUT` (output path, default
-//! `BENCH_PR1.json`).
+//! `BENCH_PR2.json`).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -23,6 +29,7 @@ const CAPACITY: u32 = 64;
 const ORDER: u8 = 12;
 const K: usize = 10;
 const WINDOW_RATIO: f64 = 0.1;
+const PR: u32 = 2;
 
 #[derive(Clone, Copy)]
 struct BatchMetrics {
@@ -132,12 +139,79 @@ fn report(name: &str, inc: BatchMetrics, scratch: BatchMetrics) {
     );
 }
 
+/// Pulls one numeric field of a named batch's incremental record out of a
+/// previous run's JSON (the fixed shape this binary writes; no JSON crate
+/// in the offline build image).
+fn extract_incremental(json: &str, section: &str, field: &str) -> Option<f64> {
+    let sec = json.find(&format!("\"{section}\""))?;
+    let inc = sec + json[sec..].find("\"incremental\"")?;
+    let key = format!("\"{field}\":");
+    let val = inc + json[inc..].find(&key)? + key.len();
+    let rest = json[val..].trim_start();
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// Prints per-metric deltas against a previous run and returns whether
+/// any incremental metric regressed beyond `max_regression`: throughput
+/// dropping, or mean latency / tuning bytes (the paper's access-time and
+/// energy costs) growing, by more than the margin.
+fn compare_against(prev_path: &str, batches: &[(&str, BatchMetrics)], max_regression: f64) -> bool {
+    let prev = std::fs::read_to_string(prev_path)
+        .unwrap_or_else(|e| panic!("cannot read comparison baseline {prev_path}: {e}"));
+    let mut regressed = false;
+    println!(
+        "--- comparison vs {prev_path} (fail beyond {:.0}% regression) ---",
+        max_regression * 100.0
+    );
+    for &(name, m) in batches {
+        // `(field, new value, higher-is-better)`.
+        let metrics = [
+            ("queries_per_sec", m.queries_per_sec, true),
+            ("mean_latency_bytes", m.mean_latency_bytes, false),
+            ("mean_tuning_bytes", m.mean_tuning_bytes, false),
+        ];
+        for (field, new, higher_better) in metrics {
+            let Some(old) = extract_incremental(&prev, name, field) else {
+                println!("{name:>8}.{field}: not present in baseline, skipped");
+                continue;
+            };
+            let ratio = new / old;
+            let bad = if higher_better {
+                ratio < 1.0 - max_regression
+            } else {
+                ratio > 1.0 + max_regression
+            };
+            let verdict = if bad {
+                regressed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "{name:>8}.{field}: {new:>12.1} vs {old:>12.1} ({:+.1}%) {verdict}",
+                (ratio - 1.0) * 100.0,
+            );
+        }
+    }
+    regressed
+}
+
 fn main() {
     let n = env_usize("DSI_N", 10_000);
     let n_queries = env_usize("DSI_QUERIES", 200);
     assert!(n > 0, "DSI_N must be at least 1");
     assert!(n_queries > 0, "DSI_QUERIES must be at least 1");
-    let out_path = std::env::var("DSI_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR1.json".into());
+    let out_path = std::env::var("DSI_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR2.json".into());
+    let args: Vec<String> = std::env::args().collect();
+    let compare_path = args
+        .iter()
+        .position(|a| a == "--compare")
+        .map(|i| args.get(i + 1).expect("--compare needs a path").clone());
+    let max_regression = std::env::var("DSI_BENCH_MAX_REGRESSION")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.10);
 
     println!("=== DSI client query-engine perf (N = {n}, {n_queries} queries/batch, {CAPACITY} B packets) ===");
     let ds = SpatialDataset::build(&uniform(n, 42), ORDER);
@@ -196,7 +270,7 @@ fn main() {
     let mut json = String::from("{\n");
     let _ = writeln!(
         json,
-        "  \"bench\": \"dsi_client_query_engine\",\n  \"pr\": 1,\n  \"n\": {n},\n  \"queries_per_batch\": {n_queries},\n  \"capacity_bytes\": {CAPACITY},\n  \"k\": {K},\n  \"window_ratio\": {WINDOW_RATIO},"
+        "  \"bench\": \"dsi_client_query_engine\",\n  \"pr\": {PR},\n  \"n\": {n},\n  \"queries_per_batch\": {n_queries},\n  \"capacity_bytes\": {CAPACITY},\n  \"k\": {K},\n  \"window_ratio\": {WINDOW_RATIO},"
     );
     batch_json(&mut json, "window", win_inc, win_scr);
     json.push_str(",\n");
@@ -204,4 +278,12 @@ fn main() {
     json.push_str("\n}\n");
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     println!("[wrote {out_path}]");
+
+    if let Some(prev) = compare_path {
+        let batches = [("window", win_inc), ("knn10", knn_inc)];
+        if compare_against(&prev, &batches, max_regression) {
+            eprintln!("perf regression beyond the allowed margin");
+            std::process::exit(1);
+        }
+    }
 }

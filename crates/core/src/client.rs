@@ -54,26 +54,39 @@ pub(crate) enum NavPick {
     Slot(u32),
 }
 
+/// How a [`QueryMode::refresh_targets`] call changed the target set; tells
+/// the driver which remainder-update path is sound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TargetsChange {
+    /// Targets are identical to the previous call; the driver re-derives
+    /// nothing.
+    Unchanged,
+    /// Targets were rebuilt arbitrarily; remainders must be re-derived by
+    /// subtracting the cleared set from the new targets.
+    Replaced,
+    /// The new targets cover a **subset** of the previous targets' HC
+    /// values (kNN: the search circle only ever shrinks). The driver may
+    /// narrow the existing remainders in place — intersect them with the
+    /// new targets — without consulting the cleared set at all.
+    Narrowed,
+}
+
 /// Query-specific behaviour plugged into the shared driver.
 pub(crate) trait QueryMode {
     /// Rebuilds the current target intervals (sorted, disjoint) into
-    /// `out` **iff they changed** since the last call, returning whether
-    /// they did. The driver owns `out` and derives remainders from it
-    /// incrementally, so modes must only signal genuine changes (kNN: the
-    /// search circle shrank).
-    fn refresh_targets(&mut self, know: &Knowledge, out: &mut Vec<HcRange>) -> bool;
+    /// `out` **iff they changed** since the last call, returning how. The
+    /// driver owns `out` and derives remainders from it incrementally, so
+    /// modes must only signal genuine changes (kNN: the search circle
+    /// shrank) and may claim [`TargetsChange::Narrowed`] only when the new
+    /// targets are a subset of the old.
+    fn refresh_targets(&mut self, know: &Knowledge, out: &mut Vec<HcRange>) -> TargetsChange;
 
-    /// Whether an unaccounted remainder still matters (kNN drops intervals
-    /// farther than the current k-th candidate). Must be monotone: once a
-    /// range is dead it stays dead.
-    fn is_live(&mut self, r: &HcRange) -> bool {
-        let _ = r;
-        true
-    }
-
-    /// A real object with this HC value exists (index-table entry).
-    fn on_virtual(&mut self, hc: u64) {
-        let _ = hc;
+    /// Real objects with these HC values exist (one index table's entries,
+    /// or the schema's block boundaries, delivered as a batch so the mode
+    /// pays any per-update bookkeeping once per table rather than once per
+    /// entry).
+    fn on_virtuals(&mut self, hcs: &[u64]) {
+        let _ = hcs;
     }
 
     /// An object header was received; return `true` to retrieve the full
@@ -122,6 +135,9 @@ struct QueryScratch {
     entry_targets: Vec<(u32, u64)>,
     /// Entry targets that can still contribute, rebuilt per navigation.
     useful_entries: Vec<(u32, u64)>,
+    /// HC values of the current table's entries, batched for
+    /// [`QueryMode::on_virtuals`].
+    virtuals: Vec<u64>,
 }
 
 /// Runs a query to completion. The tuner carries the metrics.
@@ -134,9 +150,7 @@ pub(crate) fn run_query<M: QueryMode>(
     let mut state = QueryState::new(l, air.curve().max_d());
     let mut scratch = QueryScratch::default();
     // The schema's block boundaries are minimum HC values of real objects.
-    for &hc in l.block_min_hc() {
-        mode.on_virtual(hc);
-    }
+    mode.on_virtuals(l.block_min_hc());
 
     let (abs, slot0) = l.next_frame_boundary(tuner.pos());
     tuner.doze_to(abs);
@@ -156,13 +170,15 @@ pub(crate) fn run_query<M: QueryMode>(
             Pending::Table(slot) => {
                 if let Some(tbl) = read_table(air, tuner, slot) {
                     scratch.entry_targets.clear();
+                    scratch.virtuals.clear();
                     let nf = l.n_frames();
                     for e in &tbl.entries {
                         let target = (slot + e.delta) % nf;
                         scratch.entry_targets.push((target, e.hc));
                         state.learn(l.hc_index_of_slot(target), e.hc);
-                        mode.on_virtual(e.hc);
+                        scratch.virtuals.push(e.hc);
                     }
+                    mode.on_virtuals(&scratch.virtuals);
                 }
                 Some(slot)
             }
@@ -187,9 +203,12 @@ pub(crate) fn run_query<M: QueryMode>(
 
         // Bring the remainder state up to date (incremental path: only
         // target changes trigger work; events already applied deltas).
+        // Liveness needs no separate sweep: the kNN mode's targets are a
+        // direct circle decomposition, so every published target — hence
+        // every remainder derived from them — is within the radius the
+        // targets were refreshed for.
         state.refresh_targets(|know, out| mode.refresh_targets(know, out));
-        state.retain_live(|r| mode.is_live(r));
-        state.audit_rem(|r| mode.is_live(r));
+        state.audit_rem();
         if state.settled() && mode.complete() {
             break;
         }

@@ -13,7 +13,7 @@ use dsi_geom::Point;
 use dsi_hilbert::HcRange;
 
 use crate::build::{DsiAir, DsiPacket};
-use crate::client::{run_query, QueryMode};
+use crate::client::{run_query, QueryMode, TargetsChange};
 use crate::state::Knowledge;
 
 struct EefMode {
@@ -23,14 +23,14 @@ struct EefMode {
 }
 
 impl QueryMode for EefMode {
-    fn refresh_targets(&mut self, _know: &Knowledge, out: &mut Vec<HcRange>) -> bool {
+    fn refresh_targets(&mut self, _know: &Knowledge, out: &mut Vec<HcRange>) -> TargetsChange {
         if self.published {
-            return false;
+            return TargetsChange::Unchanged;
         }
         self.published = true;
         out.clear();
         out.push(HcRange::new(self.target, self.target));
-        true
+        TargetsChange::Replaced
     }
 
     fn on_header(&mut self, o: &Object) -> bool {

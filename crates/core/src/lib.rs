@@ -65,5 +65,7 @@ pub use config::{
     OBJECT_BYTES, PACKET_HEADER_BYTES, POINTER_BYTES, TABLE_HEADER_BYTES,
 };
 pub use knn::KnnStrategy;
+#[doc(hidden)]
+pub use knn::{testkit as knn_testkit, KnnProbe};
 pub use layout::DsiLayout;
 pub use table::{DecodeError, IndexTable, TableEntry};

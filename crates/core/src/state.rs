@@ -30,6 +30,7 @@ use std::collections::HashMap;
 
 use dsi_hilbert::{merge_ranges, HcRange};
 
+use crate::client::TargetsChange;
 use crate::hotpath::{self, StatePath};
 use crate::layout::DsiLayout;
 
@@ -463,6 +464,29 @@ pub(crate) fn subtract_ranges(targets: &[HcRange], cleared: &[HcRange]) -> Vec<H
     out
 }
 
+/// `a ∩ b` into a caller-provided buffer (cleared first). Both inputs must
+/// be sorted, disjoint and non-adjacent; the result is too. This is the
+/// remainder-narrowing kernel: when a mode reports its new targets are a
+/// subset of the old ([`TargetsChange::Narrowed`]), the new remainders are
+/// exactly `old remainders ∩ new targets` — no cleared-set subtraction
+/// needed.
+pub(crate) fn intersect_ranges_into(a: &[HcRange], b: &[HcRange], out: &mut Vec<HcRange>) {
+    out.clear();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].lo.max(b[j].lo);
+        let hi = a[i].hi.min(b[j].hi);
+        if lo <= hi {
+            out.push(HcRange::new(lo, hi));
+        }
+        if a[i].hi < b[j].hi {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+}
+
 /// Removes the single cleared interval `c` from the sorted disjoint
 /// remainder list, in place. At most one range is split in two; all other
 /// affected ranges shrink or vanish, so no allocation happens unless the
@@ -519,12 +543,10 @@ pub(crate) struct QueryState<'l> {
     /// Current target intervals (sorted, disjoint), owned here so modes
     /// rebuild in place without allocating per iteration.
     targets: Vec<HcRange>,
-    /// `targets − cleared`, minus dead ranges; maintained incrementally.
+    /// `targets − cleared`; maintained incrementally.
     rem: Vec<HcRange>,
-    /// Whether `rem` changed since the last liveness sweep. Liveness is
-    /// monotone and only depends on mode state that changes together with
-    /// the targets, so an unchanged `rem` needs no re-sweep.
-    rem_dirty: bool,
+    /// Swap buffer for in-place remainder narrowing.
+    rem_scratch: Vec<HcRange>,
     path: StatePath,
 }
 
@@ -543,7 +565,7 @@ impl<'l> QueryState<'l> {
             cleared,
             targets: Vec::new(),
             rem: Vec::new(),
-            rem_dirty: false,
+            rem_scratch: Vec::new(),
             path: hotpath::state_path(),
         }
     }
@@ -610,19 +632,26 @@ impl<'l> QueryState<'l> {
         hotpath::count_incremental_event();
         self.cleared.insert(new);
         subtract_range_in_place(&mut self.rem, new);
-        self.rem_dirty = true;
         if self.path == StatePath::Audit {
             self.audit_cleared();
         }
     }
 
     /// Gives the mode a chance to rebuild its target set (in place, into
-    /// the state-owned buffer); rebuilds the remainders when it did. Under
+    /// the state-owned buffer); rebuilds the remainders when it did. A
+    /// [`TargetsChange::Narrowed`] report takes the fast path: the new
+    /// remainders are the old ones intersected with the new targets
+    /// (dead ranges previously dropped by liveness lie outside the shrunk
+    /// target set, so the intersection re-derives exactly
+    /// `targets − cleared` without touching the cleared set). Under
     /// `FromScratch` the remainders are instead re-derived fully, every
     /// call — the pre-optimization behaviour the benchmarks compare
     /// against.
-    pub fn refresh_targets(&mut self, refresh: impl FnOnce(&Knowledge, &mut Vec<HcRange>) -> bool) {
-        let changed = refresh(&self.know, &mut self.targets);
+    pub fn refresh_targets(
+        &mut self,
+        refresh: impl FnOnce(&Knowledge, &mut Vec<HcRange>) -> TargetsChange,
+    ) {
+        let change = refresh(&self.know, &mut self.targets);
         match self.path {
             StatePath::FromScratch => {
                 hotpath::count_full_recompute();
@@ -632,28 +661,19 @@ impl<'l> QueryState<'l> {
                 let targets = self.targets.clone();
                 let cleared = cleared_regions(&self.log, &self.know, self.layout);
                 self.rem = subtract_ranges(&targets, &cleared);
-                self.rem_dirty = true;
             }
-            StatePath::Incremental | StatePath::Audit => {
-                if changed {
+            StatePath::Incremental | StatePath::Audit => match change {
+                TargetsChange::Unchanged => {}
+                TargetsChange::Replaced => {
                     subtract_ranges_into(&self.targets, self.cleared.as_slice(), &mut self.rem);
-                    self.rem_dirty = true;
                 }
-            }
+                TargetsChange::Narrowed => {
+                    hotpath::count_incremental_event();
+                    intersect_ranges_into(&self.rem, &self.targets, &mut self.rem_scratch);
+                    std::mem::swap(&mut self.rem, &mut self.rem_scratch);
+                }
+            },
         }
-    }
-
-    /// Drops remainders the mode declares dead (kNN: provably farther than
-    /// the k-th candidate). Liveness is monotone — dead ranges never
-    /// revive — so dropping them permanently preserves the audit
-    /// invariant, and an unchanged remainder list (already swept under the
-    /// same radius) needs no re-sweep.
-    pub fn retain_live(&mut self, mut is_live: impl FnMut(&HcRange) -> bool) {
-        if !self.rem_dirty {
-            return;
-        }
-        self.rem_dirty = false;
-        self.rem.retain(|r| is_live(r));
     }
 
     /// Whether nothing is missing: no remainders and no pending retries.
@@ -671,14 +691,14 @@ impl<'l> QueryState<'l> {
     }
 
     /// Audit-path cross-check of the remainder state, called once per
-    /// driver iteration after liveness filtering.
+    /// driver iteration.
     ///
     /// The cleared assert here is not redundant with the per-delta
     /// [`Self::audit_cleared`] in `refresh_frame`: that one fires only
     /// when a delta *is applied*, so it catches wrong deltas but not
     /// *missed* ones (say, a `learn` that failed to refresh its
     /// neighbour frame). This unconditional check catches the misses.
-    pub fn audit_rem(&self, mut is_live: impl FnMut(&HcRange) -> bool) {
+    pub fn audit_rem(&self) {
         if self.path != StatePath::Audit {
             return;
         }
@@ -688,8 +708,7 @@ impl<'l> QueryState<'l> {
             oracle_cleared.as_slice(),
             "incremental cleared set diverged from the from-scratch oracle"
         );
-        let mut oracle_rem = subtract_ranges(&self.targets, &oracle_cleared);
-        oracle_rem.retain(|r| is_live(r));
+        let oracle_rem = subtract_ranges(&self.targets, &oracle_cleared);
         assert_eq!(
             self.rem, oracle_rem,
             "incremental remainders diverged from the from-scratch oracle"
@@ -894,7 +913,7 @@ mod tests {
         qs.refresh_targets(|_, out| {
             out.clear();
             out.push(HcRange::new(0, 1000));
-            true
+            TargetsChange::Replaced
         });
         assert_eq!(qs.rem(), &[HcRange::new(10, 1000)]);
         // Resolving frame 1 completely clears [20, 25] (no bound for 2 yet).
@@ -906,6 +925,41 @@ mod tests {
         // Learning frame 2's bound extends the cleared gap to 29.
         qs.learn(2, 30);
         assert_eq!(qs.rem(), &[HcRange::new(10, 19), HcRange::new(30, 1000)]);
-        qs.audit_rem(|_| true);
+        qs.audit_rem();
+        // Narrowing the targets to a subset intersects the remainders in
+        // place — the cleared set is not consulted.
+        qs.refresh_targets(|_, out| {
+            out.clear();
+            out.extend([HcRange::new(0, 15), HcRange::new(500, 600)]);
+            TargetsChange::Narrowed
+        });
+        assert_eq!(qs.rem(), &[HcRange::new(10, 15), HcRange::new(500, 600)]);
+        qs.audit_rem();
+    }
+
+    #[test]
+    fn intersect_ranges_cases() {
+        let a = vec![
+            HcRange::new(10, 50),
+            HcRange::new(70, 80),
+            HcRange::new(90, 95),
+        ];
+        let b = vec![HcRange::new(0, 14), HcRange::new(40, 92)];
+        let mut out = Vec::new();
+        intersect_ranges_into(&a, &b, &mut out);
+        assert_eq!(
+            out,
+            vec![
+                HcRange::new(10, 14),
+                HcRange::new(40, 50),
+                HcRange::new(70, 80),
+                HcRange::new(90, 92)
+            ]
+        );
+        // Identity and annihilation.
+        intersect_ranges_into(&a, &[HcRange::new(0, 100)], &mut out);
+        assert_eq!(out, a);
+        intersect_ranges_into(&a, &[], &mut out);
+        assert!(out.is_empty());
     }
 }

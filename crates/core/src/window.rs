@@ -14,7 +14,7 @@ use dsi_geom::Rect;
 use dsi_hilbert::{ranges_in_rect, HcRange};
 
 use crate::build::{DsiAir, DsiPacket};
-use crate::client::{run_query, QueryMode};
+use crate::client::{run_query, QueryMode, TargetsChange};
 use crate::state::Knowledge;
 
 struct WindowMode {
@@ -26,14 +26,14 @@ struct WindowMode {
 }
 
 impl QueryMode for WindowMode {
-    fn refresh_targets(&mut self, _know: &Knowledge, out: &mut Vec<HcRange>) -> bool {
+    fn refresh_targets(&mut self, _know: &Knowledge, out: &mut Vec<HcRange>) -> TargetsChange {
         if self.published {
-            return false;
+            return TargetsChange::Unchanged;
         }
         self.published = true;
         out.clear();
         out.extend_from_slice(&self.segments);
-        true
+        TargetsChange::Replaced
     }
 
     fn on_header(&mut self, o: &Object) -> bool {

@@ -2,8 +2,11 @@
 //! datasets, configurations, tune-in positions and channel conditions —
 //! the central correctness claim of the reproduction.
 
+use std::collections::HashMap;
+
 use dsi_broadcast::{LossModel, LossScope, Tuner};
 use dsi_core::hotpath::{self, StatePath};
+use dsi_core::knn_testkit::CandSet;
 use dsi_core::{DsiAir, DsiConfig, FramingPolicy, KnnStrategy, ReorgStyle};
 use dsi_datagen::{uniform, SpatialDataset};
 use dsi_geom::{Point, Rect};
@@ -199,6 +202,166 @@ proptest! {
             let got = air.knn_query(&mut tuner, q, k, strategy);
             assert_eq!(got, ds.brute_knn(q, k.min(n)));
         });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential test of the batched-offer candidate API.
+//
+// `Candidates::offer_virtuals` bounds a whole index table's offers with a
+// single top-k selection instead of one per entry. The stale bound may
+// admit candidates a per-offer filter would reject, but those extras rank
+// strictly beyond the k-th bound forever — so the radius and the
+// completion check must never disagree with the sequential per-offer
+// oracle. Cache coherence (radius cache equals a fresh selection after
+// every mutation) is asserted alongside, since a stale cache is exactly
+// how the radius and completion checks could diverge from each other.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum CandOp {
+    /// One index table's worth of virtual offers: `(hc, raw upper bound)`.
+    Batch(Vec<(u64, u32)>),
+    /// Header event for a previously offered candidate: `(selector, raw
+    /// distance fraction)`.
+    Header(u64, u32),
+    /// Full record retrieved for a previously resolved candidate.
+    Retrieve(u64),
+}
+
+fn arb_cand_op() -> impl Strategy<Value = CandOp> {
+    prop_oneof![
+        3 => prop::collection::vec((0u64..240, 1u32..1_000_000), 1..12).prop_map(CandOp::Batch),
+        3 => (any::<u64>(), 0u32..1_000_001).prop_map(|(s, f)| CandOp::Header(s, f)),
+        1 => any::<u64>().prop_map(CandOp::Retrieve),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn batched_offers_agree_with_sequential_oracle(
+        k in 1usize..8,
+        ops in prop::collection::vec(arb_cand_op(), 1..40),
+    ) {
+        let mut batched = CandSet::new(k);
+        let mut oracle = CandSet::new(k);
+        // On the air, a candidate's upper bound and exact distance are
+        // deterministic functions of its HC value; mirror that here.
+        let mut ub2_of: HashMap<u64, f64> = HashMap::new();
+        let mut d2_of: HashMap<u64, f64> = HashMap::new();
+        let mut offered: Vec<u64> = Vec::new();
+        let mut resolved: Vec<(u64, u32)> = Vec::new();
+        let mut next_id = 0u32;
+        for op in ops {
+            match op {
+                CandOp::Batch(raw) => {
+                    let offers: Vec<(u64, f64)> = raw
+                        .iter()
+                        .map(|&(hc, u)| {
+                            (hc, *ub2_of.entry(hc).or_insert(u as f64 / 1e4))
+                        })
+                        .collect();
+                    batched.offer_batch(&offers);
+                    for &(hc, ub2) in &offers {
+                        oracle.offer_one(hc, ub2);
+                        offered.push(hc);
+                    }
+                }
+                CandOp::Header(sel, frac) => {
+                    if offered.is_empty() {
+                        continue;
+                    }
+                    let hc = offered[(sel % offered.len() as u64) as usize];
+                    let d2 =
+                        *d2_of.entry(hc).or_insert(ub2_of[&hc] * (frac as f64 / 1e6));
+                    next_id += 1;
+                    let wanted_b = batched.header(hc, d2, next_id);
+                    let wanted_o = oracle.header(hc, d2, next_id);
+                    prop_assert_eq!(
+                        wanted_b, wanted_o,
+                        "radius disagreement: header {} accepted differently", hc
+                    );
+                    if wanted_b {
+                        resolved.push((hc, next_id));
+                    }
+                }
+                CandOp::Retrieve(sel) => {
+                    if resolved.is_empty() {
+                        continue;
+                    }
+                    let (hc, _) = resolved[(sel % resolved.len() as u64) as usize];
+                    batched.mark_retrieved(hc);
+                    oracle.mark_retrieved(hc);
+                }
+            }
+            // The batched set's radius equals the sequential oracle's.
+            prop_assert_eq!(batched.r2(), oracle.r2());
+            // Radius and completion read one coherent selection.
+            batched.assert_cache_coherent();
+            oracle.assert_cache_coherent();
+            // Extra batch-admitted candidates may defer completion but
+            // never fake it.
+            if batched.top_k_retrieved() {
+                prop_assert!(oracle.top_k_retrieved());
+            }
+        }
+        prop_assert_eq!(batched.result_ids(), oracle.result_ids());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded-memory property of the kNN client under loss.
+//
+// The interval-distance `HashMap` the kNN mode used to keep grew by one
+// entry per decomposed range per circle shrink and never evicted: heavy
+// loss (many cycles, many shrinks) grew it without bound. Distances now
+// live on the target ranges themselves, so the peak memory a query ever
+// holds is one decomposition plus the candidate set — independent of how
+// many shrinks the channel forces.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn knn_peak_memory_bounded_under_loss(
+        n in 50usize..200,
+        ds_seed in any::<u64>(),
+        start_seed in any::<u64>(),
+        theta in 0.2..0.5f64,
+        qx in -0.1..1.1f64, qy in -0.1..1.1f64,
+        k in 1usize..10,
+        aggressive in any::<bool>(),
+    ) {
+        let ds = SpatialDataset::build(&uniform(n, ds_seed), 8);
+        let air = DsiAir::build(&ds, DsiConfig::paper_reorganized());
+        let strategy = if aggressive { KnnStrategy::Aggressive } else { KnnStrategy::Conservative };
+        let q = Point::new(qx, qy);
+        let start = start_seed % air.program().len();
+        let mut tuner = Tuner::tune_in(air.program(), start, LossModel::iid(theta), start_seed);
+        let (got, probe) = air.knn_query_probed(&mut tuner, q, k, strategy);
+        prop_assert_eq!(got, ds.brute_knn(q, k.min(n)));
+        // Held range memory (current decomposition + swap buffer) stays
+        // flat across shrinks: the epochs together produced strictly more
+        // than the client ever held, no matter how many shrinks loss
+        // forced. The dropped `(lo, hi) → dist` cache accumulated
+        // `total_ranges` instead — a reintroduced accumulate-forever
+        // structure drives `peak_live_ranges` back toward it and fails
+        // this. (Each epoch emits ≥ 1 range while candidates exist, and
+        // the peak covers at most two consecutive epochs, so three or
+        // more epochs guarantee a strict gap.)
+        if probe.refreshes >= 3 {
+            prop_assert!(
+                probe.total_ranges > probe.peak_live_ranges,
+                "refreshes {} produced {} ranges total but peak held was {}",
+                probe.refreshes, probe.total_ranges, probe.peak_live_ranges
+            );
+        }
+        // Candidates are keyed by the HC of a real object: never more
+        // entries than objects.
+        prop_assert!(probe.peak_cands <= n);
     }
 }
 

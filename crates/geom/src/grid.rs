@@ -91,6 +91,12 @@ impl GridMapper {
         self.cells
     }
 
+    /// Lower-left corner of the continuous square.
+    #[inline]
+    pub fn origin(&self) -> Point {
+        self.origin
+    }
+
     /// Side length of one cell in continuous coordinates.
     #[inline]
     pub fn cell_side(&self) -> f64 {

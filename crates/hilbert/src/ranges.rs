@@ -150,13 +150,273 @@ pub fn ranges_in_rect_with_dist_into(
     );
 }
 
+/// A decomposed HC range annotated with exact squared cell-distance bounds
+/// from the query point: `min_d2` is the smallest and `max_min_d2` the
+/// largest *cell* minimum distance over the range. The bounds classify a
+/// range against a shrinking circle without re-descending: `min_d2 > r2`
+/// means every cell left the circle (drop), `max_min_d2 <= r2` means every
+/// cell is still in it (keep verbatim), and only ranges in between — those
+/// with cells inside the shrink annulus — need re-splitting. Both bounds
+/// are partition-independent (the extreme cell's coordinates are evaluated
+/// with the same expressions regardless of which aligned block emitted
+/// it), so a narrowed decomposition is bit-identical to a direct one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistRange {
+    /// The HC interval.
+    pub range: HcRange,
+    /// Exact minimum squared distance from the query point to any cell of
+    /// the range.
+    pub min_d2: f64,
+    /// Exact maximum over the range's cells of each cell's minimum squared
+    /// distance — the radius below which the range must be re-split.
+    pub max_min_d2: f64,
+}
+
+/// Decomposes the closed circle `dist2(center, ·) <= r2` directly into
+/// maximal HC ranges, pruning during the descent (paper §3.4: the kNN
+/// search space is a circle, not its bounding square).
+///
+/// The produced ranges cover **exactly** the cells whose extent intersects
+/// the circle (`min_dist2 <= r2`); quadrants whose minimum distance exceeds
+/// `r2` are pruned before recursion, so — unlike decomposing the bounding
+/// square and filtering afterwards — no work is spent on the ~21% of the
+/// square provably outside the circle. Output is sorted, disjoint,
+/// non-adjacent, and each range carries its exact distance bounds.
+pub fn ranges_in_circle_with_dist_into(
+    curve: &HilbertCurve,
+    mapper: &GridMapper,
+    center: Point,
+    r2: f64,
+    out: &mut Vec<DistRange>,
+) {
+    out.clear();
+    let clip = HcRange::new(0, curve.max_d());
+    let ctx = CircleCtx::new(mapper, center, r2);
+    circle_descend(&ctx, 0, 0, curve.order(), 0, 0, clip, out);
+}
+
+/// Narrows a previous circle decomposition to a smaller circle (the kNN
+/// search space only ever shrinks). Ranges whose every cell left the
+/// circle (`min_d2 > r2`) are dropped, ranges whose every cell is still
+/// inside (`max_min_d2 <= r2`) are copied verbatim, and only ranges with
+/// cells in the shrink annulus are re-split — by a clipped descent that
+/// starts at the range's containing block (integer jump, no root walk).
+/// The cost therefore scales with the size of the *shrink*, not with the
+/// circle.
+///
+/// `prev` must be a decomposition produced by
+/// [`ranges_in_circle_with_dist_into`] (or a previous narrowing) for the
+/// same `center` and a radius `>= r2`; the result then equals the direct
+/// decomposition at `r2` exactly, distances included.
+pub fn narrow_ranges_to_circle_into(
+    curve: &HilbertCurve,
+    mapper: &GridMapper,
+    center: Point,
+    r2: f64,
+    prev: &[DistRange],
+    out: &mut Vec<DistRange>,
+) {
+    out.clear();
+    let ctx = CircleCtx::new(mapper, center, r2);
+    let mut i = 0usize;
+    while i < prev.len() {
+        let dr = prev[i];
+        if dr.min_d2 > r2 {
+            i += 1;
+            continue;
+        }
+        if dr.max_min_d2 <= r2 {
+            // A kept range can never merge with its neighbours: maximality
+            // of `prev` guarantees a gap on both sides, and re-splits only
+            // shrink ranges. Whole runs of keeps therefore copy as one
+            // memcpy instead of going through the merging emitter.
+            let start = i;
+            while i < prev.len() && prev[i].min_d2 <= r2 && prev[i].max_min_d2 <= r2 {
+                i += 1;
+            }
+            out.extend_from_slice(&prev[start..i]);
+        } else {
+            let (x0, y0, level, state, base) = block_containing(curve, dr.range);
+            circle_descend(&ctx, x0, y0, level, state, base, dr.range, out);
+            i += 1;
+        }
+    }
+}
+
+/// Appends a range, merging it into the previous one when HC-adjacent
+/// (bounds combine by min/max — the cells of both ranges are all kept).
+fn emit_dist_range(out: &mut Vec<DistRange>, dr: DistRange) {
+    if let Some(last) = out.last_mut() {
+        if last.range.hi + 1 == dr.range.lo {
+            last.range.hi = dr.range.hi;
+            last.min_d2 = last.min_d2.min(dr.min_d2);
+            last.max_min_d2 = last.max_min_d2.max(dr.max_min_d2);
+            return;
+        }
+    }
+    out.push(dr);
+}
+
+/// Grid geometry and query constants of one circle descent, hoisted out
+/// of the recursion: `cell_side` divides once here instead of once per
+/// visited block. All coordinate expressions stay of the
+/// `origin + index × cell_side` form [`GridMapper::cell_rect`] uses, so
+/// distances remain bit-identical to cell-level evaluation.
+struct CircleCtx {
+    ox: f64,
+    oy: f64,
+    s: f64,
+    cx: f64,
+    cy: f64,
+    r2: f64,
+}
+
+impl CircleCtx {
+    fn new(mapper: &GridMapper, center: Point, r2: f64) -> Self {
+        let o = mapper.origin();
+        Self {
+            ox: o.x,
+            oy: o.y,
+            s: mapper.cell_side(),
+            cx: center.x,
+            cy: center.y,
+            r2,
+        }
+    }
+
+    /// Exact minimum squared distance from the query point to the block's
+    /// cell extent.
+    #[inline]
+    fn block_min_d2(&self, x0: u32, y0: u32, bs: u32) -> f64 {
+        let dx = (self.ox + x0 as f64 * self.s - self.cx)
+            .max(self.cx - (self.ox + (x0 + bs) as f64 * self.s))
+            .max(0.0);
+        let dy = (self.oy + y0 as f64 * self.s - self.cy)
+            .max(self.cy - (self.oy + (y0 + bs) as f64 * self.s))
+            .max(0.0);
+        dx * dx + dy * dy
+    }
+
+    /// The largest cell minimum distance of the block: attained at the
+    /// corner cell farthest from the query point, whose near edges are
+    /// `origin + index × cell_side` for the extreme cell indices — the
+    /// value is identical no matter which block partition emitted the
+    /// cell.
+    #[inline]
+    fn block_max_min_d2(&self, x0: u32, y0: u32, bs: u32) -> f64 {
+        let dx = (self.ox + (x0 + bs - 1) as f64 * self.s - self.cx)
+            .max(self.cx - (self.ox + (x0 + 1) as f64 * self.s))
+            .max(0.0);
+        let dy = (self.oy + (y0 + bs - 1) as f64 * self.s - self.cy)
+            .max(self.cy - (self.oy + (y0 + 1) as f64 * self.s))
+            .max(0.0);
+        dx * dx + dy * dy
+    }
+}
+
+/// Curve-order block descent over the circle `dist2(center, ·) <= r2`,
+/// restricted to HC values in `clip`. Prunes blocks whose minimum distance
+/// exceeds `r2` *before* recursing; emits a whole block as soon as every
+/// one of its cells meets both the clip interval and the circle. Emissions
+/// arrive in ascending HC order, so merging is a single look-back.
+#[allow(clippy::too_many_arguments)]
+fn circle_descend(
+    ctx: &CircleCtx,
+    x0: u32,
+    y0: u32,
+    level: u8,
+    state: u8,
+    base: u64,
+    clip: HcRange,
+    out: &mut Vec<DistRange>,
+) {
+    let span = HcRange::new(base, base + (1u64 << (2 * level)) - 1);
+    if !span.overlaps(&clip) {
+        return;
+    }
+    let bs = 1u32 << level;
+    let min_d2 = ctx.block_min_d2(x0, y0, bs);
+    if min_d2 > ctx.r2 {
+        return;
+    }
+    if clip.lo <= span.lo && span.hi <= clip.hi {
+        // A level-0 block is a single cell: overlapping the clip means
+        // contained in it, so this branch catches every reached cell and
+        // the recursion below never splits one. The cell-max bound is
+        // computed only here — pruned and recursed blocks never pay for
+        // it. A block whose farthest cell still meets the circle is
+        // emitted whole: every one of its cells belongs to the output.
+        let max_min_d2 = ctx.block_max_min_d2(x0, y0, bs);
+        if level == 0 || max_min_d2 <= ctx.r2 {
+            emit_dist_range(
+                out,
+                DistRange {
+                    range: span,
+                    min_d2,
+                    max_min_d2,
+                },
+            );
+            return;
+        }
+    }
+    debug_assert!(level > 0, "a reached cell is always emitted");
+    let half = bs >> 1;
+    let child_span = 1u64 << (2 * (level - 1));
+    let s = state as usize;
+    for (k, &(dx, dy)) in CHILD_ORDER[s].iter().enumerate() {
+        circle_descend(
+            ctx,
+            x0 + dx * half,
+            y0 + dy * half,
+            level - 1,
+            CHILD_STATE[s][k],
+            base + k as u64 * child_span,
+            clip,
+            out,
+        );
+    }
+}
+
 /// The rectangle covering an aligned block's cell extents. Cells tile it,
 /// so its mindist to a point is the exact minimum over the block's cells.
+/// The corner expressions are the same ones [`GridMapper::cell_rect`]
+/// evaluates, so the result is bit-identical to the union of the corner
+/// cells' rectangles at a fraction of the arithmetic — this runs once per
+/// block visited by the circle descent.
 fn block_extent(mapper: &GridMapper, x0: u32, y0: u32, level: u8) -> Rect {
     let bs = 1u32 << level;
-    let lo = mapper.cell_rect(Cell::new(x0, y0));
-    let hi = mapper.cell_rect(Cell::new(x0 + bs - 1, y0 + bs - 1));
-    lo.union(&hi)
+    let s = mapper.cell_side();
+    let o = mapper.origin();
+    Rect::new(
+        o.x + x0 as f64 * s,
+        o.y + y0 as f64 * s,
+        o.x + (x0 + bs) as f64 * s,
+        o.y + (y0 + bs) as f64 * s,
+    )
+}
+
+/// The smallest grid-aligned block whose HC span contains `r`, as
+/// `(x0, y0, level, orientation, base)` — found by walking the base-4
+/// digits of `r.lo` down from the root through the traversal tables.
+/// Integer work only: this is what lets a clipped circle descent start at
+/// the range itself instead of re-descending from the root (the dominant
+/// cost of narrowing a decomposition with thousands of ranges).
+fn block_containing(curve: &HilbertCurve, r: HcRange) -> (u32, u32, u8, u8, u64) {
+    let order = curve.order();
+    // Base-4 digits in which lo and hi differ = levels that must stay
+    // inside the block.
+    let diff_bits = 64 - (r.lo ^ r.hi).leading_zeros() as u8;
+    let level = diff_bits.div_ceil(2).min(order);
+    let (mut x0, mut y0, mut state) = (0u32, 0u32, 0u8);
+    for l in (level..order).rev() {
+        let k = ((r.lo >> (2 * l)) & 3) as usize;
+        let (dx, dy) = CHILD_ORDER[state as usize][k];
+        x0 += dx << l;
+        y0 += dy << l;
+        state = CHILD_STATE[state as usize][k];
+    }
+    let base = r.lo & !((1u64 << (2 * level)) - 1);
+    (x0, y0, level, state, base)
 }
 
 /// Block descent emitting maximal merged ranges, already sorted.
@@ -345,6 +605,123 @@ mod tests {
         let p = Rect::from_corners(Point::new(0.1, 0.1), Point::new(0.1, 0.1));
         let rs = ranges_in_rect(&c, &m, &p);
         assert_eq!(expand(&rs), vec![c.xy2d(Cell::new(0, 0))]);
+    }
+
+    /// Brute-force circle membership: HC values of all cells whose extent
+    /// intersects the closed circle, sorted.
+    fn brute_circle(c: &HilbertCurve, m: &GridMapper, center: Point, r2: f64) -> Vec<u64> {
+        let mut ds = Vec::new();
+        for x in 0..c.side() {
+            for y in 0..c.side() {
+                let cell = Cell::new(x, y);
+                if m.cell_rect(cell).min_dist2(center) <= r2 {
+                    ds.push(c.xy2d(cell));
+                }
+            }
+        }
+        ds.sort_unstable();
+        ds
+    }
+
+    fn check_circle(c: &HilbertCurve, m: &GridMapper, center: Point, r2: f64) {
+        let mut out = Vec::new();
+        ranges_in_circle_with_dist_into(c, m, center, r2, &mut out);
+        // Sorted, disjoint, non-adjacent (maximal).
+        for w in out.windows(2) {
+            assert!(
+                w[0].range.hi + 1 < w[1].range.lo,
+                "ranges {:?} / {:?} not maximal (center {center:?}, r2 {r2})",
+                w[0],
+                w[1]
+            );
+        }
+        // Exactly the cells intersecting the circle.
+        let got: Vec<u64> = out
+            .iter()
+            .flat_map(|dr| dr.range.lo..=dr.range.hi)
+            .collect();
+        assert_eq!(
+            got,
+            brute_circle(c, m, center, r2),
+            "membership mismatch (center {center:?}, r2 {r2})"
+        );
+        // Distance bounds are exact per range: the min and max over the
+        // range's cells of each cell's minimum distance.
+        for dr in &out {
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for d in dr.range.lo..=dr.range.hi {
+                let cell_min = m.cell_rect(c.d2xy(d)).min_dist2(center);
+                min = min.min(cell_min);
+                max = max.max(cell_min);
+            }
+            assert!(
+                (dr.min_d2 - min).abs() < 1e-12,
+                "min_d2 of {dr:?}: want {min}"
+            );
+            assert!(
+                (dr.max_min_d2 - max).abs() < 1e-12,
+                "max_min_d2 of {dr:?}: want {max}"
+            );
+        }
+    }
+
+    #[test]
+    fn circle_matches_brute_force_exhaustively() {
+        let c = HilbertCurve::new(3);
+        let m = GridMapper::unit_square(3);
+        for cx in [-0.2, 0.0, 0.31, 0.5, 0.77, 1.0, 1.4] {
+            for cy in [-0.1, 0.12, 0.5, 0.99] {
+                for r in [0.0, 0.05, 0.13, 0.3, 0.62, 1.0, 2.0] {
+                    check_circle(&c, &m, Point::new(cx, cy), r * r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn circle_degenerate_radii() {
+        let c = HilbertCurve::new(4);
+        let m = GridMapper::unit_square(4);
+        // Zero radius inside a cell: exactly that cell.
+        let q = Point::new(0.53, 0.27);
+        let mut out = Vec::new();
+        ranges_in_circle_with_dist_into(&c, &m, q, 0.0, &mut out);
+        let d = c.xy2d(m.cell_of(q));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].range, HcRange::new(d, d));
+        assert_eq!(out[0].min_d2, 0.0);
+        // Radius covering the whole grid: one full range.
+        ranges_in_circle_with_dist_into(&c, &m, q, 10.0, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].range, HcRange::new(0, c.max_d()));
+        assert_eq!(out[0].min_d2, 0.0);
+        // Center outside the unit square, circle missing the grid: empty.
+        ranges_in_circle_with_dist_into(&c, &m, Point::new(3.0, 3.0), 0.5, &mut out);
+        assert!(out.is_empty());
+        // Center outside, circle clipping a corner.
+        check_circle(&c, &m, Point::new(1.2, 1.2), 0.1);
+    }
+
+    #[test]
+    fn narrowing_equals_direct_decomposition() {
+        let c = HilbertCurve::new(4);
+        let m = GridMapper::unit_square(4);
+        for (cx, cy) in [(0.4, 0.6), (0.05, 0.95), (-0.2, 0.5), (1.1, -0.1)] {
+            let q = Point::new(cx, cy);
+            let radii = [1.6, 0.9, 0.41, 0.4, 0.17, 0.03, 0.0];
+            let mut prev = Vec::new();
+            ranges_in_circle_with_dist_into(&c, &m, q, radii[0] * radii[0], &mut prev);
+            for w in radii.windows(2) {
+                let r2 = w[1] * w[1];
+                let mut narrowed = Vec::new();
+                narrow_ranges_to_circle_into(&c, &m, q, r2, &prev, &mut narrowed);
+                let mut direct = Vec::new();
+                ranges_in_circle_with_dist_into(&c, &m, q, r2, &mut direct);
+                assert_eq!(narrowed, direct, "narrow {} -> {} at {q:?}", w[0], w[1]);
+                prev = narrowed;
+            }
+        }
     }
 
     #[test]

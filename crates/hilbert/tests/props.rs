@@ -3,10 +3,84 @@
 
 use dsi_geom::{Cell, GridMapper, Point, Rect};
 use dsi_hilbert::{
-    min_dist2_to_range, ranges_in_cell_rect, ranges_in_rect, ranges_in_rect_with_dist_into,
+    min_dist2_to_range, narrow_ranges_to_circle_into, ranges_in_cell_rect,
+    ranges_in_circle_with_dist_into, ranges_in_rect, ranges_in_rect_with_dist_into, DistRange,
     HcRange, HilbertCurve,
 };
 use proptest::prelude::*;
+
+/// Checks a circle decomposition against brute force over every cell:
+/// membership (exactly the cells whose extent intersects the closed
+/// circle), maximality, and exact distance bounds.
+fn assert_circle_decomposition(
+    curve: &HilbertCurve,
+    mapper: &GridMapper,
+    center: Point,
+    r2: f64,
+    out: &[DistRange],
+) {
+    for w in out.windows(2) {
+        assert!(
+            w[0].range.hi + 1 < w[1].range.lo,
+            "not maximal: {:?} / {:?}",
+            w[0],
+            w[1]
+        );
+    }
+    let covered: Vec<u64> = out
+        .iter()
+        .flat_map(|dr| dr.range.lo..=dr.range.hi)
+        .collect();
+    let mut want = Vec::new();
+    for x in 0..curve.side() {
+        for y in 0..curve.side() {
+            let cell = Cell::new(x, y);
+            if mapper.cell_rect(cell).min_dist2(center) <= r2 {
+                want.push(curve.xy2d(cell));
+            }
+        }
+    }
+    want.sort_unstable();
+    assert_eq!(covered, want, "center {center:?}, r2 {r2}");
+    for dr in out {
+        let mut min = f64::INFINITY;
+        for d in dr.range.lo..=dr.range.hi {
+            min = min.min(mapper.cell_rect(curve.d2xy(d)).min_dist2(center));
+        }
+        assert!(
+            (dr.min_d2 - min).abs() < 1e-12,
+            "range {:?}: min_d2 {} want {min}",
+            dr.range,
+            dr.min_d2
+        );
+        let oracle = min_dist2_to_range(curve, mapper, center, dr.range);
+        assert!(
+            (dr.min_d2 - oracle).abs() < 1e-12,
+            "range {:?}: min_d2 {} differs from branch-and-bound {oracle}",
+            dr.range,
+            dr.min_d2
+        );
+    }
+}
+
+/// Exhaustive sweep on a small grid: centers on and off the grid (incl.
+/// outside the unit square), radii from degenerate 0 through
+/// covering-the-grid.
+#[test]
+fn circle_decomposition_exhaustive_small_grid() {
+    let curve = HilbertCurve::new(3);
+    let mapper = GridMapper::unit_square(3);
+    let mut out = Vec::new();
+    for cx in [-0.4, 0.0, 0.125, 0.5, 0.9, 1.0, 1.6] {
+        for cy in [-0.2, 0.25, 0.51, 1.3] {
+            for r in [0.0, 0.06, 0.125, 0.25, 0.49, 0.8, 1.5, 3.0] {
+                let center = Point::new(cx, cy);
+                ranges_in_circle_with_dist_into(&curve, &mapper, center, r * r, &mut out);
+                assert_circle_decomposition(&curve, &mapper, center, r * r, &out);
+            }
+        }
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -99,6 +173,51 @@ proptest! {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn circle_decomposition_matches_brute_force(
+        order in 2u8..7,
+        cx in -0.5..1.5f64, cy in -0.5..1.5f64,
+        r in 0.0..1.2f64,
+    ) {
+        let curve = HilbertCurve::new(order);
+        let mapper = GridMapper::unit_square(order);
+        let center = Point::new(cx, cy);
+        let mut out = Vec::new();
+        ranges_in_circle_with_dist_into(&curve, &mapper, center, r * r, &mut out);
+        // No range reaches outside the circle's bounding square.
+        let bbox = Rect::bounding_square(center, r);
+        for dr in &out {
+            for d in [dr.range.lo, dr.range.hi] {
+                let cell_rect = mapper.cell_rect(curve.d2xy(d));
+                prop_assert!(
+                    cell_rect.intersects(&bbox),
+                    "cell of HC {d} outside the bounding square"
+                );
+            }
+        }
+        assert_circle_decomposition(&curve, &mapper, center, r * r, &out);
+    }
+
+    #[test]
+    fn narrowing_matches_direct_decomposition(
+        order in 2u8..7,
+        cx in -0.3..1.3f64, cy in -0.3..1.3f64,
+        r_big in 0.05..1.2f64,
+        shrink in 0.0..1.0f64,
+    ) {
+        let curve = HilbertCurve::new(order);
+        let mapper = GridMapper::unit_square(order);
+        let center = Point::new(cx, cy);
+        let mut prev = Vec::new();
+        ranges_in_circle_with_dist_into(&curve, &mapper, center, r_big * r_big, &mut prev);
+        let r_small = r_big * shrink;
+        let mut narrowed = Vec::new();
+        narrow_ranges_to_circle_into(&curve, &mapper, center, r_small * r_small, &prev, &mut narrowed);
+        let mut direct = Vec::new();
+        ranges_in_circle_with_dist_into(&curve, &mapper, center, r_small * r_small, &mut direct);
+        prop_assert_eq!(narrowed, direct);
+    }
 
     #[test]
     fn with_dist_decomposition_matches_plain_and_exact_distances(
