@@ -9,4 +9,5 @@ fn main() {
     dsi_bench::run_experiment("table1", e::table1);
     dsi_bench::run_experiment("real", e::real_summary);
     dsi_bench::run_experiment("ablations", e::ablations);
+    dsi_bench::run_experiment("channels", e::channels);
 }

@@ -1,0 +1,5 @@
+//! Regenerates the multi-channel scenario matrix (scheme × channel config
+//! × loss × workload, with per-channel tuning stats); see EXPERIMENTS.md.
+fn main() {
+    dsi_bench::run_experiment("channels", dsi_sim::experiments::channels);
+}

@@ -1,26 +1,29 @@
 //! Perf-tracking harness: measures client query-engine throughput and
-//! writes `BENCH_PR2.json` so later PRs have a trajectory to beat.
+//! writes `BENCH_PR3.json` so later PRs have a trajectory to beat.
 //!
 //! Runs seeded window and 10NN batches over one DSI broadcast twice —
 //! once on the incremental state path and once on the from-scratch
 //! baseline (`dsi_core::hotpath`) — single-threaded for stable timing,
-//! and reports mean latency/tuning bytes plus wall-clock queries per
-//! second and the incremental/from-scratch speedup.
+//! and reports mean **and p50/p95** latency/tuning bytes plus wall-clock
+//! queries per second and the incremental/from-scratch speedup. The
+//! percentiles are deterministic air-cost quantiles (no wall-clock in
+//! them), so they compare exactly across PRs.
 //!
 //! `--compare <prev.json>` reads a previous run (e.g. the committed
-//! `BENCH_PR1.json`), prints per-metric deltas, and exits non-zero when
-//! any incremental throughput regressed by more than
+//! `BENCH_PR2.json`), prints per-metric deltas, and exits non-zero when
+//! any incremental metric regressed by more than
 //! `DSI_BENCH_MAX_REGRESSION` (a fraction, default 0.10) — so CI can keep
-//! both the harness and the perf trajectory honest.
+//! both the harness and the perf trajectory honest. Metrics absent from
+//! the older baseline (the percentiles, pre-PR 3) are skipped.
 //!
 //! Scale knobs: `DSI_N` (objects, default 10,000), `DSI_QUERIES` (queries
 //! per batch, default 200), `DSI_BENCH_OUT` (output path, default
-//! `BENCH_PR2.json`).
+//! `BENCH_PR3.json`).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use dsi_broadcast::{LossModel, MeanStats, Tuner};
+use dsi_broadcast::{LossModel, MeanStats, QueryStats, Tuner};
 use dsi_core::hotpath::{self, StatePath};
 use dsi_core::{DsiAir, DsiConfig, KnnStrategy};
 use dsi_datagen::{knn_points, uniform, window_queries, SpatialDataset};
@@ -29,7 +32,7 @@ const CAPACITY: u32 = 64;
 const ORDER: u8 = 12;
 const K: usize = 10;
 const WINDOW_RATIO: f64 = 0.1;
-const PR: u32 = 2;
+const PR: u32 = 3;
 
 #[derive(Clone, Copy)]
 struct BatchMetrics {
@@ -38,6 +41,17 @@ struct BatchMetrics {
     queries_per_sec: f64,
     mean_latency_bytes: f64,
     mean_tuning_bytes: f64,
+    p50_latency_bytes: u64,
+    p95_latency_bytes: u64,
+    p50_tuning_bytes: u64,
+    p95_tuning_bytes: u64,
+}
+
+/// Nearest-rank percentile of a sorted sample (q in [0, 1]).
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -58,7 +72,7 @@ fn run_windows(
     validate: Option<&SpatialDataset>,
 ) -> BatchMetrics {
     let cycle = air.program().len();
-    let mut m = MeanStats::default();
+    let mut stats = Vec::with_capacity(windows.len());
     let t0 = Instant::now();
     for (qi, w) in windows.iter().enumerate() {
         let mut tuner = Tuner::tune_in(
@@ -71,9 +85,9 @@ fn run_windows(
         if let Some(ds) = validate {
             assert_eq!(got, ds.brute_window(w), "window {qi} answer mismatch");
         }
-        m.push(tuner.stats());
+        stats.push(tuner.stats());
     }
-    finish(m, t0)
+    finish(stats, t0)
 }
 
 fn run_knns(
@@ -82,7 +96,7 @@ fn run_knns(
     validate: Option<&SpatialDataset>,
 ) -> BatchMetrics {
     let cycle = air.program().len();
-    let mut m = MeanStats::default();
+    let mut stats = Vec::with_capacity(points.len());
     let t0 = Instant::now();
     for (qi, q) in points.iter().enumerate() {
         let mut tuner = Tuner::tune_in(
@@ -95,19 +109,33 @@ fn run_knns(
         if let Some(ds) = validate {
             assert_eq!(got, ds.brute_knn(*q, K), "kNN {qi} answer mismatch");
         }
-        m.push(tuner.stats());
+        stats.push(tuner.stats());
     }
-    finish(m, t0)
+    finish(stats, t0)
 }
 
-fn finish(m: MeanStats, t0: Instant) -> BatchMetrics {
+fn finish(stats: Vec<QueryStats>, t0: Instant) -> BatchMetrics {
     let wall = t0.elapsed().as_secs_f64();
+    let mut m = MeanStats::default();
+    let mut latencies: Vec<u64> = Vec::with_capacity(stats.len());
+    let mut tunings: Vec<u64> = Vec::with_capacity(stats.len());
+    for s in &stats {
+        m.push(*s);
+        latencies.push(s.latency_bytes());
+        tunings.push(s.tuning_bytes());
+    }
+    latencies.sort_unstable();
+    tunings.sort_unstable();
     BatchMetrics {
         queries: m.count(),
         wall_seconds: wall,
         queries_per_sec: m.count() as f64 / wall,
         mean_latency_bytes: m.latency_bytes(),
         mean_tuning_bytes: m.tuning_bytes(),
+        p50_latency_bytes: percentile(&latencies, 0.50),
+        p95_latency_bytes: percentile(&latencies, 0.95),
+        p50_tuning_bytes: percentile(&tunings, 0.50),
+        p95_tuning_bytes: percentile(&tunings, 0.95),
     }
 }
 
@@ -123,19 +151,31 @@ fn batch_json(out: &mut String, name: &str, inc: BatchMetrics, scratch: BatchMet
 
 fn metrics_json(m: BatchMetrics) -> String {
     format!(
-        "{{\"queries\": {}, \"wall_seconds\": {:.4}, \"queries_per_sec\": {:.1}, \"mean_latency_bytes\": {:.1}, \"mean_tuning_bytes\": {:.1}}}",
-        m.queries, m.wall_seconds, m.queries_per_sec, m.mean_latency_bytes, m.mean_tuning_bytes
+        "{{\"queries\": {}, \"wall_seconds\": {:.4}, \"queries_per_sec\": {:.1}, \"mean_latency_bytes\": {:.1}, \"mean_tuning_bytes\": {:.1}, \"p50_latency_bytes\": {}, \"p95_latency_bytes\": {}, \"p50_tuning_bytes\": {}, \"p95_tuning_bytes\": {}}}",
+        m.queries,
+        m.wall_seconds,
+        m.queries_per_sec,
+        m.mean_latency_bytes,
+        m.mean_tuning_bytes,
+        m.p50_latency_bytes,
+        m.p95_latency_bytes,
+        m.p50_tuning_bytes,
+        m.p95_tuning_bytes
     )
 }
 
 fn report(name: &str, inc: BatchMetrics, scratch: BatchMetrics) {
     println!(
-        "{name:>8}: incremental {:>9.1} q/s | from-scratch {:>9.1} q/s | speedup {:.2}x | mean latency {:.0} B, tuning {:.0} B",
+        "{name:>8}: incremental {:>9.1} q/s | from-scratch {:>9.1} q/s | speedup {:.2}x | mean latency {:.0} B, tuning {:.0} B | latency p50/p95 {}/{} B | tuning p50/p95 {}/{} B",
         inc.queries_per_sec,
         scratch.queries_per_sec,
         inc.queries_per_sec / scratch.queries_per_sec,
         inc.mean_latency_bytes,
         inc.mean_tuning_bytes,
+        inc.p50_latency_bytes,
+        inc.p95_latency_bytes,
+        inc.p50_tuning_bytes,
+        inc.p95_tuning_bytes,
     );
 }
 
@@ -170,6 +210,10 @@ fn compare_against(prev_path: &str, batches: &[(&str, BatchMetrics)], max_regres
             ("queries_per_sec", m.queries_per_sec, true),
             ("mean_latency_bytes", m.mean_latency_bytes, false),
             ("mean_tuning_bytes", m.mean_tuning_bytes, false),
+            ("p50_latency_bytes", m.p50_latency_bytes as f64, false),
+            ("p95_latency_bytes", m.p95_latency_bytes as f64, false),
+            ("p50_tuning_bytes", m.p50_tuning_bytes as f64, false),
+            ("p95_tuning_bytes", m.p95_tuning_bytes as f64, false),
         ];
         for (field, new, higher_better) in metrics {
             let Some(old) = extract_incremental(&prev, name, field) else {
@@ -202,7 +246,7 @@ fn main() {
     let n_queries = env_usize("DSI_QUERIES", 200);
     assert!(n > 0, "DSI_N must be at least 1");
     assert!(n_queries > 0, "DSI_QUERIES must be at least 1");
-    let out_path = std::env::var("DSI_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR2.json".into());
+    let out_path = std::env::var("DSI_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR3.json".into());
     let args: Vec<String> = std::env::args().collect();
     let compare_path = args
         .iter()

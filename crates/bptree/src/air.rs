@@ -5,7 +5,7 @@
 //! by a replicated root-path copy, followed by the segment's nodes
 //! (depth-first, once per cycle) and its data objects in HC order.
 
-use dsi_broadcast::{PacketClass, Payload, Program};
+use dsi_broadcast::{ChannelConfig, PacketClass, Payload, Program, Tuner};
 use dsi_datagen::SpatialDataset;
 use dsi_geom::GridMapper;
 use dsi_hilbert::HilbertCurve;
@@ -91,6 +91,14 @@ impl Payload for BpPacket {
             BpPacket::ObjPayload { .. } => PacketClass::ObjectPayload,
         }
     }
+
+    fn unit_start(&self) -> bool {
+        match self {
+            BpPacket::Node { part, .. } => *part == 0,
+            BpPacket::ObjHeader { .. } => true,
+            BpPacket::ObjPayload { .. } => false,
+        }
+    }
 }
 
 /// Where a node can be read.
@@ -123,8 +131,17 @@ pub struct BpAir {
 }
 
 impl BpAir {
-    /// Builds the HCI broadcast for a dataset.
+    /// Builds the single-channel HCI broadcast for a dataset.
     pub fn build(dataset: &SpatialDataset, config: BpAirConfig) -> Self {
+        Self::build_channels(dataset, config, ChannelConfig::single())
+    }
+
+    /// Builds the HCI broadcast scheduled over the channels of `channels`.
+    pub fn build_channels(
+        dataset: &SpatialDataset,
+        config: BpAirConfig,
+        channels: ChannelConfig,
+    ) -> Self {
         let tree = bulk_load(dataset.objects(), config.fanout());
         let height = tree.height();
         let cut_level = (0..height)
@@ -194,7 +211,7 @@ impl BpAir {
             }
         }
 
-        let program = Program::new(config.capacity, packets);
+        let program = Program::with_channels(config.capacity, packets, channels);
         Self {
             tree,
             config,
@@ -222,23 +239,38 @@ impl BpAir {
         &self.config
     }
 
-    /// First packet of the next segment at or after `abs`.
-    pub(crate) fn next_segment_start(&self, abs: u64) -> u64 {
-        let cycle = self.program.len();
-        let rel = abs % cycle;
-        match self.segment_starts.binary_search(&rel) {
-            Ok(_) => abs,
-            Err(i) => {
-                if i == self.segment_starts.len() {
-                    abs + (cycle - rel)
-                } else {
-                    abs + (self.segment_starts[i] - rel)
+    /// The earliest instant at which node `(level, idx)` can be read by
+    /// `tuner` (channel placement and switch cost included), and the flat
+    /// position of the chosen copy.
+    pub(crate) fn node_arrival(
+        &self,
+        tuner: &Tuner<'_, BpPacket>,
+        level: u8,
+        idx: u32,
+    ) -> (u64, u64) {
+        match &self.node_where[level as usize][idx as usize] {
+            NodeWhere::Single(pos) => (tuner.arrival(*pos), *pos),
+            NodeWhere::PerSegment {
+                first,
+                last,
+                path_offset,
+            } => {
+                let mut best = (u64::MAX, 0u64);
+                for s in *first..=*last {
+                    let flat = self.segment_starts[s as usize] + path_offset;
+                    let t = tuner.arrival(flat);
+                    if t < best.0 {
+                        best = (t, flat);
+                    }
                 }
+                best
             }
         }
     }
 
-    /// Next instant (≥ `from`) at which node `(level, idx)` can be read.
+    /// Next instant (≥ `from`) at which node `(level, idx)` can be read,
+    /// in flat single-channel time.
+    #[cfg(test)]
     pub(crate) fn node_next_occurrence(&self, from: u64, level: u8, idx: u32) -> u64 {
         match &self.node_where[level as usize][idx as usize] {
             NodeWhere::Single(pos) => self.program.next_occurrence(from, *pos),

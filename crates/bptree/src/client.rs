@@ -10,9 +10,10 @@ use dsi_hilbert::{ranges_in_rect, HcRange};
 use crate::air::{BpAir, BpPacket};
 use crate::tree::BpChildren;
 
-/// Pending heap entries: (position, level-or-object marker, index, upper
-/// bound of the subtree's key interval, exclusive).
-type Pending = BinaryHeap<Reverse<(u64, u8, u32, u64)>>;
+/// Pending heap entries: (arrival, level-or-object marker, index, upper
+/// bound of the subtree's key interval (exclusive), flat broadcast
+/// position to re-tune to).
+type Pending = BinaryHeap<Reverse<(u64, u8, u32, u64, u64)>>;
 
 const OBJ: u8 = u8::MAX;
 
@@ -33,17 +34,12 @@ impl BpAir {
         Ok(())
     }
 
-    /// Seeds a traversal with the root copy at the next segment boundary.
+    /// Seeds a traversal with the earliest readable root copy.
     fn seed(&self, tuner: &mut Tuner<'_, BpPacket>) -> Pending {
         let root_level = (self.tree.height() - 1) as u8;
         let mut pending = Pending::new();
-        let start = self.next_segment_start(tuner.pos());
-        pending.push(Reverse((
-            self.node_next_occurrence(start, root_level, 0),
-            root_level,
-            0,
-            u64::MAX,
-        )));
+        let (at, flat) = self.node_arrival(tuner, root_level, 0);
+        pending.push(Reverse((at, root_level, 0, u64::MAX, flat)));
         pending
     }
 
@@ -56,8 +52,8 @@ impl BpAir {
             return result;
         }
         let mut pending = self.seed(tuner);
-        while let Some(Reverse((pos, kind, payload, ub))) = pending.pop() {
-            tuner.doze_to(pos);
+        while let Some(Reverse((_, kind, payload, ub, flat))) = pending.pop() {
+            tuner.goto(flat);
             if kind == OBJ {
                 // Header first: exact coordinates decide retrieval.
                 match tuner.read() {
@@ -67,18 +63,18 @@ impl BpAir {
                             if self.read_payload(tuner) {
                                 result.push(o.id);
                             } else {
-                                self.requeue_object(tuner.pos(), payload, &mut pending);
+                                self.requeue_object(tuner, payload, &mut pending);
                             }
                         }
                     }
-                    Err(_) => self.requeue_object(tuner.pos(), payload, &mut pending),
+                    Err(_) => self.requeue_object(tuner, payload, &mut pending),
                 }
                 continue;
             }
             let (level, idx) = (kind, payload);
             if self.read_node(tuner).is_err() {
-                let next = self.node_next_occurrence(tuner.pos(), level, idx);
-                pending.push(Reverse((next, level, idx, ub)));
+                let (next, nflat) = self.node_arrival(tuner, level, idx);
+                pending.push(Reverse((next, level, idx, ub, nflat)));
                 continue;
             }
             let node = &self.tree.levels[level as usize][idx as usize];
@@ -88,8 +84,8 @@ impl BpAir {
                         let child = &self.tree.levels[level as usize - 1][k as usize];
                         let cub = self.tree.child_upper(level as usize, node, ci, ub);
                         if overlaps(&ranges, child.min_hc, cub) {
-                            let at = self.node_next_occurrence(tuner.pos(), level - 1, k);
-                            pending.push(Reverse((at, level - 1, k, cub)));
+                            let (at, nflat) = self.node_arrival(tuner, level - 1, k);
+                            pending.push(Reverse((at, level - 1, k, cub, nflat)));
                         }
                     }
                 }
@@ -97,10 +93,8 @@ impl BpAir {
                     for obj in *start..*start + *count {
                         let hc = self.tree.objects[obj as usize].hc;
                         if overlaps(&ranges, hc, hc + 1) {
-                            let at = self
-                                .program
-                                .next_occurrence(tuner.pos(), self.object_pos[obj as usize]);
-                            pending.push(Reverse((at, OBJ, obj, hc)));
+                            let oflat = self.object_pos[obj as usize];
+                            pending.push(Reverse((tuner.arrival(oflat), OBJ, obj, hc, oflat)));
                         }
                     }
                 }
@@ -119,12 +113,10 @@ impl BpAir {
         true
     }
 
-    fn requeue_object(&self, from: u64, obj: u32, pending: &mut Pending) {
-        let next = self
-            .program
-            .next_occurrence(from, self.object_pos[obj as usize]);
+    fn requeue_object(&self, tuner: &Tuner<'_, BpPacket>, obj: u32, pending: &mut Pending) {
+        let flat = self.object_pos[obj as usize];
         let hc = self.tree.objects[obj as usize].hc;
-        pending.push(Reverse((next, OBJ, obj, hc)));
+        pending.push(Reverse((tuner.arrival(flat), OBJ, obj, hc, flat)));
     }
 
     /// Answers a kNN query with the two-phase HCI algorithm (Zheng et al.
@@ -146,8 +138,8 @@ impl BpAir {
         let mut entry_hcs: Vec<u64> = Vec::with_capacity(k + 8);
         let mut visited = 0u32;
         while entry_hcs.len() < k && visited < n_leaves {
-            let at = self.node_next_occurrence(tuner.pos(), 0, leaf);
-            tuner.doze_to(at);
+            let (_, flat) = self.node_arrival(tuner, 0, leaf);
+            tuner.goto(flat);
             if self.read_node(tuner).is_ok() {
                 let BpChildren::Objects { start, count } =
                     self.tree.levels[0][leaf as usize].children
@@ -176,7 +168,7 @@ impl BpAir {
         let mut cands: HashMap<u64, (f64, u32, bool)> = HashMap::new(); // hc -> (d2, id, retrieved)
         let mut running = Running::new(k, r2_phase1);
         let mut pending = self.seed(tuner);
-        while let Some(Reverse((pos, kind, payload, ub))) = pending.pop() {
+        while let Some(Reverse((_, kind, payload, ub, flat))) = pending.pop() {
             if kind == OBJ {
                 // Skip objects provably outside the shrunken space without
                 // listening (the decoded cell distance is schema knowledge).
@@ -185,7 +177,7 @@ impl BpAir {
                 if cell_min > running.r2() {
                     continue;
                 }
-                tuner.doze_to(pos);
+                tuner.goto(flat);
                 match tuner.read() {
                     Ok(_) => {
                         let o = &self.tree.objects[payload as usize];
@@ -200,19 +192,19 @@ impl BpAir {
                             if self.read_payload(tuner) {
                                 cands.get_mut(&o.hc).expect("just inserted").2 = true;
                             } else {
-                                self.requeue_object(tuner.pos(), payload, &mut pending);
+                                self.requeue_object(tuner, payload, &mut pending);
                             }
                         }
                     }
-                    Err(_) => self.requeue_object(tuner.pos(), payload, &mut pending),
+                    Err(_) => self.requeue_object(tuner, payload, &mut pending),
                 }
                 continue;
             }
             let (level, idx) = (kind, payload);
-            tuner.doze_to(pos);
+            tuner.goto(flat);
             if self.read_node(tuner).is_err() {
-                let next = self.node_next_occurrence(tuner.pos(), level, idx);
-                pending.push(Reverse((next, level, idx, ub)));
+                let (next, nflat) = self.node_arrival(tuner, level, idx);
+                pending.push(Reverse((next, level, idx, ub, nflat)));
                 continue;
             }
             let node = &self.tree.levels[level as usize][idx as usize];
@@ -222,8 +214,8 @@ impl BpAir {
                         let child = &self.tree.levels[level as usize - 1][kid as usize];
                         let cub = self.tree.child_upper(level as usize, node, ci, ub);
                         if overlaps(&ranges, child.min_hc, cub) {
-                            let at = self.node_next_occurrence(tuner.pos(), level - 1, kid);
-                            pending.push(Reverse((at, level - 1, kid, cub)));
+                            let (at, nflat) = self.node_arrival(tuner, level - 1, kid);
+                            pending.push(Reverse((at, level - 1, kid, cub, nflat)));
                         }
                     }
                 }
@@ -231,10 +223,8 @@ impl BpAir {
                     for obj in *start..*start + *count {
                         let hc = self.tree.objects[obj as usize].hc;
                         if overlaps(&ranges, hc, hc + 1) {
-                            let at = self
-                                .program
-                                .next_occurrence(tuner.pos(), self.object_pos[obj as usize]);
-                            pending.push(Reverse((at, OBJ, obj, hc)));
+                            let oflat = self.object_pos[obj as usize];
+                            pending.push(Reverse((tuner.arrival(oflat), OBJ, obj, hc, oflat)));
                         }
                     }
                 }
@@ -262,8 +252,8 @@ impl BpAir {
             }
             // Path copies make upper levels cheap to reach; subtree nodes
             // have one occurrence per cycle.
-            let at = self.node_next_occurrence(tuner.pos(), level, idx);
-            tuner.doze_to(at);
+            let (_, flat) = self.node_arrival(tuner, level, idx);
+            tuner.goto(flat);
             if self.read_node(tuner).is_err() {
                 continue; // retry at the node's next occurrence
             }
@@ -283,6 +273,22 @@ impl BpAir {
             level -= 1;
             idx = chosen;
         }
+    }
+}
+
+impl dsi_broadcast::AirScheme for BpAir {
+    type Packet = BpPacket;
+
+    fn program(&self) -> &dsi_broadcast::Program<BpPacket> {
+        BpAir::program(self)
+    }
+
+    fn window(&self, tuner: &mut Tuner<'_, BpPacket>, window: &Rect) -> Vec<u32> {
+        self.window_query(tuner, window)
+    }
+
+    fn knn(&self, tuner: &mut Tuner<'_, BpPacket>, q: Point, k: usize) -> Vec<u32> {
+        self.knn_query(tuner, q, k)
     }
 }
 

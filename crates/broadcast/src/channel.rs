@@ -1,0 +1,322 @@
+//! Multi-channel broadcast scheduling.
+//!
+//! The paper's evaluation runs on a single broadcast channel; the standard
+//! scaling lever for broadcast systems is to spread the cycle over `C`
+//! parallel channels (cf. multichannel XML broadcast streams). This module
+//! adds that dimension **without changing how schemes address content**:
+//! index algorithms keep thinking in *flat* cycle positions (the
+//! single-channel schema), and the channel layer maps every flat position
+//! to a `(channel, per-channel slot)` pair. A [`crate::Tuner`] listens to
+//! one channel at a time and pays a configurable switch cost (in packets
+//! of latency) to move; per-channel tuning and switch counts surface in
+//! [`ChannelStats`].
+//!
+//! Placement never splits an *indivisible unit* — a maximal packet run
+//! beginning at a [`crate::Payload::unit_start`] packet (an index table,
+//! a tree node, an object header plus its payload packets) — so the
+//! sequential multi-packet reads of every scheme keep working: a unit's
+//! packets occupy consecutive slots of one channel. All channels tick in
+//! lockstep (one packet per channel per instant); each channel repeats its
+//! own, possibly shorter, cycle.
+
+/// How the flat cycle's units are assigned to channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Each channel carries one contiguous arc of the flat cycle (arcs
+    /// balanced by packet count, split only at unit boundaries). Adjacent
+    /// units stay adjacent on one channel, so sequential frame scans keep
+    /// their locality while every channel's cycle shortens roughly
+    /// `C`-fold — the placement that actually lowers access latency.
+    Blocked,
+    /// Units round-robin over all channels, preserving their relative
+    /// order within each channel. Maximally uniform load, but consecutive
+    /// units land on *parallel* channels: a client scanning a frame
+    /// serially misses each next unit's concurrent airing and waits a full
+    /// per-channel cycle for it, so sequential-scan-heavy schemes pay
+    /// dearly (measured in the `channels` experiment).
+    Stripe,
+    /// Dedicated index channels: units starting with a
+    /// [`crate::PacketClass::Index`] packet round-robin over channels
+    /// `0..index_channels`, object units over the remaining channels. A
+    /// client can camp on a short index cycle and hop to a data channel
+    /// only to retrieve records.
+    IndexData {
+        /// Number of leading channels reserved for index units (must be
+        /// `>= 1` and `< channels` when `channels > 1`).
+        index_channels: u32,
+    },
+}
+
+/// Channel count, placement policy and switch cost of a broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelConfig {
+    /// Number of parallel channels `C >= 1`.
+    pub channels: u32,
+    /// Unit-to-channel assignment policy (ignored when `channels == 1`).
+    pub placement: Placement,
+    /// Latency cost, in packets, of re-tuning to another channel. While
+    /// switching the client listens to nothing: the earliest packet it can
+    /// read on the target channel airs `switch_cost` instants later.
+    pub switch_cost: u32,
+}
+
+impl ChannelConfig {
+    /// The classic single-channel broadcast (the paper's setting).
+    pub fn single() -> Self {
+        Self {
+            channels: 1,
+            placement: Placement::Blocked,
+            switch_cost: 0,
+        }
+    }
+
+    /// `channels` block-contiguous channels at a given switch cost.
+    pub fn blocked(channels: u32, switch_cost: u32) -> Self {
+        Self {
+            channels,
+            placement: Placement::Blocked,
+            switch_cost,
+        }
+    }
+
+    /// `channels` round-robin-striped channels at a given switch cost.
+    pub fn striped(channels: u32, switch_cost: u32) -> Self {
+        Self {
+            channels,
+            placement: Placement::Stripe,
+            switch_cost,
+        }
+    }
+
+    /// An index/data split: `index_channels` channels carry index units,
+    /// the rest carry object units.
+    pub fn index_data(channels: u32, index_channels: u32, switch_cost: u32) -> Self {
+        Self {
+            channels,
+            placement: Placement::IndexData { index_channels },
+            switch_cost,
+        }
+    }
+
+    pub(crate) fn validate(&self) {
+        assert!(self.channels >= 1, "need at least one channel");
+        if self.channels > 1 {
+            if let Placement::IndexData { index_channels } = self.placement {
+                assert!(
+                    index_channels >= 1 && index_channels < self.channels,
+                    "index_channels must be in 1..channels, got {index_channels} of {}",
+                    self.channels
+                );
+            }
+        }
+    }
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+/// The materialized unit-to-channel assignment of one broadcast cycle.
+/// Only built for `C > 1`; the single-channel case stays map-free (flat
+/// position == channel position).
+#[derive(Debug, Clone)]
+pub(crate) struct ChannelLayout {
+    /// Flat position → channel.
+    pub(crate) chan_of: Vec<u32>,
+    /// Flat position → slot within its channel's cycle.
+    pub(crate) chan_pos: Vec<u64>,
+    /// Channel → slot → flat position (each channel's own cycle).
+    pub(crate) by_channel: Vec<Vec<u32>>,
+}
+
+impl ChannelLayout {
+    /// Assigns units (maximal runs starting at `unit_starts[i] == true`)
+    /// to channels. `is_index[i]` classifies the unit *starting* at `i`
+    /// (only read at unit starts).
+    pub(crate) fn build(cfg: &ChannelConfig, unit_starts: &[bool], is_index: &[bool]) -> Self {
+        cfg.validate();
+        let n = unit_starts.len();
+        assert!(
+            unit_starts.first().copied().unwrap_or(false),
+            "cycle must begin at a unit boundary"
+        );
+        let c = cfg.channels as usize;
+        let mut chan_of = vec![0u32; n];
+        let mut chan_pos = vec![0u64; n];
+        let mut by_channel: Vec<Vec<u32>> = vec![Vec::new(); c];
+        // Independent round-robin cursors per unit class.
+        let mut next_index_chan = 0usize;
+        let mut next_data_chan = 0usize;
+        let mut i = 0usize;
+        while i < n {
+            let mut end = i + 1;
+            while end < n && !unit_starts[end] {
+                end += 1;
+            }
+            let ch = match cfg.placement {
+                Placement::Blocked => {
+                    // Arc boundaries at multiples of n/C packets: a unit
+                    // belongs to the arc its first packet falls into.
+                    (i * c) / n
+                }
+                Placement::Stripe => {
+                    let ch = next_data_chan;
+                    next_data_chan = (next_data_chan + 1) % c;
+                    ch
+                }
+                Placement::IndexData { index_channels } => {
+                    let ic = index_channels as usize;
+                    if is_index[i] {
+                        let ch = next_index_chan;
+                        next_index_chan = (next_index_chan + 1) % ic;
+                        ch
+                    } else {
+                        let ch = ic + next_data_chan;
+                        next_data_chan = (next_data_chan + 1) % (c - ic);
+                        ch
+                    }
+                }
+            };
+            for (p, chan_slot) in chan_of
+                .iter_mut()
+                .zip(chan_pos.iter_mut())
+                .take(end)
+                .skip(i)
+            {
+                *p = ch as u32;
+                *chan_slot = by_channel[ch].len() as u64;
+                by_channel[ch].push(0); // placeholder, fixed below
+            }
+            let base = by_channel[ch].len() - (end - i);
+            for (off, slot) in by_channel[ch][base..].iter_mut().enumerate() {
+                *slot = (i + off) as u32;
+            }
+            i = end;
+        }
+        for (ch, slots) in by_channel.iter().enumerate() {
+            assert!(
+                !slots.is_empty(),
+                "channel {ch} received no units; use fewer channels or another placement"
+            );
+        }
+        Self {
+            chan_of,
+            chan_pos,
+            by_channel,
+        }
+    }
+}
+
+/// Channel-aware metrics of one query: how often the client re-tuned and
+/// how much it listened to each channel. Complements [`crate::QueryStats`]
+/// (which aggregates over channels).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChannelStats {
+    /// Number of channel switches performed.
+    pub switches: u64,
+    /// Packets actively received per channel (length = channel count).
+    pub tuning_packets: Vec<u64>,
+    /// Packet capacity, for byte conversion.
+    pub capacity: u32,
+}
+
+impl ChannelStats {
+    /// Tuning time spent on channel `c`, in bytes.
+    pub fn tuning_bytes(&self, c: usize) -> u64 {
+        self.tuning_packets.get(c).copied().unwrap_or(0) * self.capacity as u64
+    }
+
+    /// Total tuning across channels, in bytes.
+    pub fn total_tuning_bytes(&self) -> u64 {
+        self.tuning_packets.iter().sum::<u64>() * self.capacity as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn starts(pattern: &[(bool, bool)]) -> (Vec<bool>, Vec<bool>) {
+        (
+            pattern.iter().map(|&(s, _)| s).collect(),
+            pattern.iter().map(|&(_, i)| i).collect(),
+        )
+    }
+
+    #[test]
+    fn stripe_keeps_units_contiguous() {
+        // Units: [0,1], [2], [3,4,5], [6].
+        let (us, ix) = starts(&[
+            (true, true),
+            (false, true),
+            (true, false),
+            (true, false),
+            (false, false),
+            (false, false),
+            (true, true),
+        ]);
+        let l = ChannelLayout::build(&ChannelConfig::striped(2, 1), &us, &ix);
+        // Units round-robin: ch0 gets [0,1] and [3,4,5]; ch1 gets [2], [6].
+        assert_eq!(l.chan_of, vec![0, 0, 1, 0, 0, 0, 1]);
+        assert_eq!(l.by_channel[0], vec![0, 1, 3, 4, 5]);
+        assert_eq!(l.by_channel[1], vec![2, 6]);
+        // Per-channel slots are consecutive within a unit.
+        assert_eq!(l.chan_pos[3], 2);
+        assert_eq!(l.chan_pos[4], 3);
+        assert_eq!(l.chan_pos[5], 4);
+    }
+
+    #[test]
+    fn blocked_assigns_contiguous_arcs() {
+        // Six one-packet units over three channels: two per arc.
+        let (us, ix) = starts(&[(true, false); 6]);
+        let l = ChannelLayout::build(&ChannelConfig::blocked(3, 0), &us, &ix);
+        assert_eq!(l.chan_of, vec![0, 0, 1, 1, 2, 2]);
+        assert_eq!(l.by_channel[1], vec![2, 3]);
+        // A unit straddling an arc boundary stays whole on the arc of its
+        // first packet.
+        let (us, ix) = starts(&[
+            (true, false),
+            (true, false),
+            (false, false),
+            (false, false),
+            (true, false),
+            (true, false),
+        ]);
+        let l = ChannelLayout::build(&ChannelConfig::blocked(2, 0), &us, &ix);
+        assert_eq!(l.chan_of, vec![0, 0, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn index_data_separates_classes() {
+        let (us, ix) = starts(&[
+            (true, true),
+            (true, false),
+            (false, false),
+            (true, true),
+            (true, false),
+        ]);
+        let l = ChannelLayout::build(&ChannelConfig::index_data(3, 1, 2), &us, &ix);
+        // Index units on channel 0, data units round-robin on 1 and 2.
+        assert_eq!(l.chan_of, vec![0, 1, 1, 0, 2]);
+        assert_eq!(l.by_channel[0], vec![0, 3]);
+        assert_eq!(l.by_channel[1], vec![1, 2]);
+        assert_eq!(l.by_channel[2], vec![4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "received no units")]
+    fn starving_a_channel_is_rejected() {
+        let (us, ix) = starts(&[(true, true), (false, true)]);
+        let _ = ChannelLayout::build(&ChannelConfig::striped(2, 0), &us, &ix);
+    }
+
+    #[test]
+    #[should_panic(expected = "index_channels must be in")]
+    fn bad_split_is_rejected() {
+        let (us, ix) = starts(&[(true, true), (true, false)]);
+        let _ = ChannelLayout::build(&ChannelConfig::index_data(2, 2, 0), &us, &ix);
+    }
+}

@@ -20,6 +20,15 @@
 //! * [`LossModel`] — the error-prone environment of §5: i.i.d. per-packet
 //!   loss with probability θ, optionally scoped to index information (see
 //!   DESIGN.md §3.2 for why the data payload is assumed FEC-protected).
+//! * [`ChannelConfig`] / [`Placement`] — the multi-channel scheduler: the
+//!   flat cycle's indivisible units spread over `C` lockstep channels,
+//!   with a configurable per-switch latency cost and per-channel metrics
+//!   ([`ChannelStats`]). `C = 1` is bit-identical to the classic
+//!   single-channel broadcast.
+//! * [`AirScheme`] / [`DynScheme`] / [`drive`] — the unified scheme
+//!   layer: every air index exposes its program and window/kNN search
+//!   algorithms through one trait, and one driver owns the
+//!   tune-in/loss/stats loop for all of them.
 //!
 //! The simulator is deterministic under a fixed seed: every stochastic
 //! choice (loss draws) comes from the tuner's own RNG.
@@ -27,12 +36,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod channel;
 mod loss;
 mod program;
+mod scheme;
 mod stats;
 mod tuner;
 
+pub use channel::{ChannelConfig, ChannelStats, Placement};
 pub use loss::{LossModel, LossScope};
 pub use program::{PacketClass, Payload, Program};
+pub use scheme::{drive, AirScheme, DynScheme, Query, QueryOutcome};
 pub use stats::{MeanStats, QueryStats};
 pub use tuner::{PacketLost, Tuner};

@@ -1,5 +1,7 @@
 //! Broadcast programs: the repeating packet cycle of a base station.
 
+use crate::channel::{ChannelConfig, ChannelLayout};
+
 /// Coarse classification of a packet's content, used by the link-error
 /// model to decide whether a loss draw applies (see [`crate::LossScope`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -17,6 +19,16 @@ pub enum PacketClass {
 pub trait Payload {
     /// The class of this packet.
     fn class(&self) -> PacketClass;
+
+    /// Whether this packet begins an indivisible broadcast unit (an index
+    /// table, a tree node, an object header). Continuation packets (later
+    /// table/node parts, object payload packets) return `false`; the
+    /// multi-channel scheduler never splits a unit across channels, so
+    /// sequential multi-packet reads stay on one channel. Defaults to
+    /// `true` (every packet its own unit).
+    fn unit_start(&self) -> bool {
+        true
+    }
 }
 
 /// One broadcast cycle: `len()` packets of `capacity` bytes each, repeated
@@ -27,10 +39,15 @@ pub trait Payload {
 pub struct Program<P> {
     capacity: u32,
     packets: Vec<P>,
+    /// Channel assignment; `None` for the single-channel broadcast (flat
+    /// position == channel position, no maps materialized).
+    layout: Option<ChannelLayout>,
+    switch_cost: u32,
+    n_channels: u32,
 }
 
 impl<P> Program<P> {
-    /// Creates a program from its packet sequence.
+    /// Creates a single-channel program from its packet sequence.
     ///
     /// # Panics
     ///
@@ -38,13 +55,87 @@ impl<P> Program<P> {
     pub fn new(capacity: u32, packets: Vec<P>) -> Self {
         assert!(capacity > 0, "packet capacity must be positive");
         assert!(!packets.is_empty(), "broadcast cycle must not be empty");
-        Self { capacity, packets }
+        Self {
+            capacity,
+            packets,
+            layout: None,
+            switch_cost: 0,
+            n_channels: 1,
+        }
     }
 
     /// Packet capacity in bytes.
     #[inline]
     pub fn capacity(&self) -> u32 {
         self.capacity
+    }
+
+    /// Number of parallel channels.
+    #[inline]
+    pub fn n_channels(&self) -> u32 {
+        self.n_channels
+    }
+
+    /// Latency cost of re-tuning to another channel, in packets.
+    #[inline]
+    pub fn switch_cost(&self) -> u32 {
+        self.switch_cost
+    }
+
+    /// The channel carrying the packet at flat cycle position `flat_pos`.
+    #[inline]
+    pub fn channel_of(&self, flat_pos: u64) -> u32 {
+        match &self.layout {
+            None => 0,
+            Some(l) => l.chan_of[(flat_pos % self.len()) as usize],
+        }
+    }
+
+    /// Packets per cycle of channel `channel` (channels repeat their own,
+    /// possibly shorter, cycles; all tick in lockstep).
+    #[inline]
+    pub fn channel_len(&self, channel: u32) -> u64 {
+        match &self.layout {
+            None => self.len(),
+            Some(l) => l.by_channel[channel as usize].len() as u64,
+        }
+    }
+
+    /// Flat cycle position of the packet channel `channel` broadcasts at
+    /// absolute instant `abs`.
+    #[inline]
+    pub fn flat_at(&self, channel: u32, abs: u64) -> u64 {
+        match &self.layout {
+            None => abs % self.len(),
+            Some(l) => {
+                let slots = &l.by_channel[channel as usize];
+                slots[(abs % slots.len() as u64) as usize] as u64
+            }
+        }
+    }
+
+    /// The packet channel `channel` broadcasts at absolute instant `abs`.
+    #[inline]
+    pub fn packet_at(&self, channel: u32, abs: u64) -> &P {
+        &self.packets[self.flat_at(channel, abs) as usize]
+    }
+
+    /// The earliest absolute instant `t >= from` at which the packet at
+    /// flat position `flat_pos` airs **on its own channel**. This is the
+    /// channel-aware generalization of [`Program::next_occurrence`]; for a
+    /// single channel the two agree.
+    #[inline]
+    pub fn next_occurrence_on(&self, from: u64, flat_pos: u64) -> u64 {
+        match &self.layout {
+            None => self.next_occurrence(from, flat_pos),
+            Some(l) => {
+                let flat = (flat_pos % self.len()) as usize;
+                let len = l.by_channel[l.chan_of[flat] as usize].len() as u64;
+                let q = l.chan_pos[flat];
+                let from_rel = from % len;
+                from + (q + len - from_rel) % len
+            }
+        }
     }
 
     /// Packets per cycle.
@@ -96,6 +187,35 @@ impl<P> Program<P> {
     }
 }
 
+impl<P: Payload> Program<P> {
+    /// Creates a program scheduled over the channels of `cfg`. The packet
+    /// sequence is the flat single-channel cycle (the schema clients
+    /// address); the scheduler assigns its indivisible units to channels
+    /// per the placement policy. `cfg.channels == 1` is exactly
+    /// [`Program::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty cycle, zero capacity, an invalid channel
+    /// configuration, or a placement that leaves some channel empty.
+    pub fn with_channels(capacity: u32, packets: Vec<P>, cfg: ChannelConfig) -> Self {
+        cfg.validate();
+        let mut prog = Self::new(capacity, packets);
+        if cfg.channels > 1 {
+            let unit_starts: Vec<bool> = prog.packets.iter().map(|p| p.unit_start()).collect();
+            let is_index: Vec<bool> = prog
+                .packets
+                .iter()
+                .map(|p| p.class() == PacketClass::Index)
+                .collect();
+            prog.layout = Some(ChannelLayout::build(&cfg, &unit_starts, &is_index));
+            prog.n_channels = cfg.channels;
+        }
+        prog.switch_cost = cfg.switch_cost;
+        prog
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +262,38 @@ mod tests {
     #[should_panic(expected = "must not be empty")]
     fn empty_program_rejected() {
         let _: Program<P> = Program::new(64, vec![]);
+    }
+
+    #[test]
+    fn channelized_program_is_consistent() {
+        use crate::channel::ChannelConfig;
+        // 10 one-packet units striped over 3 channels: 4 + 3 + 3 units.
+        let p = Program::with_channels(64, (0..10).map(P).collect(), ChannelConfig::striped(3, 2));
+        assert_eq!(p.n_channels(), 3);
+        assert_eq!(p.switch_cost(), 2);
+        let total: u64 = (0..3).map(|c| p.channel_len(c)).sum();
+        assert_eq!(total, p.len());
+        assert_eq!(p.channel_len(0), 4);
+        for flat in 0..p.len() {
+            let c = p.channel_of(flat);
+            // The packet airs on its channel at its next occurrence, and
+            // never earlier.
+            let t = p.next_occurrence_on(17, flat);
+            assert!(t >= 17 && t - 17 < p.channel_len(c));
+            assert_eq!(p.flat_at(c, t), flat);
+            assert_eq!(p.packet_at(c, t), p.get(flat));
+        }
+    }
+
+    #[test]
+    fn single_channel_program_keeps_flat_semantics() {
+        let p = program();
+        assert_eq!(p.n_channels(), 1);
+        assert_eq!(p.channel_len(0), p.len());
+        for flat in 0..p.len() {
+            assert_eq!(p.channel_of(flat), 0);
+            assert_eq!(p.flat_at(0, flat + 3 * p.len()), flat);
+            assert_eq!(p.next_occurrence_on(23, flat), p.next_occurrence(23, flat));
+        }
     }
 }

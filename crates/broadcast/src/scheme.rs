@@ -1,0 +1,120 @@
+//! The unified air-scheme layer.
+//!
+//! Every air index in this workspace (DSI, the STR R-tree, the HCI
+//! B+-tree) is, from the harness's point of view, the same thing: a built
+//! broadcast [`Program`] plus on-air window and kNN search algorithms that
+//! drive a [`Tuner`]. [`AirScheme`] captures exactly that surface, and
+//! [`drive`] is the one query loop every experiment goes through — it owns
+//! tune-in, loss, and stats collection, so schemes never reimplement the
+//! Tuner/loss/stats plumbing and new scenarios (channel configurations,
+//! loss models, workloads) are wired once instead of per index.
+//!
+//! [`DynScheme`] erases the scheme's packet type so heterogeneous schemes
+//! can sit in one collection (`Box<dyn DynScheme>`): the experiment matrix
+//! of `dsi-sim` iterates scheme × channel-config × loss × workload over
+//! it from a single code path.
+
+use dsi_geom::{Point, Rect};
+
+use crate::channel::ChannelStats;
+use crate::loss::LossModel;
+use crate::program::{Payload, Program};
+use crate::stats::QueryStats;
+use crate::tuner::Tuner;
+
+/// A built air index: a broadcast program plus its on-air query
+/// algorithms. Implementations answer exactly (ids ascending, validated
+/// against brute force by the harness) and accrue all metrics on the
+/// tuner they are handed.
+pub trait AirScheme {
+    /// The scheme's packet type.
+    type Packet: Payload;
+
+    /// The broadcast program clients tune into.
+    fn program(&self) -> &Program<Self::Packet>;
+
+    /// Answers a window query on the air: ids of all objects inside
+    /// `window`, ascending.
+    fn window(&self, tuner: &mut Tuner<'_, Self::Packet>, window: &Rect) -> Vec<u32>;
+
+    /// Answers a kNN query on the air: ids of the `k` objects nearest to
+    /// `q` (ties by id), ascending.
+    fn knn(&self, tuner: &mut Tuner<'_, Self::Packet>, q: Point, k: usize) -> Vec<u32>;
+}
+
+/// One client query, scheme-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Query {
+    /// All objects inside a rectangle.
+    Window(Rect),
+    /// The `k` nearest objects to a point.
+    Knn(Point, usize),
+}
+
+/// What one driven query produced: the answer and both metric views.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Result ids, ascending.
+    pub ids: Vec<u32>,
+    /// Access latency / tuning time, aggregated over channels.
+    pub stats: QueryStats,
+    /// Switch count and per-channel tuning.
+    pub channels: ChannelStats,
+}
+
+/// Runs one query to completion: tunes a client in at `start` under
+/// `loss` (seeded by `seed`), dispatches the query to the scheme's search
+/// algorithm, and collects both metric views. This is the only place the
+/// harness touches a [`Tuner`].
+pub fn drive<S: AirScheme + ?Sized>(
+    scheme: &S,
+    start: u64,
+    loss: LossModel,
+    seed: u64,
+    query: &Query,
+) -> QueryOutcome {
+    let mut tuner = Tuner::tune_in(scheme.program(), start, loss, seed);
+    let ids = match query {
+        Query::Window(w) => scheme.window(&mut tuner, w),
+        Query::Knn(q, k) => scheme.knn(&mut tuner, *q, *k),
+    };
+    QueryOutcome {
+        ids,
+        stats: tuner.stats(),
+        channels: tuner.channel_stats(),
+    }
+}
+
+/// Packet-type-erased [`AirScheme`], so heterogeneous schemes fit one
+/// `Box<dyn DynScheme>`. Blanket-implemented for every `AirScheme`.
+pub trait DynScheme: Send + Sync {
+    /// Runs one query through [`drive`].
+    fn drive(&self, start: u64, loss: LossModel, seed: u64, query: &Query) -> QueryOutcome;
+
+    /// Packets per (flat) broadcast cycle.
+    fn cycle_packets(&self) -> u64;
+
+    /// Bytes per (flat) broadcast cycle.
+    fn cycle_bytes(&self) -> u64;
+
+    /// Number of parallel channels the program is scheduled over.
+    fn n_channels(&self) -> u32;
+}
+
+impl<S: AirScheme + Send + Sync> DynScheme for S {
+    fn drive(&self, start: u64, loss: LossModel, seed: u64, query: &Query) -> QueryOutcome {
+        drive(self, start, loss, seed, query)
+    }
+
+    fn cycle_packets(&self) -> u64 {
+        self.program().len()
+    }
+
+    fn cycle_bytes(&self) -> u64 {
+        self.program().cycle_bytes()
+    }
+
+    fn n_channels(&self) -> u32 {
+        self.program().n_channels()
+    }
+}

@@ -3,6 +3,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::channel::ChannelStats;
 use crate::loss::LossModel;
 use crate::program::{Payload, Program};
 use crate::stats::QueryStats;
@@ -32,12 +33,22 @@ pub struct Tuner<'a, P> {
     tuning: u64,
     loss: LossModel,
     rng: StdRng,
+    /// Channel currently listened to (clients tune in on channel 0, the
+    /// first index channel under every placement policy).
+    channel: u32,
+    switches: u64,
+    /// Per-channel tuning counters; left empty on single-channel programs
+    /// (the aggregate counter covers channel 0), so the classic
+    /// single-channel tuner stays allocation-free and pays nothing per
+    /// read.
+    tuning_by_channel: Vec<u64>,
 }
 
 impl<'a, P: Payload> Tuner<'a, P> {
     /// Tunes in at the absolute packet instant `start` (the initial probe
-    /// happens at the first subsequent `read`).
+    /// happens at the first subsequent `read`), on channel 0.
     pub fn tune_in(program: &'a Program<P>, start: u64, loss: LossModel, seed: u64) -> Self {
+        let n_channels = program.n_channels();
         Self {
             program,
             start,
@@ -45,6 +56,13 @@ impl<'a, P: Payload> Tuner<'a, P> {
             tuning: 0,
             loss,
             rng: StdRng::seed_from_u64(seed),
+            channel: 0,
+            switches: 0,
+            tuning_by_channel: if n_channels > 1 {
+                vec![0; n_channels as usize]
+            } else {
+                Vec::new()
+            },
         }
     }
 
@@ -66,14 +84,68 @@ impl<'a, P: Payload> Tuner<'a, P> {
         self.pos % self.program.len()
     }
 
+    /// Channel currently listened to.
+    #[inline]
+    pub fn channel(&self) -> u32 {
+        self.channel
+    }
+
+    /// Flat cycle position of the packet about to air on the current
+    /// channel — "where in the schema" the client is listening. Equal to
+    /// [`Tuner::cycle_pos`] on a single channel.
+    #[inline]
+    pub fn flat_pos(&self) -> u64 {
+        self.program.flat_at(self.channel, self.pos)
+    }
+
+    /// The packet about to air on the current channel (schema knowledge;
+    /// reading it still costs a [`Tuner::read`]).
+    #[inline]
+    pub fn current_packet(&self) -> &'a P {
+        self.program.packet_at(self.channel, self.pos)
+    }
+
+    /// The earliest instant at which the packet at flat schema position
+    /// `flat_pos` can be **read** from here: its next airing on its
+    /// channel, no earlier than a channel switch (if one is needed) allows.
+    #[inline]
+    pub fn arrival(&self, flat_pos: u64) -> u64 {
+        let ready = if self.program.channel_of(flat_pos) == self.channel {
+            self.pos
+        } else {
+            self.pos + self.program.switch_cost() as u64
+        };
+        self.program.next_occurrence_on(ready, flat_pos)
+    }
+
+    /// Dozes (and re-tunes, if the target lives on another channel) to the
+    /// arrival of flat schema position `flat_pos`, returning the instant
+    /// reached; the next [`Tuner::read`] receives exactly that packet.
+    /// Switch cost accrues as latency, never as tuning.
+    #[inline]
+    pub fn goto(&mut self, flat_pos: u64) -> u64 {
+        let t = self.arrival(flat_pos);
+        let ch = self.program.channel_of(flat_pos);
+        if ch != self.channel {
+            self.switches += 1;
+            self.channel = ch;
+        }
+        self.pos = t;
+        t
+    }
+
     /// Receives the packet at the current instant (active mode).
     ///
     /// Always advances time and accrues one packet of tuning; returns
     /// `Err(PacketLost)` if the link-error model corrupted the packet.
+    #[inline]
     pub fn read(&mut self) -> Result<&'a P, PacketLost> {
-        let packet = self.program.get(self.pos);
+        let packet = self.program.packet_at(self.channel, self.pos);
         self.pos += 1;
         self.tuning += 1;
+        if let Some(c) = self.tuning_by_channel.get_mut(self.channel as usize) {
+            *c += 1;
+        }
         let theta = self.loss.theta_for(packet.class());
         if theta > 0.0 && self.rng.gen_bool(theta) {
             Err(PacketLost)
@@ -98,11 +170,10 @@ impl<'a, P: Payload> Tuner<'a, P> {
         self.pos = abs;
     }
 
-    /// Dozes to the next occurrence of cycle position `cycle_pos` and reads
-    /// the packet there.
+    /// Dozes (re-tuning if needed) to the next occurrence of flat cycle
+    /// position `cycle_pos` and reads the packet there.
     pub fn read_at_cycle_pos(&mut self, cycle_pos: u64) -> Result<&'a P, PacketLost> {
-        let t = self.program.next_occurrence(self.pos, cycle_pos);
-        self.doze_to(t);
+        self.goto(cycle_pos);
         self.read()
     }
 
@@ -111,6 +182,20 @@ impl<'a, P: Payload> Tuner<'a, P> {
         QueryStats {
             latency_packets: self.pos - self.start,
             tuning_packets: self.tuning,
+            capacity: self.program.capacity(),
+        }
+    }
+
+    /// Channel-aware metrics accrued since tune-in: switch count and
+    /// per-channel tuning.
+    pub fn channel_stats(&self) -> ChannelStats {
+        ChannelStats {
+            switches: self.switches,
+            tuning_packets: if self.tuning_by_channel.is_empty() {
+                vec![self.tuning]
+            } else {
+                self.tuning_by_channel.clone()
+            },
             capacity: self.program.capacity(),
         }
     }

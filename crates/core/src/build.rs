@@ -1,8 +1,9 @@
 //! Building the DSI broadcast: server side.
 
-use dsi_broadcast::{PacketClass, Payload, Program};
+use dsi_broadcast::{AirScheme, ChannelConfig, PacketClass, Payload, Program, Tuner};
 use dsi_datagen::{Object, SpatialDataset};
 use dsi_geom::GridMapper;
+use dsi_geom::{Point, Rect};
 use dsi_hilbert::HilbertCurve;
 
 use crate::config::{compute_framing, DsiConfig};
@@ -48,6 +49,14 @@ impl Payload for DsiPacket {
             DsiPacket::ObjPayload { .. } => PacketClass::ObjectPayload,
         }
     }
+
+    fn unit_start(&self) -> bool {
+        match self {
+            DsiPacket::Table { part, .. } => *part == 0,
+            DsiPacket::ObjHeader { .. } => true,
+            DsiPacket::ObjPayload { .. } => false,
+        }
+    }
 }
 
 /// Metadata of one broadcast slot (frame) — server side.
@@ -77,8 +86,20 @@ pub struct DsiAir {
 }
 
 impl DsiAir {
-    /// Builds the broadcast for a dataset under a configuration.
+    /// Builds the single-channel broadcast for a dataset under a
+    /// configuration.
     pub fn build(dataset: &SpatialDataset, config: DsiConfig) -> Self {
+        Self::build_channels(dataset, config, ChannelConfig::single())
+    }
+
+    /// Builds the broadcast scheduled over the channels of `channels`.
+    /// The flat cycle (the schema clients address) is identical to the
+    /// single-channel build; only the on-air scheduling differs.
+    pub fn build_channels(
+        dataset: &SpatialDataset,
+        config: DsiConfig,
+        channels: ChannelConfig,
+    ) -> Self {
         let objects: Vec<Object> = dataset.objects().to_vec();
         let n = objects.len() as u32;
         let framing = compute_framing(&config, n);
@@ -120,7 +141,7 @@ impl DsiAir {
             }
         }
         debug_assert_eq!(packets.len() as u64, layout.cycle_packets());
-        let program = Program::new(config.capacity, packets);
+        let program = Program::with_channels(config.capacity, packets, channels);
 
         Self {
             layout,
@@ -183,6 +204,32 @@ impl DsiAir {
     #[inline]
     pub fn objects(&self) -> &[Object] {
         &self.objects
+    }
+}
+
+/// A [`DsiAir`] bound to a kNN navigation strategy — DSI as a unified
+/// [`AirScheme`] the scheme-agnostic driver can run.
+#[derive(Debug, Clone)]
+pub struct DsiScheme {
+    /// The built broadcast.
+    pub air: DsiAir,
+    /// Navigation strategy used for kNN queries.
+    pub strategy: crate::knn::KnnStrategy,
+}
+
+impl AirScheme for DsiScheme {
+    type Packet = DsiPacket;
+
+    fn program(&self) -> &Program<DsiPacket> {
+        self.air.program()
+    }
+
+    fn window(&self, tuner: &mut Tuner<'_, DsiPacket>, window: &Rect) -> Vec<u32> {
+        self.air.window_query(tuner, window)
+    }
+
+    fn knn(&self, tuner: &mut Tuner<'_, DsiPacket>, q: Point, k: usize) -> Vec<u32> {
+        self.air.knn_query(tuner, q, k, self.strategy)
     }
 }
 

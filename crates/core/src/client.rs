@@ -152,8 +152,24 @@ pub(crate) fn run_query<M: QueryMode>(
     // The schema's block boundaries are minimum HC values of real objects.
     mode.on_virtuals(l.block_min_hc());
 
-    let (abs, slot0) = l.next_frame_boundary(tuner.pos());
-    tuner.doze_to(abs);
+    let slot0 = if tuner.program().n_channels() == 1 {
+        // Single channel: the next frame boundary is a binary search.
+        let (abs, slot0) = l.next_frame_boundary(tuner.pos());
+        tuner.doze_to(abs);
+        slot0
+    } else {
+        // Channels progress in parallel: take the earliest-arriving index
+        // table across all of them (tables are what a fresh client needs).
+        let mut best = (u64::MAX, 0u32);
+        for slot in 0..l.n_frames() {
+            let t = tuner.arrival(l.frame_start(slot));
+            if t < best.0 {
+                best = (t, slot);
+            }
+        }
+        tuner.goto(l.frame_start(best.1));
+        best.1
+    };
     let mut pending = Pending::Table(slot0);
 
     // Defensive bound: every iteration makes progress (reads a packet or
@@ -274,7 +290,7 @@ fn read_table<'a>(
     slot: u32,
 ) -> Option<&'a IndexTable> {
     debug_assert!(
-        matches!(tuner.program().get(tuner.pos()), DsiPacket::Table { slot: s, part: 0 } if *s == slot),
+        matches!(tuner.current_packet(), DsiPacket::Table { slot: s, part: 0 } if *s == slot),
         "tuner not at the table of slot {slot}"
     );
     for _ in 0..air.layout().framing().table_packets {
@@ -321,10 +337,7 @@ fn visit_frame<M: QueryMode>(
         if !is_retry && stop_fresh {
             break;
         }
-        let abs = tuner
-            .program()
-            .next_occurrence(tuner.pos(), l.header_packet(slot, idx));
-        tuner.doze_to(abs);
+        tuner.goto(l.header_packet(slot, idx));
         match tuner.read() {
             Ok(p) => {
                 debug_assert!(
@@ -368,24 +381,30 @@ fn read_payload(tuner: &mut Tuner<'_, DsiPacket>, n: u32) -> bool {
     true
 }
 
-/// The cheapest way to reach frame `slot` from `pos`: through its index
-/// table (fresh frames) or straight to its first unread header (partially
-/// scanned frames, or frames whose table occurrence already passed).
-fn approach(air: &DsiAir, pos: u64, log: &ScanLog, slot: u32, max_hi: u64) -> (u64, Pending) {
+/// The cheapest way to reach frame `slot` from the tuner's position:
+/// through its index table (fresh frames) or straight to its first unread
+/// header (partially scanned frames, or frames whose table occurrence
+/// already passed). Returns `(arrival, flat target, what to do there)`.
+fn approach(
+    air: &DsiAir,
+    tuner: &Tuner<'_, DsiPacket>,
+    log: &ScanLog,
+    slot: u32,
+    max_hi: u64,
+) -> (u64, u64, Pending) {
     let l = air.layout();
-    let prog = air.program();
     let t = l.hc_index_of_slot(slot);
     let read_upto = log.get(t).map_or(0, |s| s.read_upto);
-    let table_abs = prog.next_occurrence(pos, l.frame_start(slot));
-    let visit_abs = prog.next_occurrence(
-        pos,
-        l.header_packet(slot, read_upto.min(l.objects_in_slot(slot) - 1)),
-    );
+    let table_flat = l.frame_start(slot);
+    let visit_flat = l.header_packet(slot, read_upto.min(l.objects_in_slot(slot) - 1));
+    let table_abs = tuner.arrival(table_flat);
+    let visit_abs = tuner.arrival(visit_flat);
     if table_abs <= visit_abs && log.get(t).is_none() {
-        (table_abs, Pending::Table(slot))
+        (table_abs, table_flat, Pending::Table(slot))
     } else {
         (
             visit_abs,
+            visit_flat,
             Pending::Visit {
                 slot,
                 include_fresh: true,
@@ -412,23 +431,22 @@ fn navigate<M: QueryMode>(
     useful_entries: &mut Vec<(u32, u64)>,
 ) -> Option<Pending> {
     let l = air.layout();
-    let pos = tuner.pos();
-    let prog = tuner.program();
     let (know, log, retries, rem) = (&state.know, &state.log, &state.retries, state.rem());
     let max_hi = max_hi_of(rem);
-    let mut best: Option<(u64, Pending)> = None;
-    let consider = |abs: u64, p: Pending, best: &mut Option<(u64, Pending)>| {
-        if best.as_ref().is_none_or(|(b, _)| abs < *b) {
-            *best = Some((abs, p));
+    let mut best: Option<(u64, u64, Pending)> = None;
+    let consider = |abs: u64, flat: u64, p: Pending, best: &mut Option<(u64, u64, Pending)>| {
+        if best.as_ref().is_none_or(|(b, _, _)| abs < *b) {
+            *best = Some((abs, flat, p));
         }
     };
 
     // Retry visits: the earliest pending index per slot is the head of its
     // maintained sorted list.
     for (slot, idxs) in retries.iter_slots() {
-        let abs = prog.next_occurrence(pos, l.header_packet(slot, idxs[0]));
+        let flat = l.header_packet(slot, idxs[0]);
         consider(
-            abs,
+            tuner.arrival(flat),
+            flat,
             Pending::Visit {
                 slot,
                 include_fresh: false,
@@ -455,14 +473,15 @@ fn navigate<M: QueryMode>(
     if !rem.is_empty() {
         match mode.nav_pick(rem, useful_entries) {
             NavPick::Slot(slot) => {
-                let (abs, p) = approach(air, pos, log, slot, max_hi);
-                consider(abs, p, &mut best);
+                let (abs, flat, p) = approach(air, tuner, log, slot, max_hi);
+                consider(abs, flat, p, &mut best);
             }
             NavPick::Earliest => {
                 // Sweep the broadcast order from the current position for
                 // the first frame that may still hold remainder content.
-                let cur = l.slot_of_packet(pos % l.cycle_packets());
+                let cur = l.slot_of_packet(tuner.flat_pos());
                 let nf = l.n_frames();
+                let multi = tuner.program().n_channels() > 1;
                 for d in 0..nf {
                     let slot = (cur + d) % nf;
                     let t = l.hc_index_of_slot(slot);
@@ -473,13 +492,16 @@ fn navigate<M: QueryMode>(
                     if !overlaps_any(rem, lb, ub) {
                         continue;
                     }
-                    let (abs, p) = approach(air, pos, log, slot, max_hi);
-                    consider(abs, p, &mut best);
-                    // Arrivals are monotone in `d` for d ≥ 1 (those frames
-                    // lie strictly ahead); only the current slot (d = 0) can
-                    // arrive later than its successors, so keep sweeping
-                    // past it but stop at the first qualifying successor.
-                    if d > 0 {
+                    let (abs, flat, p) = approach(air, tuner, log, slot, max_hi);
+                    consider(abs, flat, p, &mut best);
+                    // Single channel: arrivals are monotone in `d` for
+                    // d ≥ 1 (those frames lie strictly ahead); only the
+                    // current slot (d = 0) can arrive later than its
+                    // successors, so keep sweeping past it but stop at the
+                    // first qualifying successor. With parallel channels
+                    // broadcast order no longer orders arrivals — sweep
+                    // every candidate frame and keep the earliest.
+                    if d > 0 && !multi {
                         break;
                     }
                 }
@@ -487,7 +509,7 @@ fn navigate<M: QueryMode>(
         }
     }
 
-    let (abs, p) = best?;
-    tuner.doze_to(abs);
+    let (_, flat, p) = best?;
+    tuner.goto(flat);
     Some(p)
 }

@@ -59,7 +59,7 @@ mod state;
 mod table;
 mod window;
 
-pub use build::{DsiAir, DsiPacket, FrameMeta};
+pub use build::{DsiAir, DsiPacket, DsiScheme, FrameMeta};
 pub use config::{
     compute_framing, DsiConfig, Framing, FramingPolicy, ReorgStyle, ENTRY_BYTES, HC_BYTES,
     OBJECT_BYTES, PACKET_HEADER_BYTES, POINTER_BYTES, TABLE_HEADER_BYTES,

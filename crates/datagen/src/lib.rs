@@ -26,5 +26,5 @@ mod points;
 mod workload;
 
 pub use dataset::{Object, SpatialDataset};
-pub use points::{clustered, load_points, uniform};
-pub use workload::{knn_points, window_queries};
+pub use points::{clustered, load_points, uniform, zipf_hotspot, Hotspots};
+pub use workload::{knn_points, skewed_knn_points, skewed_window_queries, window_queries};

@@ -29,6 +29,39 @@ pub fn knn_points(n: usize, seed: u64) -> Vec<Point> {
         .collect()
 }
 
+/// Skewed window workload: window centres follow the Zipf-hotspot mixture
+/// of [`crate::Hotspots`] (`hotspot_seed` must match the dataset's for the
+/// queries to land where the data is).
+pub fn skewed_window_queries(
+    n: usize,
+    ratio: f64,
+    n_hotspots: usize,
+    skew: f64,
+    hotspot_seed: u64,
+    seed: u64,
+) -> Vec<Rect> {
+    assert!(
+        ratio > 0.0 && ratio <= 1.0,
+        "WinSideRatio must be in (0, 1], got {ratio}"
+    );
+    crate::Hotspots::new(n_hotspots, skew, hotspot_seed)
+        .points(n, seed)
+        .into_iter()
+        .map(|c| Rect::window_in_unit_square(c, ratio))
+        .collect()
+}
+
+/// Skewed kNN workload: query points follow the Zipf-hotspot mixture.
+pub fn skewed_knn_points(
+    n: usize,
+    n_hotspots: usize,
+    skew: f64,
+    hotspot_seed: u64,
+    seed: u64,
+) -> Vec<Point> {
+    crate::Hotspots::new(n_hotspots, skew, hotspot_seed).points(n, seed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

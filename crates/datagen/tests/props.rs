@@ -1,6 +1,9 @@
 //! Property tests for datasets and workloads.
 
-use dsi_datagen::{clustered, knn_points, uniform, window_queries, SpatialDataset};
+use dsi_datagen::{
+    clustered, knn_points, skewed_knn_points, skewed_window_queries, uniform, window_queries,
+    zipf_hotspot, SpatialDataset,
+};
 use dsi_geom::{Point, Rect};
 use proptest::prelude::*;
 
@@ -28,6 +31,37 @@ proptest! {
         for p in clustered(n, c, seed) {
             prop_assert!((0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y));
         }
+    }
+
+    #[test]
+    fn zipf_hotspot_points_stay_in_unit_square(
+        n in 1usize..400, h in 1usize..24, skew in 0.0..2.5f64, seed in any::<u64>(),
+    ) {
+        let pts = zipf_hotspot(n, h, skew, seed);
+        prop_assert_eq!(pts.len(), n);
+        for p in pts {
+            prop_assert!((0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn skewed_workloads_are_well_formed(
+        n in 1usize..60, h in 1usize..16, skew in 0.0..2.0f64,
+        ratio in 0.01..0.5f64, seed in any::<u64>(),
+    ) {
+        let unit = Rect::new(0.0, 0.0, 1.0, 1.0);
+        for w in skewed_window_queries(n, ratio, h, skew, seed, seed ^ 1) {
+            prop_assert!(unit.contains_rect(&w));
+            prop_assert!(!w.is_empty());
+        }
+        for p in skewed_knn_points(n, h, skew, seed, seed ^ 2) {
+            prop_assert!(unit.contains(p));
+        }
+        // Determinism under identical seeds.
+        prop_assert_eq!(
+            skewed_knn_points(n, h, skew, seed, seed ^ 2),
+            skewed_knn_points(n, h, skew, seed, seed ^ 2)
+        );
     }
 
     #[test]

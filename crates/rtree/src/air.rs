@@ -17,7 +17,7 @@
 //! the client-known schema, exactly as for DSI. Node *contents* (MBRs,
 //! child assignment) are only available by reading packets.
 
-use dsi_broadcast::{PacketClass, Payload, Program};
+use dsi_broadcast::{ChannelConfig, PacketClass, Payload, Program, Tuner};
 use dsi_geom::Point;
 
 use crate::tree::{Children, RTree, INTERNAL_ENTRY_BYTES, LEAF_ENTRY_BYTES, NODE_HEADER_BYTES};
@@ -118,6 +118,14 @@ impl Payload for RtPacket {
             RtPacket::ObjPayload { .. } => PacketClass::ObjectPayload,
         }
     }
+
+    fn unit_start(&self) -> bool {
+        match self {
+            RtPacket::Node { part, .. } => *part == 0,
+            RtPacket::ObjHeader { .. } => true,
+            RtPacket::ObjPayload { .. } => false,
+        }
+    }
 }
 
 /// Where a node can be read from.
@@ -153,15 +161,33 @@ pub struct RTreeAir {
 }
 
 impl RTreeAir {
-    /// Builds the broadcast for a point set: STR-packs the tree with
-    /// capacity-derived fanouts and lays out the cycle.
+    /// Builds the single-channel broadcast for a point set: STR-packs the
+    /// tree with capacity-derived fanouts and lays out the cycle.
     pub fn build(objects: &[(u32, Point)], config: RtreeAirConfig) -> Self {
-        let tree = str_pack_for(objects, &config);
-        Self::from_tree(tree, config)
+        Self::build_channels(objects, config, ChannelConfig::single())
     }
 
-    /// Lays out an existing tree.
+    /// Builds the broadcast scheduled over the channels of `channels`.
+    pub fn build_channels(
+        objects: &[(u32, Point)],
+        config: RtreeAirConfig,
+        channels: ChannelConfig,
+    ) -> Self {
+        let tree = str_pack_for(objects, &config);
+        Self::from_tree_channels(tree, config, channels)
+    }
+
+    /// Lays out an existing tree on a single channel.
     pub fn from_tree(tree: RTree, config: RtreeAirConfig) -> Self {
+        Self::from_tree_channels(tree, config, ChannelConfig::single())
+    }
+
+    /// Lays out an existing tree over the channels of `channels`.
+    pub fn from_tree_channels(
+        tree: RTree,
+        config: RtreeAirConfig,
+        channels: ChannelConfig,
+    ) -> Self {
         let height = tree.height();
         // Cut level: lowest level with at most max_segments nodes.
         let cut_level = (0..height)
@@ -244,7 +270,7 @@ impl RTreeAir {
             }
         }
 
-        let program = Program::new(config.capacity, packets);
+        let program = Program::with_channels(config.capacity, packets, channels);
         Self {
             tree,
             config,
@@ -281,7 +307,9 @@ impl RTreeAir {
         self.segment_starts.len()
     }
 
-    /// The first packet of the next segment at or after `abs`.
+    /// The first packet of the next segment at or after `abs`, in flat
+    /// single-channel time.
+    #[cfg(test)]
     pub(crate) fn next_segment_start(&self, abs: u64) -> u64 {
         let cycle = self.program.len();
         let rel = abs % cycle;
@@ -297,8 +325,39 @@ impl RTreeAir {
         }
     }
 
+    /// The earliest instant at which node `(level, idx)` can be read by
+    /// `tuner` (accounting for channel placement and switch cost), and the
+    /// flat position of the chosen copy.
+    pub(crate) fn node_arrival(
+        &self,
+        tuner: &Tuner<'_, RtPacket>,
+        level: u8,
+        idx: u32,
+    ) -> (u64, u64) {
+        match &self.node_where[level as usize][idx as usize] {
+            NodeWhere::Single(pos) => (tuner.arrival(*pos), *pos),
+            NodeWhere::PerSegment {
+                first,
+                last,
+                path_offset,
+            } => {
+                // Earliest readable copy among covered segments.
+                let mut best = (u64::MAX, 0u64);
+                for s in *first..=*last {
+                    let flat = self.segment_starts[s as usize] + path_offset;
+                    let t = tuner.arrival(flat);
+                    if t < best.0 {
+                        best = (t, flat);
+                    }
+                }
+                best
+            }
+        }
+    }
+
     /// The next broadcast instant (≥ `from`) at which node `(level, idx)`
-    /// can be read.
+    /// can be read, in flat single-channel time.
+    #[cfg(test)]
     pub(crate) fn node_next_occurrence(&self, from: u64, level: u8, idx: u32) -> u64 {
         match &self.node_where[level as usize][idx as usize] {
             NodeWhere::Single(pos) => self.program.next_occurrence(from, *pos),

@@ -28,14 +28,16 @@ enum Item {
     Object { obj: u32 },
 }
 
-type Pending = BinaryHeap<Reverse<(u64, u8, u32)>>;
+type Pending = BinaryHeap<Reverse<(u64, u8, u32, u64)>>;
 
-/// Encodes an item into the heap key (position, kind, payload) so the heap
-/// needs no trait objects. Kind 0 = node (level in high bits), 1 = object.
-fn push(pending: &mut Pending, pos: u64, item: Item) {
+/// Encodes an item into the heap key (arrival, kind, payload, flat target)
+/// so the heap needs no trait objects. The flat position rides along so
+/// the pop can re-tune (`Tuner::goto`) to the exact copy whose arrival was
+/// scheduled.
+fn push(pending: &mut Pending, pos: u64, flat: u64, item: Item) {
     match item {
-        Item::Node { level, idx } => pending.push(Reverse((pos, level, idx))),
-        Item::Object { obj } => pending.push(Reverse((pos, u8::MAX, obj))),
+        Item::Node { level, idx } => pending.push(Reverse((pos, level, idx, flat))),
+        Item::Object { obj } => pending.push(Reverse((pos, u8::MAX, obj, flat))),
     }
 }
 
@@ -51,17 +53,17 @@ fn decode(kind: u8, payload: u32) -> Item {
 }
 
 impl RTreeAir {
-    /// Reads the root by dozing to segment boundaries until a copy
-    /// survives the channel. Returns the heap seeded with the root.
+    /// Seeds the search with the earliest readable root copy (the root
+    /// heads every segment, or is the first subtree node when the whole
+    /// tree is one segment); lost copies are requeued by the main loop.
     fn seed(&self, tuner: &mut Tuner<'_, RtPacket>) -> Pending {
         let root_level = (self.tree.height() - 1) as u8;
         let mut pending = Pending::new();
-        let start = self.next_segment_start(tuner.pos());
+        let (at, flat) = self.node_arrival(tuner, root_level, 0);
         push(
             &mut pending,
-            // The root copy heads every segment (or is the first subtree
-            // node when the whole tree is one segment).
-            self.node_next_occurrence(start, root_level, 0),
+            at,
+            flat,
             Item::Node {
                 level: root_level,
                 idx: 0,
@@ -98,14 +100,14 @@ impl RTreeAir {
             return result;
         }
         let mut pending = self.seed(tuner);
-        while let Some(Reverse((pos, kind, payload))) = pending.pop() {
+        while let Some(Reverse((_, kind, payload, flat))) = pending.pop() {
             match decode(kind, payload) {
                 Item::Node { level, idx } => {
-                    tuner.doze_to(pos);
+                    tuner.goto(flat);
                     if self.read_node(tuner, level).is_err() {
                         // Wait for the node's rebroadcast.
-                        let next = self.node_next_occurrence(tuner.pos(), level, idx);
-                        push(&mut pending, next, Item::Node { level, idx });
+                        let (next, nflat) = self.node_arrival(tuner, level, idx);
+                        push(&mut pending, next, nflat, Item::Node { level, idx });
                         continue;
                     }
                     let node = &self.tree.levels[level as usize][idx as usize];
@@ -114,10 +116,11 @@ impl RTreeAir {
                             for &k in kids {
                                 let child = &self.tree.levels[level as usize - 1][k as usize];
                                 if child.mbr.intersects(window) {
-                                    let at = self.node_next_occurrence(tuner.pos(), level - 1, k);
+                                    let (at, nflat) = self.node_arrival(tuner, level - 1, k);
                                     push(
                                         &mut pending,
                                         at,
+                                        nflat,
                                         Item::Node {
                                             level: level - 1,
                                             idx: k,
@@ -129,25 +132,29 @@ impl RTreeAir {
                         Children::Objects { start, count } => {
                             for obj in *start..*start + *count {
                                 if window.contains(self.tree.objects[obj as usize].1) {
-                                    let at = self.program.next_occurrence(
-                                        tuner.pos(),
-                                        self.object_pos[obj as usize],
+                                    let oflat = self.object_pos[obj as usize];
+                                    push(
+                                        &mut pending,
+                                        tuner.arrival(oflat),
+                                        oflat,
+                                        Item::Object { obj },
                                     );
-                                    push(&mut pending, at, Item::Object { obj });
                                 }
                             }
                         }
                     }
                 }
                 Item::Object { obj } => {
-                    tuner.doze_to(pos);
+                    tuner.goto(flat);
                     if self.read_object(tuner).is_ok() {
                         result.push(self.tree.objects[obj as usize].0);
                     } else {
-                        let next = self
-                            .program
-                            .next_occurrence(tuner.pos(), self.object_pos[obj as usize]);
-                        push(&mut pending, next, Item::Object { obj });
+                        push(
+                            &mut pending,
+                            tuner.arrival(flat),
+                            flat,
+                            Item::Object { obj },
+                        );
                     }
                 }
             }
@@ -173,7 +180,7 @@ impl RTreeAir {
             self.tree.root().mbr.max_dist2(q),
         );
         let mut pending = self.seed(tuner);
-        while let Some(Reverse((pos, kind, payload))) = pending.pop() {
+        while let Some(Reverse((_, kind, payload, flat))) = pending.pop() {
             let item = decode(kind, payload);
             // Prune anything provably outside the search space.
             let min2 = match item {
@@ -188,10 +195,10 @@ impl RTreeAir {
             }
             match item {
                 Item::Node { level, idx } => {
-                    tuner.doze_to(pos);
+                    tuner.goto(flat);
                     if self.read_node(tuner, level).is_err() {
-                        let next = self.node_next_occurrence(tuner.pos(), level, idx);
-                        push(&mut pending, next, Item::Node { level, idx });
+                        let (next, nflat) = self.node_arrival(tuner, level, idx);
+                        push(&mut pending, next, nflat, Item::Node { level, idx });
                         continue;
                     }
                     // Expanded: the node's virtual is replaced by its
@@ -209,8 +216,8 @@ impl RTreeAir {
                                         idx: k,
                                     };
                                     cands.add_virtual(it, child.mbr.max_dist2(q));
-                                    let at = self.node_next_occurrence(tuner.pos(), level - 1, k);
-                                    push(&mut pending, at, it);
+                                    let (at, nflat) = self.node_arrival(tuner, level - 1, k);
+                                    push(&mut pending, at, nflat, it);
                                 }
                             }
                         }
@@ -221,30 +228,45 @@ impl RTreeAir {
                                 if d2 <= cands.r2() {
                                     let it = Item::Object { obj };
                                     cands.add_exact(it, d2);
-                                    let at = self.program.next_occurrence(
-                                        tuner.pos(),
-                                        self.object_pos[obj as usize],
-                                    );
-                                    push(&mut pending, at, it);
+                                    let oflat = self.object_pos[obj as usize];
+                                    push(&mut pending, tuner.arrival(oflat), oflat, it);
                                 }
                             }
                         }
                     }
                 }
                 Item::Object { obj } => {
-                    tuner.doze_to(pos);
+                    tuner.goto(flat);
                     if self.read_object(tuner).is_ok() {
                         cands.mark_retrieved(Item::Object { obj });
                     } else {
-                        let next = self
-                            .program
-                            .next_occurrence(tuner.pos(), self.object_pos[obj as usize]);
-                        push(&mut pending, next, Item::Object { obj });
+                        push(
+                            &mut pending,
+                            tuner.arrival(flat),
+                            flat,
+                            Item::Object { obj },
+                        );
                     }
                 }
             }
         }
         cands.result_ids(&self.tree)
+    }
+}
+
+impl dsi_broadcast::AirScheme for RTreeAir {
+    type Packet = RtPacket;
+
+    fn program(&self) -> &dsi_broadcast::Program<RtPacket> {
+        RTreeAir::program(self)
+    }
+
+    fn window(&self, tuner: &mut Tuner<'_, RtPacket>, window: &Rect) -> Vec<u32> {
+        self.window_query(tuner, window)
+    }
+
+    fn knn(&self, tuner: &mut Tuner<'_, RtPacket>, q: Point, k: usize) -> Vec<u32> {
+        self.knn_query(tuner, q, k)
     }
 }
 

@@ -1,8 +1,15 @@
-//! Scheme-agnostic query engines.
+//! Scheme construction: one enum of buildable schemes, one erased engine.
+//!
+//! Before the unified air-scheme layer every query type was dispatched
+//! through a per-index match arm here (three schemes × two query types of
+//! duplicated tune-in/loss/stats plumbing). [`Engine`] is now a thin box
+//! around [`DynScheme`]: building is the only scheme-specific step, and
+//! every query — any scheme, channel configuration, loss model, workload —
+//! goes through the one [`dsi_broadcast::drive`] loop.
 
 use dsi_bptree::{BpAir, BpAirConfig};
-use dsi_broadcast::{LossModel, QueryStats, Tuner};
-use dsi_core::{DsiAir, DsiConfig, KnnStrategy};
+use dsi_broadcast::{ChannelConfig, DynScheme, LossModel, Query, QueryOutcome, QueryStats};
+use dsi_core::{DsiAir, DsiConfig, DsiScheme, KnnStrategy};
 use dsi_datagen::SpatialDataset;
 use dsi_geom::{Point, Rect};
 use dsi_rtree::{RTreeAir, RtreeAirConfig};
@@ -32,54 +39,78 @@ impl Scheme {
     pub fn dsi_original(capacity: u32, strategy: KnnStrategy) -> Self {
         Scheme::Dsi(DsiConfig::paper_default().with_capacity(capacity), strategy)
     }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Dsi(..) => "DSI",
+            Scheme::RTree => "R-tree",
+            Scheme::Hci => "HCI",
+        }
+    }
 }
 
-/// A built broadcast with its on-air query algorithms.
-pub enum Engine {
-    /// DSI broadcast.
-    Dsi(Box<DsiAir>, KnnStrategy),
-    /// R-tree broadcast.
-    RTree(Box<RTreeAir>),
-    /// HCI broadcast.
-    Hci(Box<BpAir>),
+/// A built broadcast behind the unified [`DynScheme`] interface.
+pub struct Engine {
+    scheme: Box<dyn DynScheme>,
 }
 
 impl Engine {
-    /// Builds the broadcast program for `scheme` at `capacity` bytes.
+    /// Builds the single-channel broadcast program for `scheme` at
+    /// `capacity` bytes.
     pub fn build(scheme: Scheme, dataset: &SpatialDataset, capacity: u32) -> Self {
-        match scheme {
-            Scheme::Dsi(cfg, strat) => {
-                let cfg = cfg.with_capacity(capacity);
-                Engine::Dsi(Box::new(DsiAir::build(dataset, cfg)), strat)
-            }
+        Self::build_channels(scheme, dataset, capacity, ChannelConfig::single())
+    }
+
+    /// Builds the broadcast program for `scheme` scheduled over the
+    /// channels of `channels`.
+    pub fn build_channels(
+        scheme: Scheme,
+        dataset: &SpatialDataset,
+        capacity: u32,
+        channels: ChannelConfig,
+    ) -> Self {
+        let scheme: Box<dyn DynScheme> = match scheme {
+            Scheme::Dsi(cfg, strategy) => Box::new(DsiScheme {
+                air: DsiAir::build_channels(dataset, cfg.with_capacity(capacity), channels),
+                strategy,
+            }),
             Scheme::RTree => {
                 let pts: Vec<(u32, Point)> =
                     dataset.objects().iter().map(|o| (o.id, o.pos)).collect();
-                Engine::RTree(Box::new(RTreeAir::build(
+                Box::new(RTreeAir::build_channels(
                     &pts,
                     RtreeAirConfig::new(capacity),
-                )))
+                    channels,
+                ))
             }
-            Scheme::Hci => Engine::Hci(Box::new(BpAir::build(dataset, BpAirConfig::new(capacity)))),
-        }
+            Scheme::Hci => Box::new(BpAir::build_channels(
+                dataset,
+                BpAirConfig::new(capacity),
+                channels,
+            )),
+        };
+        Self { scheme }
     }
 
-    /// Packets per broadcast cycle.
+    /// Runs one query through the scheme-agnostic driver.
+    pub fn drive(&self, start: u64, loss: LossModel, seed: u64, query: &Query) -> QueryOutcome {
+        self.scheme.drive(start, loss, seed, query)
+    }
+
+    /// Packets per (flat) broadcast cycle.
     pub fn cycle_packets(&self) -> u64 {
-        match self {
-            Engine::Dsi(a, _) => a.program().len(),
-            Engine::RTree(a) => a.program().len(),
-            Engine::Hci(a) => a.program().len(),
-        }
+        self.scheme.cycle_packets()
     }
 
-    /// Bytes per broadcast cycle.
+    /// Bytes per (flat) broadcast cycle.
     pub fn cycle_bytes(&self) -> u64 {
-        match self {
-            Engine::Dsi(a, _) => a.program().cycle_bytes(),
-            Engine::RTree(a) => a.program().cycle_bytes(),
-            Engine::Hci(a) => a.program().cycle_bytes(),
-        }
+        self.scheme.cycle_bytes()
+    }
+
+    /// Number of parallel channels.
+    pub fn n_channels(&self) -> u32 {
+        self.scheme.n_channels()
     }
 
     /// Runs one window query from tune-in packet `start`.
@@ -90,20 +121,8 @@ impl Engine {
         seed: u64,
         w: &Rect,
     ) -> (Vec<u32>, QueryStats) {
-        match self {
-            Engine::Dsi(a, _) => {
-                let mut t = Tuner::tune_in(a.program(), start, loss, seed);
-                (a.window_query(&mut t, w), t.stats())
-            }
-            Engine::RTree(a) => {
-                let mut t = Tuner::tune_in(a.program(), start, loss, seed);
-                (a.window_query(&mut t, w), t.stats())
-            }
-            Engine::Hci(a) => {
-                let mut t = Tuner::tune_in(a.program(), start, loss, seed);
-                (a.window_query(&mut t, w), t.stats())
-            }
-        }
+        let out = self.drive(start, loss, seed, &Query::Window(*w));
+        (out.ids, out.stats)
     }
 
     /// Runs one kNN query from tune-in packet `start`.
@@ -115,20 +134,8 @@ impl Engine {
         q: Point,
         k: usize,
     ) -> (Vec<u32>, QueryStats) {
-        match self {
-            Engine::Dsi(a, strat) => {
-                let mut t = Tuner::tune_in(a.program(), start, loss, seed);
-                (a.knn_query(&mut t, q, k, *strat), t.stats())
-            }
-            Engine::RTree(a) => {
-                let mut t = Tuner::tune_in(a.program(), start, loss, seed);
-                (a.knn_query(&mut t, q, k), t.stats())
-            }
-            Engine::Hci(a) => {
-                let mut t = Tuner::tune_in(a.program(), start, loss, seed);
-                (a.knn_query(&mut t, q, k), t.stats())
-            }
-        }
+        let out = self.drive(start, loss, seed, &Query::Knn(q, k));
+        (out.ids, out.stats)
     }
 }
 
@@ -157,6 +164,27 @@ mod tests {
             let (got_k, sk) = e.knn(17, LossModel::None, 5, q, 7);
             assert_eq!(got_k, want_k);
             assert!(sk.tuning_packets <= sk.latency_packets);
+        }
+    }
+
+    #[test]
+    fn channelized_engines_answer_identically() {
+        let ds = uniform_dataset_n(250);
+        let w = Rect::new(0.1, 0.3, 0.45, 0.6);
+        let q = Point::new(0.6, 0.55);
+        for chan in [
+            ChannelConfig::blocked(2, 1),
+            ChannelConfig::striped(2, 1),
+            ChannelConfig::index_data(2, 1, 2),
+        ] {
+            for scheme in [Scheme::dsi_reorganized(64), Scheme::RTree, Scheme::Hci] {
+                let e = Engine::build_channels(scheme, &ds, 64, chan);
+                assert_eq!(e.n_channels(), 2);
+                let out = e.drive(31, LossModel::iid(0.2), 9, &Query::Window(w));
+                assert_eq!(out.ids, ds.brute_window(&w), "{chan:?}");
+                let out = e.drive(31, LossModel::iid(0.2), 9, &Query::Knn(q, 4));
+                assert_eq!(out.ids, ds.brute_knn(q, 4), "{chan:?}");
+            }
         }
     }
 }

@@ -1,16 +1,19 @@
 //! One function per paper artefact (figures 8–12, Table 1, the REAL
-//! summaries, and extension ablations).
+//! summaries, extension ablations) plus the multi-channel extension
+//! scenarios.
 //!
-//! Every function builds the relevant broadcast programs, runs seeded
-//! workloads through [`crate::runner`], validates the answers, and returns
-//! [`Table`]s shaped like the paper's panels: the x-axis in the first
-//! column, one series per curve.
+//! Every function is a selection of cells from the experiment matrix
+//! ([`crate::matrix`]): it names schemes, channel configurations, loss
+//! models and workloads, lets [`run_matrix`] drive the unified query loop
+//! (validating all answers), and shapes the resulting cells like the
+//! paper's panels: the x-axis in the first column, one series per curve.
 
-use dsi_broadcast::LossModel;
+use dsi_broadcast::{ChannelConfig, LossModel};
 use dsi_core::{DsiConfig, KnnStrategy, ReorgStyle};
-use dsi_datagen::{knn_points, window_queries, SpatialDataset};
+use dsi_datagen::{knn_points, window_queries, zipf_hotspot, SpatialDataset};
 
 use crate::engine::{Engine, Scheme};
+use crate::matrix::{cells_table, run_matrix, MatrixCell, MatrixSpec, WorkloadSpec};
 use crate::runner::{run_knn_batch, run_window_batch, BatchOptions, BatchResult};
 use crate::table::{fmt_bytes, fmt_pct, Table};
 use crate::{real_dataset, uniform_dataset, uniform_dataset_n};
@@ -24,6 +27,11 @@ pub const RTREE_CAPACITIES: [u32; 4] = [64, 128, 256, 512];
 pub const DEFAULT_RATIO: f64 = 0.1;
 /// The paper's default k.
 pub const DEFAULT_K: usize = 10;
+/// Channel-switch cost (packets) used by the multi-channel scenarios.
+pub const SWITCH_COST: u32 = 2;
+/// Hotspot parameters of the skewed scenario (shared between the dataset
+/// and its query workload so queries follow the data).
+pub const HOTSPOTS: (usize, f64, u64) = (32, 1.1, 77);
 
 /// Global experiment options.
 #[derive(Debug, Clone, Copy)]
@@ -82,6 +90,33 @@ impl ExpOptions {
             validate: self.validate,
         }
     }
+
+    /// A single-cell matrix spec: the per-experiment functions fill in the
+    /// axes they sweep.
+    fn spec(&self, capacity: u32) -> MatrixSpec {
+        MatrixSpec {
+            schemes: Vec::new(),
+            capacity,
+            channels: vec![("C1".into(), ChannelConfig::single())],
+            losses: vec![("lossless".into(), LossModel::None)],
+            workloads: Vec::new(),
+            n_queries: self.n_queries,
+            seed: 7,
+            validate: self.validate,
+        }
+    }
+}
+
+/// The cell of a (scheme, workload, loss) combination, if present.
+fn cell<'a>(
+    cells: &'a [MatrixCell],
+    scheme: &str,
+    workload: &str,
+    loss: &str,
+) -> Option<&'a MatrixCell> {
+    cells
+        .iter()
+        .find(|c| c.scheme == scheme && c.workload == workload && c.loss == loss)
 }
 
 fn series_tables(
@@ -121,9 +156,6 @@ fn series_tables(
 /// reorganized vs conservative vs aggressive.
 pub fn fig8(opts: &ExpOptions) -> Vec<Table> {
     let ds = opts.dataset();
-    let windows = window_queries(opts.n_queries, DEFAULT_RATIO, 11);
-    let points = knn_points(opts.n_queries, 13);
-    let batch = opts.batch();
     let xs: Vec<String> = CAPACITIES.iter().map(|c| c.to_string()).collect();
 
     let mut win_orig = Vec::new();
@@ -132,18 +164,47 @@ pub fn fig8(opts: &ExpOptions) -> Vec<Table> {
     let mut knn_aggr = Vec::new();
     let mut knn_reorg = Vec::new();
     for &cap in &CAPACITIES {
-        let orig = Engine::build(
-            Scheme::dsi_original(cap, KnnStrategy::Conservative),
-            &ds,
-            cap,
-        );
-        let reorg = Engine::build(Scheme::dsi_reorganized(cap), &ds, cap);
-        win_orig.push(Some(run_window_batch(&orig, &ds, &windows, &batch)));
-        win_reorg.push(Some(run_window_batch(&reorg, &ds, &windows, &batch)));
-        knn_cons.push(Some(run_knn_batch(&orig, &ds, &points, DEFAULT_K, &batch)));
-        let aggr = Engine::build(Scheme::dsi_original(cap, KnnStrategy::Aggressive), &ds, cap);
-        knn_aggr.push(Some(run_knn_batch(&aggr, &ds, &points, DEFAULT_K, &batch)));
-        knn_reorg.push(Some(run_knn_batch(&reorg, &ds, &points, DEFAULT_K, &batch)));
+        // Window panel: the kNN strategy does not affect window queries,
+        // so only the two broadcast organizations run it.
+        let mut wspec = opts.spec(cap);
+        wspec.schemes = vec![
+            (
+                "Original".into(),
+                Scheme::dsi_original(cap, KnnStrategy::Conservative),
+            ),
+            ("Reorganized".into(), Scheme::dsi_reorganized(cap)),
+        ];
+        wspec.workloads = vec![(
+            "window".into(),
+            WorkloadSpec::Window {
+                ratio: DEFAULT_RATIO,
+            },
+            11,
+        )];
+        let wcells = run_matrix(&ds, &wspec);
+        let rw = |s: &str| cell(&wcells, s, "window", "lossless").map(|c| c.result.clone());
+        win_orig.push(rw("Original"));
+        win_reorg.push(rw("Reorganized"));
+
+        // kNN panel: all three navigation variants.
+        let mut kspec = opts.spec(cap);
+        kspec.schemes = vec![
+            (
+                "Conservative".into(),
+                Scheme::dsi_original(cap, KnnStrategy::Conservative),
+            ),
+            (
+                "Aggressive".into(),
+                Scheme::dsi_original(cap, KnnStrategy::Aggressive),
+            ),
+            ("Reorganized".into(), Scheme::dsi_reorganized(cap)),
+        ];
+        kspec.workloads = vec![("10NN".into(), WorkloadSpec::Knn { k: DEFAULT_K }, 13)];
+        let kcells = run_matrix(&ds, &kspec);
+        let rk = |s: &str| cell(&kcells, s, "10NN", "lossless").map(|c| c.result.clone());
+        knn_cons.push(rk("Conservative"));
+        knn_aggr.push(rk("Aggressive"));
+        knn_reorg.push(rk("Reorganized"));
     }
     let (a, b) = series_tables(
         "Figure 8(a) — window access latency, bytes (UNIFORM)",
@@ -169,43 +230,54 @@ pub fn fig8(opts: &ExpOptions) -> Vec<Table> {
     vec![a, b, c, d]
 }
 
+/// The three paper schemes at one capacity (R-tree omitted where an
+/// internal entry cannot fit the packet).
+fn paper_schemes(cap: u32) -> Vec<(String, Scheme)> {
+    let mut v = vec![("DSI".to_string(), Scheme::dsi_reorganized(cap))];
+    if RTREE_CAPACITIES.contains(&cap) {
+        v.push(("R-tree".into(), Scheme::RTree));
+    }
+    v.push(("HCI".into(), Scheme::Hci));
+    v
+}
+
+/// Sweeps the three schemes over packet capacities for one workload.
 fn three_scheme_sweep(
     ds: &SpatialDataset,
     caps: &[u32],
-    batch: &BatchOptions,
-    mut run: impl FnMut(&Engine, &BatchOptions) -> BatchResult,
+    opts: &ExpOptions,
+    workload: WorkloadSpec,
+    workload_seed: u64,
 ) -> Vec<(String, Vec<Option<BatchResult>>)> {
-    let mut dsi = Vec::new();
-    let mut rtree = Vec::new();
-    let mut hci = Vec::new();
+    let mut series: Vec<(String, Vec<Option<BatchResult>>)> = ["DSI", "R-tree", "HCI"]
+        .iter()
+        .map(|n| (n.to_string(), Vec::new()))
+        .collect();
     for &cap in caps {
-        let e = Engine::build(Scheme::dsi_reorganized(cap), ds, cap);
-        dsi.push(Some(run(&e, batch)));
-        if RTREE_CAPACITIES.contains(&cap) {
-            let e = Engine::build(Scheme::RTree, ds, cap);
-            rtree.push(Some(run(&e, batch)));
-        } else {
-            rtree.push(None);
+        let mut spec = opts.spec(cap);
+        spec.schemes = paper_schemes(cap);
+        spec.workloads = vec![("w".into(), workload, workload_seed)];
+        let cells = run_matrix(ds, &spec);
+        for (name, results) in &mut series {
+            results.push(cell(&cells, name, "w", "lossless").map(|c| c.result.clone()));
         }
-        let e = Engine::build(Scheme::Hci, ds, cap);
-        hci.push(Some(run(&e, batch)));
     }
-    vec![
-        ("DSI".into(), dsi),
-        ("R-tree".into(), rtree),
-        ("HCI".into(), hci),
-    ]
+    series
 }
 
 /// Figure 9 — window queries vs packet capacity (UNIFORM), DSI vs R-tree
 /// vs HCI.
 pub fn fig9(opts: &ExpOptions) -> Vec<Table> {
     let ds = opts.dataset();
-    let windows = window_queries(opts.n_queries, DEFAULT_RATIO, 11);
-    let batch = opts.batch();
-    let series = three_scheme_sweep(&ds, &CAPACITIES, &batch, |e, b| {
-        run_window_batch(e, &ds, &windows, b)
-    });
+    let series = three_scheme_sweep(
+        &ds,
+        &CAPACITIES,
+        opts,
+        WorkloadSpec::Window {
+            ratio: DEFAULT_RATIO,
+        },
+        11,
+    );
     let xs: Vec<String> = CAPACITIES.iter().map(|c| c.to_string()).collect();
     let (a, b) = series_tables(
         "Figure 9(a) — window access latency, bytes (UNIFORM)",
@@ -220,25 +292,28 @@ pub fn fig9(opts: &ExpOptions) -> Vec<Table> {
 /// Figure 10 — window queries vs WinSideRatio at 64-byte packets.
 pub fn fig10(opts: &ExpOptions) -> Vec<Table> {
     let ds = opts.dataset();
-    let batch = opts.batch();
     let ratios = [0.02, 0.05, 0.1, 0.15, 0.2];
-    let engines = [
-        ("DSI", Engine::build(Scheme::dsi_reorganized(64), &ds, 64)),
-        ("R-tree", Engine::build(Scheme::RTree, &ds, 64)),
-        ("HCI", Engine::build(Scheme::Hci, &ds, 64)),
-    ];
-    let mut series: Vec<(String, Vec<Option<BatchResult>>)> = engines
+    let mut spec = opts.spec(64);
+    spec.schemes = paper_schemes(64);
+    spec.workloads = ratios
         .iter()
-        .map(|(n, _)| (n.to_string(), Vec::new()))
+        .map(|&ratio| (ratio.to_string(), WorkloadSpec::Window { ratio }, 11))
         .collect();
-    for &ratio in &ratios {
-        let windows = window_queries(opts.n_queries, ratio, 11);
-        for (si, (_, e)) in engines.iter().enumerate() {
-            series[si]
-                .1
-                .push(Some(run_window_batch(e, &ds, &windows, &batch)));
-        }
-    }
+    let cells = run_matrix(&ds, &spec);
+    let series: Vec<(String, Vec<Option<BatchResult>>)> = ["DSI", "R-tree", "HCI"]
+        .iter()
+        .map(|name| {
+            (
+                name.to_string(),
+                ratios
+                    .iter()
+                    .map(|r| {
+                        cell(&cells, name, &r.to_string(), "lossless").map(|c| c.result.clone())
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
     let xs: Vec<String> = ratios.iter().map(|r| r.to_string()).collect();
     let (a, b) = series_tables(
         "Figure 10(a) — window access latency vs WinSideRatio, bytes (UNIFORM, 64 B)",
@@ -253,14 +328,10 @@ pub fn fig10(opts: &ExpOptions) -> Vec<Table> {
 /// Figure 11 — kNN (k = 1 and k = 10) vs packet capacity (UNIFORM).
 pub fn fig11(opts: &ExpOptions) -> Vec<Table> {
     let ds = opts.dataset();
-    let points = knn_points(opts.n_queries, 13);
-    let batch = opts.batch();
     let xs: Vec<String> = RTREE_CAPACITIES.iter().map(|c| c.to_string()).collect();
     let mut tables = Vec::new();
     for (k, label) in [(1usize, "NN"), (10, "10NN")] {
-        let series = three_scheme_sweep(&ds, &RTREE_CAPACITIES, &batch, |e, b| {
-            run_knn_batch(e, &ds, &points, k, b)
-        });
+        let series = three_scheme_sweep(&ds, &RTREE_CAPACITIES, opts, WorkloadSpec::Knn { k }, 13);
         let (a, b) = series_tables(
             &format!("Figure 11 — {label} access latency, bytes (UNIFORM)"),
             &format!("Figure 11 — {label} tuning time, bytes (UNIFORM)"),
@@ -277,25 +348,27 @@ pub fn fig11(opts: &ExpOptions) -> Vec<Table> {
 /// Figure 12 — kNN vs k at 64-byte packets (UNIFORM).
 pub fn fig12(opts: &ExpOptions) -> Vec<Table> {
     let ds = opts.dataset();
-    let points = knn_points(opts.n_queries, 13);
-    let batch = opts.batch();
     let ks = [1usize, 3, 5, 10, 20, 30];
-    let engines = [
-        ("DSI", Engine::build(Scheme::dsi_reorganized(64), &ds, 64)),
-        ("R-tree", Engine::build(Scheme::RTree, &ds, 64)),
-        ("HCI", Engine::build(Scheme::Hci, &ds, 64)),
-    ];
-    let mut series: Vec<(String, Vec<Option<BatchResult>>)> = engines
+    let mut spec = opts.spec(64);
+    spec.schemes = paper_schemes(64);
+    spec.workloads = ks
         .iter()
-        .map(|(n, _)| (n.to_string(), Vec::new()))
+        .map(|&k| (k.to_string(), WorkloadSpec::Knn { k }, 13))
         .collect();
-    for &k in &ks {
-        for (si, (_, e)) in engines.iter().enumerate() {
-            series[si]
-                .1
-                .push(Some(run_knn_batch(e, &ds, &points, k, &batch)));
-        }
-    }
+    let cells = run_matrix(&ds, &spec);
+    let series: Vec<(String, Vec<Option<BatchResult>>)> = ["DSI", "R-tree", "HCI"]
+        .iter()
+        .map(|name| {
+            (
+                name.to_string(),
+                ks.iter()
+                    .map(|k| {
+                        cell(&cells, name, &k.to_string(), "lossless").map(|c| c.result.clone())
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
     let xs: Vec<String> = ks.iter().map(|k| k.to_string()).collect();
     let (a, b) = series_tables(
         "Figure 12(a) — kNN access latency vs k, bytes (UNIFORM, 64 B)",
@@ -310,10 +383,33 @@ pub fn fig12(opts: &ExpOptions) -> Vec<Table> {
 /// Table 1 — performance deterioration under link errors (θ ∈ {0.2, 0.5,
 /// 0.7}) relative to the lossless channel, for window and 10NN queries.
 pub fn table1(opts: &ExpOptions) -> Vec<Table> {
-    let ds = opts.dataset();
-    let windows = window_queries(opts.n_queries, DEFAULT_RATIO, 11);
-    let points = knn_points(opts.n_queries, 13);
     let thetas = [0.2, 0.5, 0.7];
+    let ds = opts.dataset();
+    let mut spec = opts.spec(64);
+    spec.schemes = vec![
+        ("HCI".into(), Scheme::Hci),
+        ("R-tree".into(), Scheme::RTree),
+        ("DSI".into(), Scheme::dsi_reorganized(64)),
+    ];
+    spec.losses = std::iter::once(("lossless".to_string(), LossModel::None))
+        .chain(
+            thetas
+                .iter()
+                .map(|&theta| (format!("{theta}"), LossModel::iid(theta))),
+        )
+        .collect();
+    spec.workloads = vec![
+        (
+            "window".into(),
+            WorkloadSpec::Window {
+                ratio: DEFAULT_RATIO,
+            },
+            11,
+        ),
+        ("10NN".into(), WorkloadSpec::Knn { k: DEFAULT_K }, 13),
+    ];
+    let cells = run_matrix(&ds, &spec);
+
     let mut t = Table::new(
         "Table 1 — deterioration vs lossless channel (UNIFORM, 64 B)",
         vec![
@@ -325,25 +421,23 @@ pub fn table1(opts: &ExpOptions) -> Vec<Table> {
             "10NN tuning".into(),
         ],
     );
-    for (name, scheme) in [
-        ("HCI", Scheme::Hci),
-        ("R-tree", Scheme::RTree),
-        ("DSI", Scheme::dsi_reorganized(64)),
-    ] {
-        let engine = Engine::build(scheme, &ds, 64);
-        let base_opts = opts.batch();
-        let base_w = run_window_batch(&engine, &ds, &windows, &base_opts);
-        let base_k = run_knn_batch(&engine, &ds, &points, DEFAULT_K, &base_opts);
+    for (name, _) in &spec.schemes {
+        let base_w = &cell(&cells, name, "window", "lossless")
+            .expect("base cell")
+            .result;
+        let base_k = &cell(&cells, name, "10NN", "lossless")
+            .expect("base cell")
+            .result;
         for &theta in &thetas {
-            let lossy = BatchOptions {
-                loss: LossModel::iid(theta),
-                ..base_opts
-            };
-            let w = run_window_batch(&engine, &ds, &windows, &lossy);
-            let k = run_knn_batch(&engine, &ds, &points, DEFAULT_K, &lossy);
+            let w = &cell(&cells, name, "window", &format!("{theta}"))
+                .expect("lossy cell")
+                .result;
+            let k = &cell(&cells, name, "10NN", &format!("{theta}"))
+                .expect("lossy cell")
+                .result;
             let pct = |lossy: f64, base: f64| fmt_pct((lossy / base - 1.0) * 100.0);
             t.push_row(vec![
-                name.to_string(),
+                name.clone(),
                 format!("{theta}"),
                 pct(w.latency_bytes, base_w.latency_bytes),
                 pct(w.tuning_bytes, base_w.tuning_bytes),
@@ -353,6 +447,97 @@ pub fn table1(opts: &ExpOptions) -> Vec<Table> {
         }
     }
     vec![t]
+}
+
+/// Multi-channel scenarios: every scheme × channel configuration × loss ×
+/// workload from the one matrix entry point, with per-channel tuning and
+/// switch counts — the scaling lever the single-channel paper setting
+/// lacks. A second panel runs the Zipf-hotspot skewed scenario (dataset
+/// and queries drawn from the same hotspots).
+pub fn channels(opts: &ExpOptions) -> Vec<Table> {
+    let ds = opts.dataset();
+    let mut spec = opts.spec(64);
+    spec.schemes = paper_schemes(64);
+    spec.channels = vec![
+        ("C1".into(), ChannelConfig::single()),
+        (
+            "C2-split".into(),
+            ChannelConfig::index_data(2, 1, SWITCH_COST),
+        ),
+        ("C2-blocked".into(), ChannelConfig::blocked(2, SWITCH_COST)),
+        (
+            "C4-split".into(),
+            ChannelConfig::index_data(4, 1, SWITCH_COST),
+        ),
+        ("C4-blocked".into(), ChannelConfig::blocked(4, SWITCH_COST)),
+        ("C4-stripe".into(), ChannelConfig::striped(4, SWITCH_COST)),
+    ];
+    spec.losses = vec![
+        ("lossless".into(), LossModel::None),
+        ("iid20".into(), LossModel::iid(0.2)),
+    ];
+    spec.workloads = vec![
+        (
+            "window10".into(),
+            WorkloadSpec::Window {
+                ratio: DEFAULT_RATIO,
+            },
+            11,
+        ),
+        ("10NN".into(), WorkloadSpec::Knn { k: DEFAULT_K }, 13),
+    ];
+    let uniform_cells = run_matrix(&ds, &spec);
+
+    // Skewed scenario: Zipf-hotspot data, queries from the same hotspots.
+    let (n_hotspots, skew, hotspot_seed) = HOTSPOTS;
+    let zds = SpatialDataset::build(
+        &zipf_hotspot(opts.dataset_n, n_hotspots, skew, hotspot_seed),
+        crate::EVAL_ORDER,
+    );
+    let mut zspec = opts.spec(64);
+    zspec.schemes = paper_schemes(64);
+    zspec.channels = vec![
+        ("C1".into(), ChannelConfig::single()),
+        (
+            "C4-split".into(),
+            ChannelConfig::index_data(4, 1, SWITCH_COST),
+        ),
+        ("C4-blocked".into(), ChannelConfig::blocked(4, SWITCH_COST)),
+    ];
+    zspec.workloads = vec![
+        (
+            "skewed-window10".into(),
+            WorkloadSpec::SkewedWindow {
+                ratio: DEFAULT_RATIO,
+                n_hotspots,
+                skew,
+                hotspot_seed,
+            },
+            19,
+        ),
+        (
+            "skewed-10NN".into(),
+            WorkloadSpec::SkewedKnn {
+                k: DEFAULT_K,
+                n_hotspots,
+                skew,
+                hotspot_seed,
+            },
+            19,
+        ),
+    ];
+    let skew_cells = run_matrix(&zds, &zspec);
+
+    vec![
+        cells_table(
+            "Channels — scheme × channel-config × loss × workload (UNIFORM, 64 B)",
+            &uniform_cells,
+        ),
+        cells_table(
+            "Channels — Zipf-hotspot data with hotspot-following queries (64 B)",
+            &skew_cells,
+        ),
+    ]
 }
 
 /// REAL-dataset summaries quoted in the paper's §4.2/§4.3 text: window and
@@ -576,5 +761,25 @@ mod tests {
         let tables = table1(&ExpOptions::smoke());
         assert_eq!(tables.len(), 1);
         assert_eq!(tables[0].rows.len(), 9);
+    }
+
+    #[test]
+    fn channels_smoke_covers_all_configs() {
+        let tables = channels(&ExpOptions::smoke());
+        assert_eq!(tables.len(), 2);
+        // Uniform panel: 3 schemes × 6 channel configs × 2 losses × 2
+        // workloads.
+        assert_eq!(tables[0].rows.len(), 3 * 6 * 2 * 2);
+        // Skewed panel: 3 schemes × 3 channel configs × 1 loss × 2
+        // workloads.
+        assert_eq!(tables[1].rows.len(), 3 * 3 * 2);
+        // Per-channel tuning column is populated and splits across
+        // channels for a C4 row.
+        let c4 = tables[0]
+            .rows
+            .iter()
+            .find(|r| r[1] == "C4-split")
+            .expect("C4 rows exist");
+        assert_eq!(c4[7].matches(" / ").count(), 3, "four channel columns");
     }
 }

@@ -16,11 +16,13 @@
 
 pub mod engine;
 pub mod experiments;
+pub mod matrix;
 pub mod runner;
 pub mod table;
 
 pub use engine::{Engine, Scheme};
-pub use runner::{run_knn_batch, run_window_batch, BatchOptions, BatchResult};
+pub use matrix::{cells_table, run_matrix, MatrixCell, MatrixSpec, WorkloadSpec};
+pub use runner::{run_knn_batch, run_query_batch, run_window_batch, BatchOptions, BatchResult};
 pub use table::Table;
 
 use dsi_datagen::{clustered, uniform, SpatialDataset};

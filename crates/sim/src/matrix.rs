@@ -1,0 +1,279 @@
+//! The experiment matrix: scheme × channel-config × loss-model × workload
+//! from one code path.
+//!
+//! Every paper figure and every extension scenario is a selection of cells
+//! from this matrix. A [`MatrixSpec`] names the axes; [`run_matrix`]
+//! builds each (scheme, channel) engine once, fires every (loss, workload)
+//! batch through the unified driver, validates answers, and returns one
+//! [`MatrixCell`] per combination with channel-aware statistics. Adding a
+//! scenario is a spec entry, not a new drive loop.
+
+use dsi_broadcast::{ChannelConfig, LossModel, Query};
+use dsi_datagen::{
+    knn_points, skewed_knn_points, skewed_window_queries, window_queries, SpatialDataset,
+};
+
+use crate::engine::{Engine, Scheme};
+use crate::runner::{run_query_batch, BatchOptions, BatchResult};
+use crate::table::{fmt_bytes, Table};
+
+/// A workload family, materialized into concrete queries per cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadSpec {
+    /// Uniform square windows of side `ratio` (the paper's WinSideRatio).
+    Window {
+        /// Window side as a fraction of the space side.
+        ratio: f64,
+    },
+    /// Uniform kNN queries.
+    Knn {
+        /// Number of neighbours.
+        k: usize,
+    },
+    /// Windows whose centres follow a Zipf-hotspot mixture.
+    SkewedWindow {
+        /// Window side as a fraction of the space side.
+        ratio: f64,
+        /// Number of hotspots.
+        n_hotspots: usize,
+        /// Zipf exponent over hotspot popularity.
+        skew: f64,
+        /// Hotspot seed (match the dataset's to follow its skew).
+        hotspot_seed: u64,
+    },
+    /// kNN queries whose points follow a Zipf-hotspot mixture.
+    SkewedKnn {
+        /// Number of neighbours.
+        k: usize,
+        /// Number of hotspots.
+        n_hotspots: usize,
+        /// Zipf exponent over hotspot popularity.
+        skew: f64,
+        /// Hotspot seed (match the dataset's to follow its skew).
+        hotspot_seed: u64,
+    },
+}
+
+impl WorkloadSpec {
+    /// Materializes `n` concrete queries, deterministically from `seed`.
+    pub fn queries(&self, n: usize, seed: u64) -> Vec<Query> {
+        match *self {
+            WorkloadSpec::Window { ratio } => window_queries(n, ratio, seed)
+                .into_iter()
+                .map(Query::Window)
+                .collect(),
+            WorkloadSpec::Knn { k } => knn_points(n, seed)
+                .into_iter()
+                .map(|p| Query::Knn(p, k))
+                .collect(),
+            WorkloadSpec::SkewedWindow {
+                ratio,
+                n_hotspots,
+                skew,
+                hotspot_seed,
+            } => skewed_window_queries(n, ratio, n_hotspots, skew, hotspot_seed, seed)
+                .into_iter()
+                .map(Query::Window)
+                .collect(),
+            WorkloadSpec::SkewedKnn {
+                k,
+                n_hotspots,
+                skew,
+                hotspot_seed,
+            } => skewed_knn_points(n, n_hotspots, skew, hotspot_seed, seed)
+                .into_iter()
+                .map(|p| Query::Knn(p, k))
+                .collect(),
+        }
+    }
+}
+
+/// The axes of one experiment: every combination is run.
+#[derive(Debug, Clone)]
+pub struct MatrixSpec {
+    /// Schemes to build, with display names.
+    pub schemes: Vec<(String, Scheme)>,
+    /// Packet capacity in bytes.
+    pub capacity: u32,
+    /// Channel configurations, with display names.
+    pub channels: Vec<(String, ChannelConfig)>,
+    /// Loss models, with display names.
+    pub losses: Vec<(String, LossModel)>,
+    /// Workloads: display name, family, and the materialization seed of
+    /// this entry (per-entry so an experiment can keep distinct,
+    /// historically stable seeds for e.g. its window and kNN workloads).
+    pub workloads: Vec<(String, WorkloadSpec, u64)>,
+    /// Queries per cell.
+    pub n_queries: usize,
+    /// Batch seed (tune-in positions, per-query loss seeds).
+    pub seed: u64,
+    /// Validate every answer against brute force.
+    pub validate: bool,
+}
+
+/// One matrix combination's aggregated result.
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// Scheme display name.
+    pub scheme: String,
+    /// Channel-configuration display name.
+    pub channel: String,
+    /// Loss-model display name.
+    pub loss: String,
+    /// Workload display name.
+    pub workload: String,
+    /// Number of parallel channels of this configuration.
+    pub n_channels: u32,
+    /// Aggregated batch metrics (means, switches, per-channel tuning).
+    pub result: BatchResult,
+}
+
+/// Runs every cell of the matrix. Engines are built once per
+/// (scheme, channel) pair; workloads are materialized once per workload.
+pub fn run_matrix(dataset: &SpatialDataset, spec: &MatrixSpec) -> Vec<MatrixCell> {
+    let workloads: Vec<(&String, Vec<Query>)> = spec
+        .workloads
+        .iter()
+        .map(|(name, w, seed)| (name, w.queries(spec.n_queries, *seed)))
+        .collect();
+    let mut cells = Vec::new();
+    for (scheme_name, scheme) in &spec.schemes {
+        for (chan_name, chan) in &spec.channels {
+            let engine = Engine::build_channels(*scheme, dataset, spec.capacity, *chan);
+            for (loss_name, loss) in &spec.losses {
+                for (workload_name, queries) in &workloads {
+                    let opts = BatchOptions {
+                        loss: *loss,
+                        seed: spec.seed,
+                        validate: spec.validate,
+                    };
+                    let result = run_query_batch(&engine, dataset, queries, &opts);
+                    cells.push(MatrixCell {
+                        scheme: scheme_name.clone(),
+                        channel: chan_name.clone(),
+                        loss: loss_name.clone(),
+                        workload: (*workload_name).clone(),
+                        n_channels: engine.n_channels(),
+                        result,
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Renders matrix cells as one table with channel-aware columns
+/// (per-channel tuning joined as `a / b / …`).
+pub fn cells_table(title: &str, cells: &[MatrixCell]) -> Table {
+    let mut t = Table::new(
+        title,
+        vec![
+            "scheme".into(),
+            "channels".into(),
+            "loss".into(),
+            "workload".into(),
+            "latency".into(),
+            "tuning".into(),
+            "switches".into(),
+            "tuning/channel".into(),
+        ],
+    );
+    for c in cells {
+        t.push_row(vec![
+            c.scheme.clone(),
+            c.channel.clone(),
+            c.loss.clone(),
+            c.workload.clone(),
+            fmt_bytes(c.result.latency_bytes),
+            fmt_bytes(c.result.tuning_bytes),
+            format!("{:.2}", c.result.mean_switches),
+            c.result
+                .per_channel_tuning_bytes
+                .iter()
+                .map(|b| fmt_bytes(*b))
+                .collect::<Vec<_>>()
+                .join(" / "),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform_dataset_n;
+    use dsi_core::KnnStrategy;
+
+    #[test]
+    fn matrix_runs_every_combination() {
+        let ds = uniform_dataset_n(200);
+        let spec = MatrixSpec {
+            schemes: vec![
+                ("DSI".into(), Scheme::dsi_reorganized(64)),
+                ("HCI".into(), Scheme::Hci),
+            ],
+            capacity: 64,
+            channels: vec![
+                ("C1".into(), ChannelConfig::single()),
+                ("C2-split".into(), ChannelConfig::index_data(2, 1, 2)),
+            ],
+            losses: vec![
+                ("lossless".into(), LossModel::None),
+                ("iid20".into(), LossModel::iid(0.2)),
+            ],
+            workloads: vec![
+                ("window10".into(), WorkloadSpec::Window { ratio: 0.1 }, 3),
+                ("5NN".into(), WorkloadSpec::Knn { k: 5 }, 4),
+                (
+                    "skewed-window".into(),
+                    WorkloadSpec::SkewedWindow {
+                        ratio: 0.1,
+                        n_hotspots: 8,
+                        skew: 1.2,
+                        hotspot_seed: 3,
+                    },
+                    5,
+                ),
+            ],
+            n_queries: 4,
+            seed: 11,
+            validate: true,
+        };
+        let cells = run_matrix(&ds, &spec);
+        assert_eq!(cells.len(), 2 * 2 * 2 * 3);
+        for c in &cells {
+            assert_eq!(c.result.queries, 4);
+            assert_eq!(
+                c.result.per_channel_tuning_bytes.len(),
+                c.n_channels as usize
+            );
+            if c.channel == "C2-split" {
+                assert_eq!(c.n_channels, 2);
+                assert!(c.result.mean_switches > 0.0, "{c:?}");
+            }
+        }
+        let t = cells_table("matrix", &cells);
+        assert_eq!(t.rows.len(), cells.len());
+    }
+
+    #[test]
+    fn dsi_aggressive_fits_the_matrix_too() {
+        let ds = uniform_dataset_n(150);
+        let spec = MatrixSpec {
+            schemes: vec![(
+                "DSI-aggr".into(),
+                Scheme::dsi_original(64, KnnStrategy::Aggressive),
+            )],
+            capacity: 64,
+            channels: vec![("C2".into(), ChannelConfig::blocked(2, 1))],
+            losses: vec![("lossless".into(), LossModel::None)],
+            workloads: vec![("3NN".into(), WorkloadSpec::Knn { k: 3 }, 9)],
+            n_queries: 3,
+            seed: 5,
+            validate: true,
+        };
+        let cells = run_matrix(&ds, &spec);
+        assert_eq!(cells.len(), 1);
+    }
+}

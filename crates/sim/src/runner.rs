@@ -1,6 +1,10 @@
 //! Seeded, parallel, validated query batches.
+//!
+//! [`run_query_batch`] is the single batch path: any [`Engine`] (scheme ×
+//! channel configuration), any [`Query`] list, any loss model. The window
+//! and kNN entry points are thin workload adapters over it.
 
-use dsi_broadcast::{LossModel, MeanStats, QueryStats};
+use dsi_broadcast::{LossModel, MeanStats, Query, QueryOutcome};
 use dsi_datagen::SpatialDataset;
 use dsi_geom::{Point, Rect};
 use rand::rngs::StdRng;
@@ -30,36 +34,61 @@ impl Default for BatchOptions {
     }
 }
 
-/// Aggregated batch result (mean bytes over all queries).
-#[derive(Debug, Clone, Copy)]
+/// Aggregated batch result (means over all queries, bytes).
+#[derive(Debug, Clone)]
 pub struct BatchResult {
     /// Mean access latency, bytes.
     pub latency_bytes: f64,
-    /// Mean tuning time, bytes.
+    /// Mean tuning time, bytes (all channels).
     pub tuning_bytes: f64,
     /// Number of queries.
     pub queries: u64,
+    /// Mean channel switches per query.
+    pub mean_switches: f64,
+    /// Mean tuning time per channel, bytes (length = channel count).
+    pub per_channel_tuning_bytes: Vec<f64>,
 }
 
-fn aggregate(stats: Vec<QueryStats>) -> BatchResult {
+fn aggregate(outcomes: Vec<QueryOutcome>) -> BatchResult {
     let mut m = MeanStats::default();
-    for s in stats {
-        m.push(s);
+    let mut switches = 0u64;
+    let channels = outcomes
+        .first()
+        .map_or(1, |o| o.channels.tuning_packets.len());
+    let mut per_channel = vec![0.0f64; channels];
+    let n = outcomes.len().max(1) as f64;
+    for o in &outcomes {
+        m.push(o.stats);
+        switches += o.channels.switches;
+        for (c, sum) in per_channel.iter_mut().enumerate() {
+            *sum += o.channels.tuning_bytes(c) as f64 / n;
+        }
     }
     BatchResult {
         latency_bytes: m.latency_bytes(),
         tuning_bytes: m.tuning_bytes(),
         queries: m.count(),
+        mean_switches: switches as f64 / n,
+        per_channel_tuning_bytes: per_channel,
     }
 }
 
-/// Runs every query of `queries` through `run`, in parallel, with a
-/// deterministic (start, seed) pair per query.
-fn run_batch<Q: Sync>(
+/// Ground truth for one query.
+fn brute(dataset: &SpatialDataset, q: &Query) -> Vec<u32> {
+    match q {
+        Query::Window(w) => dataset.brute_window(w),
+        Query::Knn(p, k) => dataset.brute_knn(*p, *k),
+    }
+}
+
+/// Runs every query of `queries` through the engine's driver, in
+/// parallel, with a deterministic (start, seed) pair per query;
+/// optionally validates each answer against brute force.
+pub fn run_query_batch(
     engine: &Engine,
-    queries: &[Q],
+    dataset: &SpatialDataset,
+    queries: &[Query],
     opts: &BatchOptions,
-    run: impl Fn(&Engine, u64, u64, &Q) -> QueryStats + Sync,
 ) -> BatchResult {
     let cycle = engine.cycle_packets();
     // Pre-draw tune-in positions so parallelism cannot change them.
@@ -72,7 +101,7 @@ fn run_batch<Q: Sync>(
         .unwrap_or(1)
         .min(queries.len().max(1));
     let chunk = queries.len().div_ceil(threads.max(1)).max(1);
-    let mut stats = vec![QueryStats::default(); queries.len()];
+    let mut outcomes: Vec<Option<QueryOutcome>> = vec![None; queries.len()];
     // The query engine's state-path switch (incremental vs from-scratch,
     // see `dsi_core::hotpath`) is thread-local; propagate the caller's
     // choice into the worker threads so batch experiments honour it.
@@ -80,28 +109,36 @@ fn run_batch<Q: Sync>(
     std::thread::scope(|scope| {
         for (qi_chunk, out_chunk) in queries
             .chunks(chunk)
-            .zip(stats.chunks_mut(chunk))
+            .zip(outcomes.chunks_mut(chunk))
             .enumerate()
             .map(|(ci, (q, s))| ((ci * chunk, q), s))
         {
             let ((base, qs), out) = (qi_chunk, out_chunk);
             let starts = &starts;
-            let run = &run;
             scope.spawn(move || {
                 dsi_core::hotpath::set_state_path(state_path);
                 for (i, q) in qs.iter().enumerate() {
                     let qi = base + i;
-                    out[i] = run(
-                        engine,
+                    let o = engine.drive(
                         starts[qi],
+                        opts.loss,
                         opts.seed ^ (qi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                         q,
                     );
+                    if opts.validate {
+                        assert_eq!(o.ids, brute(dataset, q), "answer mismatch on query {qi}");
+                    }
+                    out[i] = Some(o);
                 }
             });
         }
     });
-    aggregate(stats)
+    aggregate(
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("worker ran"))
+            .collect(),
+    )
 }
 
 /// Runs a window-query batch; validates against [`SpatialDataset::brute_window`].
@@ -111,13 +148,8 @@ pub fn run_window_batch(
     windows: &[Rect],
     opts: &BatchOptions,
 ) -> BatchResult {
-    run_batch(engine, windows, opts, |e, start, seed, w| {
-        let (ids, stats) = e.window(start, opts.loss, seed, w);
-        if opts.validate {
-            assert_eq!(ids, dataset.brute_window(w), "window answer mismatch");
-        }
-        stats
-    })
+    let queries: Vec<Query> = windows.iter().map(|w| Query::Window(*w)).collect();
+    run_query_batch(engine, dataset, &queries, opts)
 }
 
 /// Runs a kNN batch; validates against [`SpatialDataset::brute_knn`].
@@ -128,13 +160,8 @@ pub fn run_knn_batch(
     k: usize,
     opts: &BatchOptions,
 ) -> BatchResult {
-    run_batch(engine, queries, opts, |e, start, seed, q| {
-        let (ids, stats) = e.knn(start, opts.loss, seed, *q, k);
-        if opts.validate {
-            assert_eq!(ids, dataset.brute_knn(*q, k), "kNN answer mismatch");
-        }
-        stats
-    })
+    let queries: Vec<Query> = queries.iter().map(|q| Query::Knn(*q, k)).collect();
+    run_query_batch(engine, dataset, &queries, opts)
 }
 
 #[cfg(test)]
@@ -142,6 +169,7 @@ mod tests {
     use super::*;
     use crate::engine::Scheme;
     use crate::uniform_dataset_n;
+    use dsi_broadcast::ChannelConfig;
     use dsi_datagen::{knn_points, window_queries};
 
     #[test]
@@ -156,6 +184,10 @@ mod tests {
         assert_eq!(a.tuning_bytes, b.tuning_bytes);
         assert_eq!(a.queries, 12);
         assert!(a.latency_bytes >= a.tuning_bytes);
+        // Single channel: no switches, all tuning on channel 0.
+        assert_eq!(a.mean_switches, 0.0);
+        assert_eq!(a.per_channel_tuning_bytes.len(), 1);
+        assert!((a.per_channel_tuning_bytes[0] - a.tuning_bytes).abs() < 1e-6);
     }
 
     #[test]
@@ -169,5 +201,27 @@ mod tests {
         };
         let r = run_knn_batch(&e, &ds, &qs, 5, &opts);
         assert_eq!(r.queries, 6);
+    }
+
+    #[test]
+    fn mixed_query_batch_reports_channel_stats() {
+        let ds = uniform_dataset_n(200);
+        let e = Engine::build_channels(
+            Scheme::dsi_reorganized(64),
+            &ds,
+            64,
+            ChannelConfig::index_data(2, 1, 1),
+        );
+        let mut queries: Vec<Query> = window_queries(4, 0.2, 3)
+            .into_iter()
+            .map(Query::Window)
+            .collect();
+        queries.extend(knn_points(4, 9).into_iter().map(|q| Query::Knn(q, 5)));
+        let r = run_query_batch(&e, &ds, &queries, &BatchOptions::default());
+        assert_eq!(r.queries, 8);
+        assert_eq!(r.per_channel_tuning_bytes.len(), 2);
+        assert!(r.mean_switches > 0.0, "split channels force switches");
+        let total: f64 = r.per_channel_tuning_bytes.iter().sum();
+        assert!((total - r.tuning_bytes).abs() < 1e-6);
     }
 }

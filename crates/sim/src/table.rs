@@ -72,6 +72,22 @@ impl Table {
         out
     }
 
+    /// The table as a JSON object (`{"title", "columns", "rows"}`),
+    /// hand-rolled because the offline build image has no JSON crate.
+    pub fn to_json(&self) -> String {
+        let arr = |cells: &[String]| {
+            let quoted: Vec<String> = cells.iter().map(|c| json_str(c)).collect();
+            format!("[{}]", quoted.join(", "))
+        };
+        let rows: Vec<String> = self.rows.iter().map(|r| arr(r)).collect();
+        format!(
+            "{{\"title\": {}, \"columns\": {}, \"rows\": [{}]}}",
+            json_str(&self.title),
+            arr(&self.columns),
+            rows.join(", ")
+        )
+    }
+
     /// Writes the table as CSV.
     pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
         if let Some(dir) = path.parent() {
@@ -84,6 +100,27 @@ impl Table {
         }
         std::fs::write(path, s)
     }
+}
+
+/// Escapes a string for JSON embedding.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Formats mean bytes compactly (e.g. `6.25e6`).
@@ -131,6 +168,16 @@ mod tests {
     fn width_mismatch_panics() {
         let mut t = Table::new("demo", vec!["x".into()]);
         t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn json_form_is_well_shaped() {
+        let mut t = Table::new("a \"quoted\" title", vec!["x".into(), "y".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        assert_eq!(
+            t.to_json(),
+            "{\"title\": \"a \\\"quoted\\\" title\", \"columns\": [\"x\", \"y\"], \"rows\": [[\"1\", \"2\"]]}"
+        );
     }
 
     #[test]

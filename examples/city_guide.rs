@@ -7,6 +7,7 @@
 //! aggressive, and the reorganized broadcast.
 //!
 //! Run with: `cargo run --release --example city_guide`
+//! (`DSI_N` scales the dataset down for quick runs.)
 
 use dsi::broadcast::{LossModel, MeanStats, Tuner};
 use dsi::core::{DsiAir, DsiConfig, KnnStrategy};
@@ -15,7 +16,11 @@ use dsi::datagen::{clustered, knn_points, SpatialDataset};
 fn main() {
     // 5,848 points of interest in 64 heavy-tailed clusters — the size and
     // skew of the paper's REAL dataset.
-    let dataset = SpatialDataset::build(&clustered(5_848, 64, 7), 12);
+    let n = std::env::var("DSI_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5_848);
+    let dataset = SpatialDataset::build(&clustered(n, 64, 7), 12);
     let queries = knn_points(100, 99);
 
     let original = DsiAir::build(&dataset, DsiConfig::paper_default());

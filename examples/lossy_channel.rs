@@ -6,13 +6,18 @@
 //! deterioration stays smallest, the paper's Table 1.
 //!
 //! Run with: `cargo run --release --example lossy_channel`
+//! (`DSI_N` scales the dataset down for quick runs.)
 
 use dsi::broadcast::LossModel;
 use dsi::datagen::{knn_points, uniform, SpatialDataset};
 use dsi::sim::{run_knn_batch, BatchOptions, Engine, Scheme};
 
 fn main() {
-    let dataset = SpatialDataset::build(&uniform(10_000, 42), 12);
+    let n = std::env::var("DSI_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let dataset = SpatialDataset::build(&uniform(n, 42), 12);
     let queries = knn_points(80, 13);
 
     println!("index    theta   mean latency    vs lossless   (10NN)");

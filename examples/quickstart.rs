@@ -2,6 +2,7 @@
 //! types, and read the two metrics that drive the whole evaluation.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//! (`DSI_N` scales the dataset down for quick runs.)
 
 use dsi::broadcast::{LossModel, Tuner};
 use dsi::core::{DsiAir, DsiConfig, KnnStrategy};
@@ -12,7 +13,11 @@ fn main() {
     // ---- Server side -----------------------------------------------------
     // 10,000 points uniform in the unit square, snapped onto the Hilbert
     // grid and sorted in curve order (the broadcast order of the paper).
-    let dataset = SpatialDataset::build(&uniform(10_000, 42), 12);
+    let n = std::env::var("DSI_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let dataset = SpatialDataset::build(&uniform(n, 42), 12);
 
     // The paper's main configuration: 64-byte packets, index base 2,
     // two-segment reorganized broadcast.
@@ -55,7 +60,7 @@ fn main() {
     );
 
     // ---- Point query (energy-efficient forwarding) ------------------------
-    let target = dataset.objects()[1234];
+    let target = dataset.objects()[1234 % dataset.len()];
     let mut tuner = Tuner::tune_in(air.program(), 55_555, LossModel::None, 3);
     let found = air
         .point_query_hc(&mut tuner, target.hc)
