@@ -211,7 +211,16 @@ impl BpAir {
             }
         }
 
-        let program = Program::with_channels(config.capacity, packets, channels);
+        // Frame granularity for `Placement::StripeFrames`: one frame per
+        // segment (its path copies, subtree nodes and objects scan as one
+        // run), passed explicitly since a replicated path copy looks the
+        // same at every occurrence.
+        let mut frame_starts = vec![false; packets.len()];
+        for &s in &segment_starts {
+            frame_starts[s as usize] = true;
+        }
+        let program =
+            Program::with_channels_frames(config.capacity, packets, channels, &frame_starts);
         Self {
             tree,
             config,
@@ -221,6 +230,16 @@ impl BpAir {
             object_pos,
             curve: *dataset.curve(),
             mapper: *dataset.mapper(),
+        }
+    }
+
+    /// Packets one queued read occupies the receiver for: an object
+    /// record (`kind == u8::MAX`), or a node slot.
+    pub(crate) fn unit_dur(&self, kind: u8) -> u64 {
+        if kind == u8::MAX {
+            self.config.object_packets() as u64
+        } else {
+            self.config.node_packets() as u64
         }
     }
 
@@ -240,8 +259,8 @@ impl BpAir {
     }
 
     /// The earliest instant at which node `(level, idx)` can be read by
-    /// `tuner` (channel placement and switch cost included), and the flat
-    /// position of the chosen copy.
+    /// `tuner` (channel placement, antennas and switch cost included), and
+    /// the flat position of the chosen copy.
     pub(crate) fn node_arrival(
         &self,
         tuner: &Tuner<'_, BpPacket>,
@@ -255,6 +274,9 @@ impl BpAir {
                 last,
                 path_offset,
             } => {
+                // Earliest readable copy among covered segments: per-copy
+                // arrivals through the tuner's channel- and antenna-aware
+                // planner, allocation-free.
                 let mut best = (u64::MAX, 0u64);
                 for s in *first..=*last {
                     let flat = self.segment_starts[s as usize] + path_offset;

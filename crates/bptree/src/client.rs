@@ -10,12 +10,79 @@ use dsi_hilbert::{ranges_in_rect, HcRange};
 use crate::air::{BpAir, BpPacket};
 use crate::tree::BpChildren;
 
-/// Pending heap entries: (arrival, level-or-object marker, index, upper
-/// bound of the subtree's key interval (exclusive), flat broadcast
-/// position to re-tune to).
-type Pending = BinaryHeap<Reverse<(u64, u8, u32, u64, u64)>>;
-
 const OBJ: u8 = u8::MAX;
+
+/// The traversal's pending reads: (level-or-object marker, index, upper
+/// bound of the subtree's key interval (exclusive), flat broadcast
+/// position to re-tune to). The single-receiver client pops by the
+/// arrival scheduled at push time (the pinned pre-refactor order); a
+/// multi-antenna client re-plans every pop through the tuner's
+/// batch-arrival API instead, because scheduled keys go stale in both
+/// directions as antennas retune — an airing can be missed (key too low)
+/// or a switch-cost penalty can evaporate once the channel is monitored
+/// (key too high), and either error costs up to a full channel cycle.
+type ScheduledHeap = BinaryHeap<Reverse<(u64, u8, u32, u64, u64)>>;
+
+enum Pending {
+    Scheduled(ScheduledHeap),
+    Planned {
+        /// (kind, payload, ub, flat target) of each pending read.
+        items: Vec<(u8, u32, u64, u64)>,
+        /// Reused flat-position buffer for the batch planner.
+        flats: Vec<u64>,
+    },
+}
+
+impl Pending {
+    fn for_tuner(tuner: &Tuner<'_, BpPacket>) -> Self {
+        if tuner.antennas() > 1 {
+            Pending::Planned {
+                items: Vec::new(),
+                flats: Vec::new(),
+            }
+        } else {
+            Pending::Scheduled(ScheduledHeap::new())
+        }
+    }
+
+    /// Queues a read; `at` is the caller-scheduled arrival (ignored by
+    /// the planned variant, which re-derives arrivals at pop time).
+    fn push(&mut self, at: u64, kind: u8, payload: u32, ub: u64, flat: u64) {
+        match self {
+            Pending::Scheduled(heap) => heap.push(Reverse((at, kind, payload, ub, flat))),
+            Pending::Planned { items, .. } => items.push((kind, payload, ub, flat)),
+        }
+    }
+
+    /// The next read: earliest scheduled arrival (single receiver) or
+    /// earliest current arrival across the monitored channels (planned).
+    ///
+    /// The planned variant re-derives each item's best readable copy
+    /// (replicated path nodes have one copy per covering segment, and the
+    /// earliest one changes as time passes) and picks through the tuner's
+    /// duration-aware planner ([`Tuner::plan_earliest`]) — scheduled heap
+    /// keys go stale in both directions as antennas retune, and either
+    /// error costs up to a full channel cycle.
+    fn pop(&mut self, air: &BpAir, tuner: &Tuner<'_, BpPacket>) -> Option<(u8, u32, u64, u64)> {
+        match self {
+            Pending::Scheduled(heap) => {
+                let Reverse((_, kind, payload, ub, flat)) = heap.pop()?;
+                Some((kind, payload, ub, flat))
+            }
+            Pending::Planned { items, flats } => {
+                for item in items.iter_mut() {
+                    if item.0 != OBJ {
+                        item.3 = air.node_arrival(tuner, item.0, item.1).1;
+                    }
+                }
+                flats.clear();
+                flats.extend(items.iter().map(|&(_, _, _, flat)| flat));
+                let (pick, _) = tuner.plan_earliest(flats, |i| air.unit_dur(items[i].0))?;
+                Some(items.swap_remove(pick))
+            }
+        }
+    }
+}
 
 fn overlaps(ranges: &[HcRange], lo: u64, ub: u64) -> bool {
     // First range with hi >= lo, then check it begins before ub.
@@ -37,9 +104,9 @@ impl BpAir {
     /// Seeds a traversal with the earliest readable root copy.
     fn seed(&self, tuner: &mut Tuner<'_, BpPacket>) -> Pending {
         let root_level = (self.tree.height() - 1) as u8;
-        let mut pending = Pending::new();
+        let mut pending = Pending::for_tuner(tuner);
         let (at, flat) = self.node_arrival(tuner, root_level, 0);
-        pending.push(Reverse((at, root_level, 0, u64::MAX, flat)));
+        pending.push(at, root_level, 0, u64::MAX, flat);
         pending
     }
 
@@ -52,7 +119,7 @@ impl BpAir {
             return result;
         }
         let mut pending = self.seed(tuner);
-        while let Some(Reverse((_, kind, payload, ub, flat))) = pending.pop() {
+        while let Some((kind, payload, ub, flat)) = pending.pop(self, tuner) {
             tuner.goto(flat);
             if kind == OBJ {
                 // Header first: exact coordinates decide retrieval.
@@ -74,7 +141,7 @@ impl BpAir {
             let (level, idx) = (kind, payload);
             if self.read_node(tuner).is_err() {
                 let (next, nflat) = self.node_arrival(tuner, level, idx);
-                pending.push(Reverse((next, level, idx, ub, nflat)));
+                pending.push(next, level, idx, ub, nflat);
                 continue;
             }
             let node = &self.tree.levels[level as usize][idx as usize];
@@ -85,7 +152,7 @@ impl BpAir {
                         let cub = self.tree.child_upper(level as usize, node, ci, ub);
                         if overlaps(&ranges, child.min_hc, cub) {
                             let (at, nflat) = self.node_arrival(tuner, level - 1, k);
-                            pending.push(Reverse((at, level - 1, k, cub, nflat)));
+                            pending.push(at, level - 1, k, cub, nflat);
                         }
                     }
                 }
@@ -94,7 +161,7 @@ impl BpAir {
                         let hc = self.tree.objects[obj as usize].hc;
                         if overlaps(&ranges, hc, hc + 1) {
                             let oflat = self.object_pos[obj as usize];
-                            pending.push(Reverse((tuner.arrival(oflat), OBJ, obj, hc, oflat)));
+                            pending.push(tuner.arrival(oflat), OBJ, obj, hc, oflat);
                         }
                     }
                 }
@@ -116,7 +183,7 @@ impl BpAir {
     fn requeue_object(&self, tuner: &Tuner<'_, BpPacket>, obj: u32, pending: &mut Pending) {
         let flat = self.object_pos[obj as usize];
         let hc = self.tree.objects[obj as usize].hc;
-        pending.push(Reverse((tuner.arrival(flat), OBJ, obj, hc, flat)));
+        pending.push(tuner.arrival(flat), OBJ, obj, hc, flat);
     }
 
     /// Answers a kNN query with the two-phase HCI algorithm (Zheng et al.
@@ -131,28 +198,59 @@ impl BpAir {
         }
         // ---- Phase 1: locate hc(q) and bound the search radius.
         let hc_q = self.curve.xy2d(self.mapper.cell_of(q));
-        let mut leaf = self.descend_to_leaf(tuner, hc_q);
-        // Collect at least k entry HC values, walking forward (wrapping)
-        // through the leaf level.
+        let leaf0 = self.descend_to_leaf(tuner, hc_q);
+        // Collect at least k entry HC values from the leaves following the
+        // descend target in HC order.
         let n_leaves = self.tree.levels[0].len() as u32;
         let mut entry_hcs: Vec<u64> = Vec::with_capacity(k + 8);
-        let mut visited = 0u32;
-        while entry_hcs.len() < k && visited < n_leaves {
-            let (_, flat) = self.node_arrival(tuner, 0, leaf);
-            tuner.goto(flat);
-            if self.read_node(tuner).is_ok() {
-                let BpChildren::Objects { start, count } =
-                    self.tree.levels[0][leaf as usize].children
-                else {
-                    unreachable!("level 0 is leaves");
-                };
-                for obj in start..start + count {
-                    entry_hcs.push(self.tree.objects[obj as usize].hc);
+        if tuner.antennas() <= 1 {
+            // Single receiver: keep the classic serial walk (this is the
+            // pinned pre-refactor baseline; on one channel the next leaf
+            // in HC order is also the next to air anyway).
+            let mut leaf = leaf0;
+            let mut visited = 0u32;
+            while entry_hcs.len() < k && visited < n_leaves {
+                let (_, flat) = self.node_arrival(tuner, 0, leaf);
+                tuner.goto(flat);
+                if self.read_node(tuner).is_ok() {
+                    self.leaf_entries(leaf, &mut entry_hcs);
+                    visited += 1;
+                    leaf = (leaf + 1) % n_leaves;
                 }
-                visited += 1;
-                leaf = (leaf + 1) % n_leaves;
+                // On loss, retry the same leaf at its next occurrence.
             }
-            // On loss, retry the same leaf at its next occurrence.
+        } else {
+            // Multi-antenna client on parallel channels: HC order no
+            // longer orders airings. Keep a window of the next leaves
+            // (one per channel) and read whichever the batch planner says
+            // airs first; a lost leaf stays in the window and competes at
+            // its next occurrence. The walk stops as soon as k entries
+            // are known — a leaf skipped by the arrival order costs only
+            // radius slack, never the full-cycle wait reading it would.
+            let c = tuner.program().n_channels() as usize;
+            let mut window: Vec<u32> = Vec::new();
+            let mut flats: Vec<u64> = Vec::new();
+            let mut cursor = leaf0;
+            let mut unqueued = n_leaves;
+            let mut visited = 0u32;
+            while entry_hcs.len() < k && visited < n_leaves {
+                while window.len() < c && unqueued > 0 {
+                    window.push(cursor);
+                    cursor = (cursor + 1) % n_leaves;
+                    unqueued -= 1;
+                }
+                flats.clear();
+                flats.extend(window.iter().map(|&lf| self.node_arrival(tuner, 0, lf).1));
+                let (i, _) = tuner
+                    .plan_earliest(&flats, |_| self.config.node_packets() as u64)
+                    .expect("window is non-empty");
+                tuner.goto(flats[i]);
+                if self.read_node(tuner).is_ok() {
+                    self.leaf_entries(window[i], &mut entry_hcs);
+                    visited += 1;
+                    window.swap_remove(i);
+                }
+            }
         }
         // Radius: k-th smallest cell-max-distance over the entries.
         let mut ubs: Vec<f64> = entry_hcs
@@ -168,7 +266,7 @@ impl BpAir {
         let mut cands: HashMap<u64, (f64, u32, bool)> = HashMap::new(); // hc -> (d2, id, retrieved)
         let mut running = Running::new(k, r2_phase1);
         let mut pending = self.seed(tuner);
-        while let Some(Reverse((_, kind, payload, ub, flat))) = pending.pop() {
+        while let Some((kind, payload, ub, flat)) = pending.pop(self, tuner) {
             if kind == OBJ {
                 // Skip objects provably outside the shrunken space without
                 // listening (the decoded cell distance is schema knowledge).
@@ -204,7 +302,7 @@ impl BpAir {
             tuner.goto(flat);
             if self.read_node(tuner).is_err() {
                 let (next, nflat) = self.node_arrival(tuner, level, idx);
-                pending.push(Reverse((next, level, idx, ub, nflat)));
+                pending.push(next, level, idx, ub, nflat);
                 continue;
             }
             let node = &self.tree.levels[level as usize][idx as usize];
@@ -215,7 +313,7 @@ impl BpAir {
                         let cub = self.tree.child_upper(level as usize, node, ci, ub);
                         if overlaps(&ranges, child.min_hc, cub) {
                             let (at, nflat) = self.node_arrival(tuner, level - 1, kid);
-                            pending.push(Reverse((at, level - 1, kid, cub, nflat)));
+                            pending.push(at, level - 1, kid, cub, nflat);
                         }
                     }
                 }
@@ -224,7 +322,7 @@ impl BpAir {
                         let hc = self.tree.objects[obj as usize].hc;
                         if overlaps(&ranges, hc, hc + 1) {
                             let oflat = self.object_pos[obj as usize];
-                            pending.push(Reverse((tuner.arrival(oflat), OBJ, obj, hc, oflat)));
+                            pending.push(tuner.arrival(oflat), OBJ, obj, hc, oflat);
                         }
                     }
                 }
@@ -239,6 +337,17 @@ impl BpAir {
         let mut ids: Vec<u32> = retr.into_iter().take(k).map(|(_, id)| id).collect();
         ids.sort_unstable();
         ids
+    }
+
+    /// The HC values of one leaf's entries, appended to `out`.
+    fn leaf_entries(&self, leaf: u32, out: &mut Vec<u64>) {
+        let BpChildren::Objects { start, count } = self.tree.levels[0][leaf as usize].children
+        else {
+            unreachable!("level 0 is leaves");
+        };
+        for obj in start..start + count {
+            out.push(self.tree.objects[obj as usize].hc);
+        }
     }
 
     /// Phase-1 descent: follows separator keys from the root to the leaf

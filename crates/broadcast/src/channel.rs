@@ -35,6 +35,14 @@ pub enum Placement {
     /// per-channel cycle for it, so sequential-scan-heavy schemes pay
     /// dearly (measured in the `channels` experiment).
     Stripe,
+    /// *Frames* round-robin over all channels in blocks of the given
+    /// number of frames (a frame is a maximal unit run beginning at a
+    /// [`crate::Payload::frame_start`] packet — a DSI index table plus its
+    /// objects, an R-tree segment). Units of one frame stay consecutive on
+    /// one channel, so the serial frame scans that unit-granular
+    /// [`Placement::Stripe`] penalizes keep their intra-frame locality,
+    /// while load still spreads uniformly at frame granularity.
+    StripeFrames(u32),
     /// Dedicated index channels: units starting with a
     /// [`crate::PacketClass::Index`] packet round-robin over channels
     /// `0..index_channels`, object units over the remaining channels. A
@@ -88,6 +96,16 @@ impl ChannelConfig {
         }
     }
 
+    /// `channels` frame-granular striped channels (one frame per block) at
+    /// a given switch cost.
+    pub fn striped_frames(channels: u32, switch_cost: u32) -> Self {
+        Self {
+            channels,
+            placement: Placement::StripeFrames(1),
+            switch_cost,
+        }
+    }
+
     /// An index/data split: `index_channels` channels carry index units,
     /// the rest carry object units.
     pub fn index_data(channels: u32, index_channels: u32, switch_cost: u32) -> Self {
@@ -101,12 +119,18 @@ impl ChannelConfig {
     pub(crate) fn validate(&self) {
         assert!(self.channels >= 1, "need at least one channel");
         if self.channels > 1 {
-            if let Placement::IndexData { index_channels } = self.placement {
-                assert!(
-                    index_channels >= 1 && index_channels < self.channels,
-                    "index_channels must be in 1..channels, got {index_channels} of {}",
-                    self.channels
-                );
+            match self.placement {
+                Placement::IndexData { index_channels } => {
+                    assert!(
+                        index_channels >= 1 && index_channels < self.channels,
+                        "index_channels must be in 1..channels, got {index_channels} of {}",
+                        self.channels
+                    );
+                }
+                Placement::StripeFrames(g) => {
+                    assert!(g >= 1, "StripeFrames needs at least one frame per block");
+                }
+                _ => {}
             }
         }
     }
@@ -134,14 +158,27 @@ pub(crate) struct ChannelLayout {
 impl ChannelLayout {
     /// Assigns units (maximal runs starting at `unit_starts[i] == true`)
     /// to channels. `is_index[i]` classifies the unit *starting* at `i`
-    /// (only read at unit starts).
-    pub(crate) fn build(cfg: &ChannelConfig, unit_starts: &[bool], is_index: &[bool]) -> Self {
+    /// (only read at unit starts); `frame_starts[i]` marks units that
+    /// begin a *frame* (only read at unit starts, and only by
+    /// [`Placement::StripeFrames`]).
+    pub(crate) fn build(
+        cfg: &ChannelConfig,
+        unit_starts: &[bool],
+        is_index: &[bool],
+        frame_starts: &[bool],
+    ) -> Self {
         cfg.validate();
         let n = unit_starts.len();
         assert!(
             unit_starts.first().copied().unwrap_or(false),
             "cycle must begin at a unit boundary"
         );
+        if matches!(cfg.placement, Placement::StripeFrames(_)) {
+            assert!(
+                frame_starts.first().copied().unwrap_or(false),
+                "cycle must begin at a frame boundary"
+            );
+        }
         let c = cfg.channels as usize;
         let mut chan_of = vec![0u32; n];
         let mut chan_pos = vec![0u64; n];
@@ -149,11 +186,16 @@ impl ChannelLayout {
         // Independent round-robin cursors per unit class.
         let mut next_index_chan = 0usize;
         let mut next_data_chan = 0usize;
+        // Frames seen so far (StripeFrames counts them as units stream by).
+        let mut frames_seen = 0u64;
         let mut i = 0usize;
         while i < n {
             let mut end = i + 1;
             while end < n && !unit_starts[end] {
                 end += 1;
+            }
+            if frame_starts[i] {
+                frames_seen += 1;
             }
             let ch = match cfg.placement {
                 Placement::Blocked => {
@@ -165,6 +207,11 @@ impl ChannelLayout {
                     let ch = next_data_chan;
                     next_data_chan = (next_data_chan + 1) % c;
                     ch
+                }
+                Placement::StripeFrames(g) => {
+                    // All units of a frame share its channel; the channel
+                    // advances once per `g` frames.
+                    (((frames_seen - 1) / g.max(1) as u64) % c as u64) as usize
                 }
                 Placement::IndexData { index_channels } => {
                     let ic = index_channels as usize;
@@ -206,6 +253,47 @@ impl ChannelLayout {
             chan_pos,
             by_channel,
         }
+    }
+}
+
+/// The client's receiver hardware: how many channels it can monitor
+/// concurrently.
+///
+/// With `antennas = k` the [`crate::Tuner`] keeps up to `k` channels tuned
+/// at once: content on any monitored channel is readable without a retune
+/// delay, and [`crate::Tuner::goto`]/[`crate::Tuner::arrival`] pick the
+/// earliest airing across the monitored set. Retuning an antenna to a new
+/// channel costs [`ChannelConfig::switch_cost`] packets of latency and
+/// counts one switch in [`ChannelStats`]; moving attention between
+/// already-tuned antennas is free. `antennas = 1` is the classic
+/// single-receiver client and reproduces its accounting bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AntennaConfig {
+    /// Number of concurrently tunable receivers, `>= 1`. Capped at the
+    /// program's channel count (extra antennas are idle).
+    pub antennas: u32,
+}
+
+impl AntennaConfig {
+    /// The classic single-receiver client.
+    pub fn single() -> Self {
+        Self { antennas: 1 }
+    }
+
+    /// A client with `antennas` receivers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `antennas` is zero.
+    pub fn new(antennas: u32) -> Self {
+        assert!(antennas >= 1, "a client needs at least one antenna");
+        Self { antennas }
+    }
+}
+
+impl Default for AntennaConfig {
+    fn default() -> Self {
+        Self::single()
     }
 }
 
@@ -257,7 +345,7 @@ mod tests {
             (false, false),
             (true, true),
         ]);
-        let l = ChannelLayout::build(&ChannelConfig::striped(2, 1), &us, &ix);
+        let l = ChannelLayout::build(&ChannelConfig::striped(2, 1), &us, &ix, &us);
         // Units round-robin: ch0 gets [0,1] and [3,4,5]; ch1 gets [2], [6].
         assert_eq!(l.chan_of, vec![0, 0, 1, 0, 0, 0, 1]);
         assert_eq!(l.by_channel[0], vec![0, 1, 3, 4, 5]);
@@ -272,7 +360,7 @@ mod tests {
     fn blocked_assigns_contiguous_arcs() {
         // Six one-packet units over three channels: two per arc.
         let (us, ix) = starts(&[(true, false); 6]);
-        let l = ChannelLayout::build(&ChannelConfig::blocked(3, 0), &us, &ix);
+        let l = ChannelLayout::build(&ChannelConfig::blocked(3, 0), &us, &ix, &us);
         assert_eq!(l.chan_of, vec![0, 0, 1, 1, 2, 2]);
         assert_eq!(l.by_channel[1], vec![2, 3]);
         // A unit straddling an arc boundary stays whole on the arc of its
@@ -285,7 +373,7 @@ mod tests {
             (true, false),
             (true, false),
         ]);
-        let l = ChannelLayout::build(&ChannelConfig::blocked(2, 0), &us, &ix);
+        let l = ChannelLayout::build(&ChannelConfig::blocked(2, 0), &us, &ix, &us);
         assert_eq!(l.chan_of, vec![0, 0, 0, 0, 1, 1]);
     }
 
@@ -298,7 +386,7 @@ mod tests {
             (true, true),
             (true, false),
         ]);
-        let l = ChannelLayout::build(&ChannelConfig::index_data(3, 1, 2), &us, &ix);
+        let l = ChannelLayout::build(&ChannelConfig::index_data(3, 1, 2), &us, &ix, &us);
         // Index units on channel 0, data units round-robin on 1 and 2.
         assert_eq!(l.chan_of, vec![0, 1, 1, 0, 2]);
         assert_eq!(l.by_channel[0], vec![0, 3]);
@@ -307,16 +395,50 @@ mod tests {
     }
 
     #[test]
+    fn stripe_frames_keeps_frames_contiguous() {
+        // Two-unit frames: [0,1][2,3], [4][5], [6,7][8].
+        let us = vec![true, false, true, false, true, true, true, false, true];
+        let ix = vec![false; 9];
+        let fs = vec![true, false, false, false, true, false, true, false, false];
+        let l = ChannelLayout::build(
+            &ChannelConfig {
+                channels: 2,
+                placement: Placement::StripeFrames(1),
+                switch_cost: 1,
+            },
+            &us,
+            &ix,
+            &fs,
+        );
+        // Frames round-robin: ch0 gets frames 0 and 2, ch1 gets frame 1.
+        assert_eq!(l.chan_of, vec![0, 0, 0, 0, 1, 1, 0, 0, 0]);
+        assert_eq!(l.by_channel[0], vec![0, 1, 2, 3, 6, 7, 8]);
+        assert_eq!(l.by_channel[1], vec![4, 5]);
+        // Two frames per block: frames 0 and 1 on ch0, frame 2 on ch1.
+        let l = ChannelLayout::build(
+            &ChannelConfig {
+                channels: 2,
+                placement: Placement::StripeFrames(2),
+                switch_cost: 1,
+            },
+            &us,
+            &ix,
+            &fs,
+        );
+        assert_eq!(l.chan_of, vec![0, 0, 0, 0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
     #[should_panic(expected = "received no units")]
     fn starving_a_channel_is_rejected() {
         let (us, ix) = starts(&[(true, true), (false, true)]);
-        let _ = ChannelLayout::build(&ChannelConfig::striped(2, 0), &us, &ix);
+        let _ = ChannelLayout::build(&ChannelConfig::striped(2, 0), &us, &ix, &us);
     }
 
     #[test]
     #[should_panic(expected = "index_channels must be in")]
     fn bad_split_is_rejected() {
         let (us, ix) = starts(&[(true, true), (true, false)]);
-        let _ = ChannelLayout::build(&ChannelConfig::index_data(2, 2, 0), &us, &ix);
+        let _ = ChannelLayout::build(&ChannelConfig::index_data(2, 2, 0), &us, &ix, &us);
     }
 }

@@ -43,9 +43,9 @@ mod scheme;
 mod stats;
 mod tuner;
 
-pub use channel::{ChannelConfig, ChannelStats, Placement};
+pub use channel::{AntennaConfig, ChannelConfig, ChannelStats, Placement};
 pub use loss::{LossModel, LossScope};
 pub use program::{PacketClass, Payload, Program};
-pub use scheme::{drive, AirScheme, DynScheme, Query, QueryOutcome};
+pub use scheme::{drive, drive_antennas, AirScheme, DynScheme, Query, QueryOutcome};
 pub use stats::{MeanStats, QueryStats};
 pub use tuner::{PacketLost, Tuner};

@@ -29,6 +29,17 @@ pub trait Payload {
     fn unit_start(&self) -> bool {
         true
     }
+
+    /// Whether this packet begins a broadcast *frame* — the granularity a
+    /// client scans serially (a DSI index table plus the objects that
+    /// follow it). [`crate::Placement::StripeFrames`] keeps whole frames
+    /// on one channel. Defaults to [`Payload::unit_start`] (every unit its
+    /// own frame); schemes with a larger scan granularity override it, or
+    /// pass explicit boundaries via
+    /// [`Program::with_channels_frames`].
+    fn frame_start(&self) -> bool {
+        self.unit_start()
+    }
 }
 
 /// One broadcast cycle: `len()` packets of `capacity` bytes each, repeated
@@ -199,16 +210,49 @@ impl<P: Payload> Program<P> {
     /// Panics on an empty cycle, zero capacity, an invalid channel
     /// configuration, or a placement that leaves some channel empty.
     pub fn with_channels(capacity: u32, packets: Vec<P>, cfg: ChannelConfig) -> Self {
+        let frame_starts: Vec<bool> = packets.iter().map(|p| p.frame_start()).collect();
+        Self::with_channels_frames(capacity, packets, cfg, &frame_starts)
+    }
+
+    /// [`Program::with_channels`] with explicit frame boundaries, for
+    /// schemes whose frame granularity is not computable from a packet
+    /// alone (e.g. the R-tree's segments, whose replicated path copies
+    /// look identical at every occurrence). `frame_starts[i]` marks the
+    /// flat positions that begin a frame; every frame start must also be a
+    /// unit start.
+    pub fn with_channels_frames(
+        capacity: u32,
+        packets: Vec<P>,
+        cfg: ChannelConfig,
+        frame_starts: &[bool],
+    ) -> Self {
         cfg.validate();
+        assert_eq!(
+            frame_starts.len(),
+            packets.len(),
+            "one frame flag per packet"
+        );
         let mut prog = Self::new(capacity, packets);
         if cfg.channels > 1 {
             let unit_starts: Vec<bool> = prog.packets.iter().map(|p| p.unit_start()).collect();
+            debug_assert!(
+                frame_starts
+                    .iter()
+                    .zip(unit_starts.iter())
+                    .all(|(&f, &u)| !f || u),
+                "every frame start must be a unit start"
+            );
             let is_index: Vec<bool> = prog
                 .packets
                 .iter()
                 .map(|p| p.class() == PacketClass::Index)
                 .collect();
-            prog.layout = Some(ChannelLayout::build(&cfg, &unit_starts, &is_index));
+            prog.layout = Some(ChannelLayout::build(
+                &cfg,
+                &unit_starts,
+                &is_index,
+                frame_starts,
+            ));
             prog.n_channels = cfg.channels;
         }
         prog.switch_cost = cfg.switch_cost;

@@ -16,7 +16,7 @@
 
 use dsi_geom::{Point, Rect};
 
-use crate::channel::ChannelStats;
+use crate::channel::{AntennaConfig, ChannelStats};
 use crate::loss::LossModel;
 use crate::program::{Payload, Program};
 use crate::stats::QueryStats;
@@ -65,7 +65,8 @@ pub struct QueryOutcome {
 /// Runs one query to completion: tunes a client in at `start` under
 /// `loss` (seeded by `seed`), dispatches the query to the scheme's search
 /// algorithm, and collects both metric views. This is the only place the
-/// harness touches a [`Tuner`].
+/// harness touches a [`Tuner`]. Single-antenna client; see
+/// [`drive_antennas`] for the multi-receiver model.
 pub fn drive<S: AirScheme + ?Sized>(
     scheme: &S,
     start: u64,
@@ -73,7 +74,22 @@ pub fn drive<S: AirScheme + ?Sized>(
     seed: u64,
     query: &Query,
 ) -> QueryOutcome {
-    let mut tuner = Tuner::tune_in(scheme.program(), start, loss, seed);
+    drive_antennas(scheme, start, loss, seed, AntennaConfig::single(), query)
+}
+
+/// [`drive`] with an explicit receiver configuration: the client monitors
+/// up to `antennas.antennas` channels concurrently. Antennas change
+/// latency and tuning, never answers (the conformance suite pins this for
+/// every scheme × placement × channel-count × loss combination).
+pub fn drive_antennas<S: AirScheme + ?Sized>(
+    scheme: &S,
+    start: u64,
+    loss: LossModel,
+    seed: u64,
+    antennas: AntennaConfig,
+    query: &Query,
+) -> QueryOutcome {
+    let mut tuner = Tuner::tune_in_with(scheme.program(), start, loss, seed, antennas);
     let ids = match query {
         Query::Window(w) => scheme.window(&mut tuner, w),
         Query::Knn(q, k) => scheme.knn(&mut tuner, *q, *k),
@@ -91,6 +107,17 @@ pub trait DynScheme: Send + Sync {
     /// Runs one query through [`drive`].
     fn drive(&self, start: u64, loss: LossModel, seed: u64, query: &Query) -> QueryOutcome;
 
+    /// Runs one query through [`drive_antennas`] with an explicit
+    /// receiver configuration.
+    fn drive_antennas(
+        &self,
+        start: u64,
+        loss: LossModel,
+        seed: u64,
+        antennas: AntennaConfig,
+        query: &Query,
+    ) -> QueryOutcome;
+
     /// Packets per (flat) broadcast cycle.
     fn cycle_packets(&self) -> u64;
 
@@ -104,6 +131,17 @@ pub trait DynScheme: Send + Sync {
 impl<S: AirScheme + Send + Sync> DynScheme for S {
     fn drive(&self, start: u64, loss: LossModel, seed: u64, query: &Query) -> QueryOutcome {
         drive(self, start, loss, seed, query)
+    }
+
+    fn drive_antennas(
+        &self,
+        start: u64,
+        loss: LossModel,
+        seed: u64,
+        antennas: AntennaConfig,
+        query: &Query,
+    ) -> QueryOutcome {
+        drive_antennas(self, start, loss, seed, antennas, query)
     }
 
     fn cycle_packets(&self) -> u64 {

@@ -3,7 +3,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::channel::ChannelStats;
+use crate::channel::{AntennaConfig, ChannelStats};
 use crate::loss::LossModel;
 use crate::program::{Payload, Program};
 use crate::stats::QueryStats;
@@ -26,6 +26,12 @@ pub struct PacketLost;
 ///
 /// * access latency = `pos - tune-in instant`
 /// * tuning time   = number of `read` calls
+///
+/// With a multi-antenna [`AntennaConfig`] the client keeps up to `k`
+/// channels tuned concurrently: [`Tuner::arrival`] and [`Tuner::goto`]
+/// treat every monitored channel as reachable without a retune delay, and
+/// a retune (evicting the least-recently-used antenna) is charged only
+/// when the target channel is on none of them.
 pub struct Tuner<'a, P> {
     program: &'a Program<P>,
     start: u64,
@@ -36,6 +42,14 @@ pub struct Tuner<'a, P> {
     /// Channel currently listened to (clients tune in on channel 0, the
     /// first index channel under every placement policy).
     channel: u32,
+    /// Number of concurrently tunable receivers (capped at the channel
+    /// count).
+    antennas: u32,
+    /// Channels the antennas are currently tuned to, most recently focused
+    /// first (`monitored[0] == channel`); a retune evicts the tail. Left
+    /// empty on single-channel programs so the classic tuner stays
+    /// allocation-free.
+    monitored: Vec<u32>,
     switches: u64,
     /// Per-channel tuning counters; left empty on single-channel programs
     /// (the aggregate counter covers channel 0), so the classic
@@ -46,8 +60,27 @@ pub struct Tuner<'a, P> {
 
 impl<'a, P: Payload> Tuner<'a, P> {
     /// Tunes in at the absolute packet instant `start` (the initial probe
-    /// happens at the first subsequent `read`), on channel 0.
+    /// happens at the first subsequent `read`), on channel 0, with a
+    /// single antenna.
     pub fn tune_in(program: &'a Program<P>, start: u64, loss: LossModel, seed: u64) -> Self {
+        Self::tune_in_with(program, start, loss, seed, AntennaConfig::single())
+    }
+
+    /// Tunes in with an explicit receiver configuration: all `antennas`
+    /// start parked on channel 0 conceptually, but only channel 0 counts
+    /// as monitored until the client actually spreads out (so an unused
+    /// second antenna changes nothing).
+    pub fn tune_in_with(
+        program: &'a Program<P>,
+        start: u64,
+        loss: LossModel,
+        seed: u64,
+        antennas: AntennaConfig,
+    ) -> Self {
+        assert!(
+            antennas.antennas >= 1,
+            "a client needs at least one antenna"
+        );
         let n_channels = program.n_channels();
         Self {
             program,
@@ -57,6 +90,8 @@ impl<'a, P: Payload> Tuner<'a, P> {
             loss,
             rng: StdRng::seed_from_u64(seed),
             channel: 0,
+            antennas: antennas.antennas.min(n_channels),
+            monitored: if n_channels > 1 { vec![0] } else { Vec::new() },
             switches: 0,
             tuning_by_channel: if n_channels > 1 {
                 vec![0; n_channels as usize]
@@ -90,6 +125,53 @@ impl<'a, P: Payload> Tuner<'a, P> {
         self.channel
     }
 
+    /// Number of usable antennas (the configured count capped at the
+    /// program's channel count).
+    #[inline]
+    pub fn antennas(&self) -> u32 {
+        self.antennas
+    }
+
+    /// Channels currently monitored by the antennas, most recently focused
+    /// first. Empty on single-channel programs (the one channel is
+    /// implicitly monitored).
+    #[inline]
+    pub fn monitored_channels(&self) -> &[u32] {
+        &self.monitored
+    }
+
+    /// Whether an antenna is currently tuned to `ch` (reads from it need
+    /// no retune delay).
+    #[inline]
+    fn is_monitored(&self, ch: u32) -> bool {
+        if self.monitored.is_empty() {
+            ch == self.channel
+        } else {
+            self.monitored.contains(&ch)
+        }
+    }
+
+    /// Makes `ch` the actively decoded channel: free if an antenna is
+    /// already tuned to it, otherwise a retune of the least-recently-used
+    /// antenna (one switch).
+    fn focus(&mut self, ch: u32) {
+        if ch == self.channel {
+            return;
+        }
+        if let Some(i) = self.monitored.iter().position(|&c| c == ch) {
+            // Already tuned by another antenna: selecting its stream is
+            // free, just refresh the recency order.
+            self.monitored.remove(i);
+        } else {
+            self.switches += 1;
+            if self.monitored.len() as u32 >= self.antennas {
+                self.monitored.pop();
+            }
+        }
+        self.monitored.insert(0, ch);
+        self.channel = ch;
+    }
+
     /// Flat cycle position of the packet about to air on the current
     /// channel — "where in the schema" the client is listening. Equal to
     /// [`Tuner::cycle_pos`] on a single channel.
@@ -107,10 +189,11 @@ impl<'a, P: Payload> Tuner<'a, P> {
 
     /// The earliest instant at which the packet at flat schema position
     /// `flat_pos` can be **read** from here: its next airing on its
-    /// channel, no earlier than a channel switch (if one is needed) allows.
+    /// channel, no earlier than a retune (if no antenna monitors that
+    /// channel yet) allows.
     #[inline]
     pub fn arrival(&self, flat_pos: u64) -> u64 {
-        let ready = if self.program.channel_of(flat_pos) == self.channel {
+        let ready = if self.is_monitored(self.program.channel_of(flat_pos)) {
             self.pos
         } else {
             self.pos + self.program.switch_cost() as u64
@@ -118,18 +201,70 @@ impl<'a, P: Payload> Tuner<'a, P> {
         self.program.next_occurrence_on(ready, flat_pos)
     }
 
-    /// Dozes (and re-tunes, if the target lives on another channel) to the
-    /// arrival of flat schema position `flat_pos`, returning the instant
-    /// reached; the next [`Tuner::read`] receives exactly that packet.
-    /// Switch cost accrues as latency, never as tuning.
+    /// The batch arrival planner: the earliest-arriving position among
+    /// `flats` and its arrival instant (ties go to the lowest index).
+    /// Equals the minimum over per-position [`Tuner::arrival`] calls;
+    /// `None` on an empty slice. This is how channel-aware clients pick
+    /// their next read across candidate targets airing on parallel
+    /// channels.
+    #[inline]
+    pub fn arrival_earliest(&self, flats: &[u64]) -> Option<(usize, u64)> {
+        let mut best: Option<(usize, u64)> = None;
+        for (i, &flat) in flats.iter().enumerate() {
+            let t = self.arrival(flat);
+            if best.is_none_or(|(_, bt)| t < bt) {
+                best = Some((i, t));
+            }
+        }
+        best
+    }
+
+    /// The duration-aware batch planner: like [`Tuner::arrival_earliest`],
+    /// but accounts for reads occupying the receiver. A read of candidate
+    /// `i` holds the receiver for `dur(i)` packets, so blindly taking the
+    /// earliest airing can trample the runner-up's airing and push it a
+    /// full channel cycle out. When the runner-up airs before the
+    /// leader's read completes, both orders are costed by the completion
+    /// of the later read (re-occurrence included; switch costs are a wash
+    /// at that scale) and the cheaper order's first read wins. Arrivals
+    /// are computed once per candidate; `dur` is only consulted for the
+    /// top two. Ties go to the lowest index.
+    pub fn plan_earliest(&self, flats: &[u64], dur: impl Fn(usize) -> u64) -> Option<(usize, u64)> {
+        let mut best: Option<(usize, u64)> = None;
+        let mut second: Option<(usize, u64)> = None;
+        for (i, &flat) in flats.iter().enumerate() {
+            let t = self.arrival(flat);
+            if best.is_none_or(|(_, bt)| t < bt) {
+                second = best;
+                best = Some((i, t));
+            } else if second.is_none_or(|(_, st)| t < st) {
+                second = Some((i, t));
+            }
+        }
+        let (x, t_x) = best?;
+        if let Some((y, t_y)) = second {
+            let dx = dur(x);
+            if t_y < t_x + dx {
+                let dy = dur(y);
+                let y_after_x = self.program.next_occurrence_on(t_x + dx, flats[y]) + dy;
+                let x_after_y = self.program.next_occurrence_on(t_y + dy, flats[x]) + dx;
+                if x_after_y < y_after_x {
+                    return Some((y, t_y));
+                }
+            }
+        }
+        Some((x, t_x))
+    }
+
+    /// Dozes (and re-tunes an antenna, if no antenna monitors the target's
+    /// channel) to the arrival of flat schema position `flat_pos`,
+    /// returning the instant reached; the next [`Tuner::read`] receives
+    /// exactly that packet. Switch cost accrues as latency, never as
+    /// tuning.
     #[inline]
     pub fn goto(&mut self, flat_pos: u64) -> u64 {
         let t = self.arrival(flat_pos);
-        let ch = self.program.channel_of(flat_pos);
-        if ch != self.channel {
-            self.switches += 1;
-            self.channel = ch;
-        }
+        self.focus(self.program.channel_of(flat_pos));
         self.pos = t;
         t
     }

@@ -1,7 +1,11 @@
-//! Property tests for the channel substrate: occurrence arithmetic and
-//! tuner accounting.
+//! Property tests for the channel substrate: occurrence arithmetic,
+//! tuner accounting, and the multi-antenna tuner surface (batch arrival
+//! planning, monitored-set bounds, switch-cost accounting vs a
+//! step-by-step reference tuner).
 
-use dsi_broadcast::{LossModel, PacketClass, Payload, Program, Tuner};
+use dsi_broadcast::{
+    AntennaConfig, ChannelConfig, LossModel, PacketClass, Payload, Program, Tuner,
+};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone, PartialEq)]
@@ -16,6 +20,62 @@ impl Payload for P {
             PacketClass::ObjectPayload
         }
     }
+}
+
+/// A step-by-step reference model of the multi-antenna tuner: arrivals by
+/// scanning instants one at a time, the monitored set as an explicit
+/// most-recently-focused-first list with LRU eviction, one switch charged
+/// per retune.
+struct RefTuner {
+    pos: u64,
+    switches: u64,
+    monitored: Vec<u32>,
+    antennas: u32,
+}
+
+impl RefTuner {
+    fn new(start: u64, antennas: u32, n_channels: u32) -> Self {
+        Self {
+            pos: start,
+            switches: 0,
+            monitored: vec![0],
+            antennas: antennas.min(n_channels),
+        }
+    }
+
+    fn arrival(&self, prog: &Program<P>, flat: u64) -> u64 {
+        let ch = prog.channel_of(flat);
+        let mut t = if self.monitored.contains(&ch) {
+            self.pos
+        } else {
+            self.pos + prog.switch_cost() as u64
+        };
+        // Scan forward one instant at a time until the packet airs.
+        while prog.flat_at(ch, t) != flat {
+            t += 1;
+        }
+        t
+    }
+
+    fn goto(&mut self, prog: &Program<P>, flat: u64) -> u64 {
+        let t = self.arrival(prog, flat);
+        let ch = prog.channel_of(flat);
+        if let Some(i) = self.monitored.iter().position(|&c| c == ch) {
+            self.monitored.remove(i);
+        } else {
+            self.switches += 1;
+            if self.monitored.len() as u32 >= self.antennas {
+                self.monitored.pop();
+            }
+        }
+        self.monitored.insert(0, ch);
+        self.pos = t;
+        t
+    }
+}
+
+fn multi_channel_program(len: u64, cfg: ChannelConfig) -> Program<P> {
+    Program::with_channels(16, (0..len).map(P).collect(), cfg)
 }
 
 proptest! {
@@ -53,6 +113,117 @@ proptest! {
         let s = t.stats();
         prop_assert_eq!(s.tuning_packets, expected_reads);
         prop_assert_eq!(s.latency_packets, expected_pos - start);
+    }
+
+    #[test]
+    fn arrival_earliest_agrees_with_min_over_arrival(
+        len in 8u64..60,
+        channels in 2u32..5,
+        switch_cost in 0u32..4,
+        antennas in 1u32..4,
+        blocked in any::<bool>(),
+        start in 0u64..1_000,
+        warmup in prop::collection::vec(0u64..60, 0..8),
+        targets in prop::collection::vec(0u64..60, 1..12),
+    ) {
+        let cfg = if blocked {
+            ChannelConfig::blocked(channels, switch_cost)
+        } else {
+            ChannelConfig::striped(channels, switch_cost)
+        };
+        let prog = multi_channel_program(len, cfg);
+        let mut t = Tuner::tune_in_with(
+            &prog, start, LossModel::None, 1, AntennaConfig::new(antennas),
+        );
+        for w in warmup {
+            t.goto(w % len);
+        }
+        let flats: Vec<u64> = targets.into_iter().map(|x| x % len).collect();
+        let (i, at) = t.arrival_earliest(&flats).expect("non-empty");
+        // Agrees with the min over per-position arrivals, ties to the
+        // lowest index.
+        let arrivals: Vec<u64> = flats.iter().map(|&f| t.arrival(f)).collect();
+        let min = arrivals.iter().copied().min().expect("non-empty");
+        prop_assert_eq!(at, min);
+        prop_assert_eq!(arrivals[i], min);
+        prop_assert!(arrivals[..i].iter().all(|&a| a > min), "not the first minimum");
+    }
+
+    #[test]
+    fn monitored_set_bounded_and_reference_tuner_agrees(
+        len in 8u64..60,
+        channels in 2u32..5,
+        switch_cost in 0u32..4,
+        antennas in 1u32..4,
+        blocked in any::<bool>(),
+        start in 0u64..1_000,
+        ops in prop::collection::vec((0u64..60, any::<bool>()), 1..40),
+    ) {
+        let cfg = if blocked {
+            ChannelConfig::blocked(channels, switch_cost)
+        } else {
+            ChannelConfig::striped(channels, switch_cost)
+        };
+        let prog = multi_channel_program(len, cfg);
+        let mut t = Tuner::tune_in_with(
+            &prog, start, LossModel::None, 1, AntennaConfig::new(antennas),
+        );
+        let mut r = RefTuner::new(start, antennas, prog.n_channels());
+        for (target, read) in ops {
+            let flat = target % len;
+            // Arrival and goto agree with the step-by-step reference at
+            // every step.
+            prop_assert_eq!(t.arrival(flat), r.arrival(&prog, flat));
+            prop_assert_eq!(t.goto(flat), r.goto(&prog, flat));
+            prop_assert_eq!(t.pos(), r.pos);
+            prop_assert_eq!(t.monitored_channels(), r.monitored.as_slice());
+            if read {
+                let _ = t.read();
+                r.pos += 1;
+            }
+            // The monitored set never exceeds the antenna count, holds no
+            // duplicates, and leads with the active channel.
+            let mon = t.monitored_channels();
+            prop_assert!(mon.len() as u32 <= antennas.min(prog.n_channels()));
+            let mut dedup = mon.to_vec();
+            dedup.sort_unstable();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), mon.len(), "duplicate monitored channel");
+            prop_assert_eq!(mon[0], t.channel());
+        }
+        // Switch-cost accounting matches the reference exactly.
+        prop_assert_eq!(t.channel_stats().switches, r.switches);
+    }
+
+    #[test]
+    fn single_antenna_matches_legacy_switch_model(
+        len in 8u64..60,
+        channels in 2u32..5,
+        switch_cost in 0u32..4,
+        start in 0u64..1_000,
+        ops in prop::collection::vec(0u64..60, 1..30),
+    ) {
+        // k = 1 through the antenna-aware tuner must equal the classic
+        // single-receiver accounting: a switch whenever the target's
+        // channel differs from the current one.
+        let prog = multi_channel_program(len, ChannelConfig::striped(channels, switch_cost));
+        let mut t = Tuner::tune_in(&prog, start, LossModel::None, 1);
+        let mut channel = 0u32;
+        let mut switches = 0u64;
+        let mut pos = start;
+        for target in ops {
+            let flat = target % len;
+            let ch = prog.channel_of(flat);
+            let ready = if ch == channel { pos } else { pos + prog.switch_cost() as u64 };
+            let want = prog.next_occurrence_on(ready, flat);
+            prop_assert_eq!(t.goto(flat), want);
+            if ch != channel {
+                switches += 1;
+                channel = ch;
+            }
+            pos = want;
+        }
+        prop_assert_eq!(t.channel_stats().switches, switches);
     }
 
     #[test]

@@ -57,6 +57,13 @@ impl Payload for DsiPacket {
             DsiPacket::ObjPayload { .. } => false,
         }
     }
+
+    fn frame_start(&self) -> bool {
+        // A DSI frame is an index table plus the objects that follow it:
+        // the granularity clients scan serially, which
+        // `Placement::StripeFrames` keeps on one channel.
+        matches!(self, DsiPacket::Table { part: 0, .. })
+    }
 }
 
 /// Metadata of one broadcast slot (frame) — server side.

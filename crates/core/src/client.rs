@@ -112,6 +112,7 @@ pub(crate) trait QueryMode {
 }
 
 /// What the driver is about to do at its current position.
+#[derive(Clone, Copy)]
 enum Pending {
     /// Positioned at the frame start of `slot`: read its index table.
     Table(u32),
@@ -130,6 +131,9 @@ enum Pending {
 struct QueryScratch {
     /// `(object index, is_retry)` visit plan of the current frame.
     visit: Vec<(u32, bool)>,
+    /// Header flat positions of the visit plan, for the multi-antenna
+    /// arrival-ordered visit.
+    visit_flats: Vec<u64>,
     /// Targets of the most recently received index table, for the
     /// aggressive strategy's "reachable frame nearest the query point".
     entry_targets: Vec<(u32, u64)>,
@@ -138,6 +142,14 @@ struct QueryScratch {
     /// HC values of the current table's entries, batched for
     /// [`QueryMode::on_virtuals`].
     virtuals: Vec<u64>,
+    /// Flat positions of the current navigation candidates, handed to the
+    /// tuner's batch arrival planner ([`Tuner::arrival_earliest`]).
+    nav_flats: Vec<u64>,
+    /// Arrival instants of the candidates (parallel to `nav_flats`),
+    /// computed once while the candidates are gathered.
+    nav_arrivals: Vec<u64>,
+    /// What to do at each navigation candidate (parallel to `nav_flats`).
+    nav_plans: Vec<Pending>,
 }
 
 /// Runs a query to completion. The tuner carries the metrics.
@@ -160,15 +172,14 @@ pub(crate) fn run_query<M: QueryMode>(
     } else {
         // Channels progress in parallel: take the earliest-arriving index
         // table across all of them (tables are what a fresh client needs).
-        let mut best = (u64::MAX, 0u32);
-        for slot in 0..l.n_frames() {
-            let t = tuner.arrival(l.frame_start(slot));
-            if t < best.0 {
-                best = (t, slot);
-            }
-        }
-        tuner.goto(l.frame_start(best.1));
-        best.1
+        scratch
+            .nav_flats
+            .extend((0..l.n_frames()).map(|slot| l.frame_start(slot)));
+        let (slot0, _) = tuner
+            .arrival_earliest(&scratch.nav_flats)
+            .expect("a cycle has at least one frame");
+        tuner.goto(l.frame_start(slot0 as u32));
+        slot0 as u32
     };
     let mut pending = Pending::Table(slot0);
 
@@ -212,6 +223,7 @@ pub(crate) fn run_query<M: QueryMode>(
                     mode,
                     &mut state,
                     &mut scratch.visit,
+                    &mut scratch.visit_flats,
                 );
                 None
             }
@@ -248,14 +260,7 @@ pub(crate) fn run_query<M: QueryMode>(
             }
         }
 
-        match navigate(
-            air,
-            tuner,
-            mode,
-            &state,
-            &scratch.entry_targets,
-            &mut scratch.useful_entries,
-        ) {
+        match navigate(air, tuner, mode, &state, &mut scratch) {
             Some(p) => pending = p,
             None => break,
         }
@@ -302,9 +307,14 @@ fn read_table<'a>(
 }
 
 /// Visits objects of a frame: pending retries first, then (optionally) the
-/// unread fresh tail, all in ascending header order. Updates the scan log,
-/// knowledge (frame minimum from header 0) and retry sets through the
-/// incremental state.
+/// unread fresh tail. The single-receiver client reads in ascending header
+/// order (the pinned pre-refactor baseline); the multi-antenna client
+/// reads headers as they air across its monitored channels — under
+/// unit-granular striping a frame's consecutive units air *in parallel*,
+/// so the serial order waits a channel cycle per unit while the arrival
+/// order streams one channel's units back-to-back and collects the rest
+/// on the next pass. Updates the scan log, knowledge (frame minimum from
+/// header 0) and retry sets through the incremental state.
 #[allow(clippy::too_many_arguments)]
 fn visit_frame<M: QueryMode>(
     air: &DsiAir,
@@ -315,11 +325,11 @@ fn visit_frame<M: QueryMode>(
     mode: &mut M,
     state: &mut QueryState<'_>,
     visit: &mut Vec<(u32, bool)>,
+    visit_flats: &mut Vec<u64>,
 ) {
     let l = air.layout();
     let t = l.hc_index_of_slot(slot);
     let n_obj = l.objects_in_slot(slot);
-    let payload_packets = l.framing().object_packets - 1;
 
     // Retry indices are sorted and all precede the fresh tail (a retry is
     // only ever recorded for an attempted index), so the concatenation is
@@ -332,40 +342,85 @@ fn visit_frame<M: QueryMode>(
     }
     debug_assert!(visit.windows(2).all(|w| w[0].0 < w[1].0));
 
-    let mut stop_fresh = false;
-    for &(idx, is_retry) in visit.iter() {
-        if !is_retry && stop_fresh {
-            break;
+    if tuner.antennas() > 1 {
+        // Arrival-ordered visit. The ascending-HC early exit survives
+        // out-of-order reads: once a fresh header's HC exceeds the
+        // largest remainder end, every fresh header at a higher index is
+        // also beyond it (objects ascend in HC within a frame), so those
+        // are pruned from the plan.
+        while !visit.is_empty() {
+            visit_flats.clear();
+            visit_flats.extend(visit.iter().map(|&(idx, _)| l.header_packet(slot, idx)));
+            let (i, _) = tuner
+                .arrival_earliest(visit_flats)
+                .expect("visit plan is non-empty");
+            let (idx, is_retry) = visit.swap_remove(i);
+            if visit_header(
+                air, tuner, slot, idx, is_retry, max_hi, mode, state, t, n_obj,
+            ) {
+                visit.retain(|&(j, retry)| retry || j < idx);
+            }
         }
-        tuner.goto(l.header_packet(slot, idx));
-        match tuner.read() {
-            Ok(p) => {
-                debug_assert!(
-                    matches!(p, DsiPacket::ObjHeader { slot: s, idx: i } if *s == slot && *i == idx)
-                );
-                let o = air.object(slot, idx);
-                if !is_retry {
-                    state.note_attempted(t, n_obj, idx);
-                }
-                state.resolve_header(t, n_obj, idx, o.hc);
-                state.retries.remove(slot, idx);
-                if mode.on_header(o) {
-                    if read_payload(tuner, payload_packets) {
-                        mode.on_retrieved(o);
-                    } else {
-                        state.retries.insert(slot, idx);
-                    }
-                }
-                if !is_retry && o.hc > max_hi {
-                    stop_fresh = true;
+    } else {
+        let mut stop_fresh = false;
+        for &(idx, is_retry) in visit.iter() {
+            if !is_retry && stop_fresh {
+                break;
+            }
+            if visit_header(
+                air, tuner, slot, idx, is_retry, max_hi, mode, state, t, n_obj,
+            ) {
+                stop_fresh = true;
+            }
+        }
+    }
+}
+
+/// Reads one (already targeted) object header and processes it; returns
+/// whether it was a fresh read whose HC lies beyond `max_hi` (the
+/// ascending-HC early-exit signal).
+#[allow(clippy::too_many_arguments)]
+fn visit_header<M: QueryMode>(
+    air: &DsiAir,
+    tuner: &mut Tuner<'_, DsiPacket>,
+    slot: u32,
+    idx: u32,
+    is_retry: bool,
+    max_hi: u64,
+    mode: &mut M,
+    state: &mut QueryState<'_>,
+    t: u32,
+    n_obj: u32,
+) -> bool {
+    let l = air.layout();
+    let payload_packets = l.framing().object_packets - 1;
+    tuner.goto(l.header_packet(slot, idx));
+    match tuner.read() {
+        Ok(p) => {
+            debug_assert!(
+                matches!(p, DsiPacket::ObjHeader { slot: s, idx: i } if *s == slot && *i == idx)
+            );
+            let o = air.object(slot, idx);
+            if !is_retry {
+                state.note_attempted(t, n_obj, idx);
+            }
+            state.resolve_header(t, n_obj, idx, o.hc);
+            state.retries.remove(slot, idx);
+            if mode.on_header(o) {
+                if read_payload(tuner, payload_packets) {
+                    mode.on_retrieved(o);
+                } else {
+                    state.retries.insert(slot, idx);
                 }
             }
-            Err(_) => {
-                if !is_retry {
-                    state.note_attempted(t, n_obj, idx);
-                }
-                state.retries.insert(slot, idx);
+            !is_retry && o.hc > max_hi
+        }
+        Err(_) => {
+            if !is_retry {
+                state.note_attempted(t, n_obj, idx);
             }
+            state.retries.insert(slot, idx);
+            false
         }
     }
 }
@@ -419,41 +474,44 @@ fn approach(
 /// Candidates are (a) the first pending retry header of every affected
 /// slot — read directly off the per-slot sorted retry lists — and (b)
 /// frames that may still hold remainder content. Window queries and
-/// conservative kNN sweep the broadcast order for the earliest-arriving
-/// such frame; aggressive kNN jumps to the slot its strategy picked (the
-/// entry target nearest the query point).
+/// conservative kNN sweep the broadcast order for such frames; aggressive
+/// kNN jumps to the slot its strategy picked (the entry target nearest
+/// the query point). All candidates are then planned in one batch through
+/// the tuner's earliest-arrival API, which accounts for channel placement
+/// and the antennas' monitored set.
 fn navigate<M: QueryMode>(
     air: &DsiAir,
     tuner: &mut Tuner<'_, DsiPacket>,
     mode: &mut M,
     state: &QueryState<'_>,
-    entry_targets: &[(u32, u64)],
-    useful_entries: &mut Vec<(u32, u64)>,
+    scratch: &mut QueryScratch,
 ) -> Option<Pending> {
     let l = air.layout();
     let (know, log, retries, rem) = (&state.know, &state.log, &state.retries, state.rem());
     let max_hi = max_hi_of(rem);
-    let mut best: Option<(u64, u64, Pending)> = None;
-    let consider = |abs: u64, flat: u64, p: Pending, best: &mut Option<(u64, u64, Pending)>| {
-        if best.as_ref().is_none_or(|(b, _, _)| abs < *b) {
-            *best = Some((abs, flat, p));
-        }
-    };
+    let QueryScratch {
+        entry_targets,
+        useful_entries,
+        nav_flats,
+        nav_arrivals,
+        nav_plans,
+        ..
+    } = scratch;
+    nav_flats.clear();
+    nav_arrivals.clear();
+    nav_plans.clear();
 
     // Retry visits: the earliest pending index per slot is the head of its
     // maintained sorted list.
     for (slot, idxs) in retries.iter_slots() {
         let flat = l.header_packet(slot, idxs[0]);
-        consider(
-            tuner.arrival(flat),
-            flat,
-            Pending::Visit {
-                slot,
-                include_fresh: false,
-                max_hi,
-            },
-            &mut best,
-        );
+        nav_flats.push(flat);
+        nav_arrivals.push(tuner.arrival(flat));
+        nav_plans.push(Pending::Visit {
+            slot,
+            include_fresh: false,
+            max_hi,
+        });
     }
 
     // Entry targets the strategy may pick from: frames not yet fully
@@ -474,11 +532,13 @@ fn navigate<M: QueryMode>(
         match mode.nav_pick(rem, useful_entries) {
             NavPick::Slot(slot) => {
                 let (abs, flat, p) = approach(air, tuner, log, slot, max_hi);
-                consider(abs, flat, p, &mut best);
+                nav_flats.push(flat);
+                nav_arrivals.push(abs);
+                nav_plans.push(p);
             }
             NavPick::Earliest => {
                 // Sweep the broadcast order from the current position for
-                // the first frame that may still hold remainder content.
+                // frames that may still hold remainder content.
                 let cur = l.slot_of_packet(tuner.flat_pos());
                 let nf = l.n_frames();
                 let multi = tuner.program().n_channels() > 1;
@@ -493,14 +553,17 @@ fn navigate<M: QueryMode>(
                         continue;
                     }
                     let (abs, flat, p) = approach(air, tuner, log, slot, max_hi);
-                    consider(abs, flat, p, &mut best);
+                    nav_flats.push(flat);
+                    nav_arrivals.push(abs);
+                    nav_plans.push(p);
                     // Single channel: arrivals are monotone in `d` for
                     // d ≥ 1 (those frames lie strictly ahead); only the
                     // current slot (d = 0) can arrive later than its
                     // successors, so keep sweeping past it but stop at the
                     // first qualifying successor. With parallel channels
                     // broadcast order no longer orders arrivals — sweep
-                    // every candidate frame and keep the earliest.
+                    // every candidate frame and let the batch planner keep
+                    // the earliest.
                     if d > 0 && !multi {
                         break;
                     }
@@ -509,7 +572,70 @@ fn navigate<M: QueryMode>(
         }
     }
 
-    let (_, flat, p) = best?;
-    tuner.goto(flat);
-    Some(p)
+    // One plan over all candidates: the earliest-arriving read wins (ties
+    // to the first candidate, matching the sweep order; the arrivals were
+    // produced by the tuner's channel- and antenna-aware planner while
+    // the candidates were gathered, and the tuner has not moved since).
+    // The multi-antenna client additionally costs the top-2 conflict: its
+    // plans occupy the receiver for a while, so taking the earliest
+    // airing can trample the runner-up's airing and push it a full
+    // channel cycle out — when that happens, whichever order finishes
+    // both reads earlier wins.
+    let mut best: Option<(usize, u64)> = None;
+    for (j, &t) in nav_arrivals.iter().enumerate() {
+        if best.is_none_or(|(_, bt)| t < bt) {
+            best = Some((j, t));
+        }
+    }
+    let (i, _) = best?;
+    let pick = if tuner.antennas() > 1 && nav_flats.len() > 1 {
+        // Multi-antenna: run the duration-aware planner instead (top-2
+        // conflict costing; one plan can trample the runner-up's airing).
+        let (j, _) = tuner.plan_earliest(nav_flats, |j| {
+            plan_duration(l, state, &nav_plans[j], nav_flats[j])
+        })?;
+        j
+    } else {
+        i
+    };
+    tuner.goto(nav_flats[pick]);
+    Some(nav_plans[pick])
+}
+
+/// Estimate, in packets, of how long executing plan `p` occupies the
+/// receiver once its first packet (at flat position `flat`) airs, from
+/// schema knowledge plus the client's own scan state. Flat-position
+/// spans, so under unit-granular striping (where a frame's units air
+/// interleaved across channels) this can undershoot wall-clock
+/// occupancy — the top-2 conflict costing it feeds is a heuristic, not
+/// a bound.
+fn plan_duration(
+    l: &crate::layout::DsiLayout,
+    state: &QueryState<'_>,
+    p: &Pending,
+    flat: u64,
+) -> u64 {
+    let f = l.framing();
+    match *p {
+        Pending::Table(_) => f.table_packets as u64,
+        Pending::Visit {
+            slot,
+            include_fresh,
+            ..
+        } => {
+            if include_fresh {
+                // May scan to the end of the frame.
+                let frame_len = f.table_packets as u64
+                    + l.objects_in_slot(slot) as u64 * f.object_packets as u64;
+                (l.frame_start(slot) + frame_len).saturating_sub(flat)
+            } else {
+                // Retry-only visit: first to last pending header.
+                let idxs = state.retries.for_slot(slot);
+                match idxs.last() {
+                    Some(&last) => l.header_packet(slot, last) + f.object_packets as u64 - flat,
+                    None => f.object_packets as u64,
+                }
+            }
+        }
+    }
 }

@@ -270,7 +270,16 @@ impl RTreeAir {
             }
         }
 
-        let program = Program::with_channels(config.capacity, packets, channels);
+        // Frame granularity for `Placement::StripeFrames`: one frame per
+        // data segment (path copies + subtree + objects scan as one run).
+        // Segment starts are positional — a replicated root copy looks the
+        // same at every occurrence — so they are passed explicitly.
+        let mut frame_starts = vec![false; packets.len()];
+        for &s in &segment_starts {
+            frame_starts[s as usize] = true;
+        }
+        let program =
+            Program::with_channels_frames(config.capacity, packets, channels, &frame_starts);
         Self {
             tree,
             config,
@@ -326,8 +335,8 @@ impl RTreeAir {
     }
 
     /// The earliest instant at which node `(level, idx)` can be read by
-    /// `tuner` (accounting for channel placement and switch cost), and the
-    /// flat position of the chosen copy.
+    /// `tuner` (accounting for channel placement, antennas and switch
+    /// cost), and the flat position of the chosen copy.
     pub(crate) fn node_arrival(
         &self,
         tuner: &Tuner<'_, RtPacket>,
@@ -341,7 +350,9 @@ impl RTreeAir {
                 last,
                 path_offset,
             } => {
-                // Earliest readable copy among covered segments.
+                // Earliest readable copy among covered segments: per-copy
+                // arrivals through the tuner's channel- and antenna-aware
+                // planner, allocation-free.
                 let mut best = (u64::MAX, 0u64);
                 for s in *first..=*last {
                     let flat = self.segment_starts[s as usize] + path_offset;
@@ -376,6 +387,16 @@ impl RTreeAir {
                 }
                 best
             }
+        }
+    }
+
+    /// Packets one queued read occupies the receiver for: an object
+    /// record (`kind == u8::MAX`), or a node slot at level `kind`.
+    pub(crate) fn unit_dur(&self, kind: u8) -> u64 {
+        if kind == u8::MAX {
+            self.config.object_packets() as u64
+        } else {
+            self.node_packets(kind)
         }
     }
 

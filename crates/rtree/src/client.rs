@@ -28,16 +28,11 @@ enum Item {
     Object { obj: u32 },
 }
 
-type Pending = BinaryHeap<Reverse<(u64, u8, u32, u64)>>;
-
-/// Encodes an item into the heap key (arrival, kind, payload, flat target)
-/// so the heap needs no trait objects. The flat position rides along so
-/// the pop can re-tune (`Tuner::goto`) to the exact copy whose arrival was
-/// scheduled.
-fn push(pending: &mut Pending, pos: u64, flat: u64, item: Item) {
+/// Encodes an item as (kind, payload) so queues need no trait objects.
+fn encode(item: Item) -> (u8, u32) {
     match item {
-        Item::Node { level, idx } => pending.push(Reverse((pos, level, idx, flat))),
-        Item::Object { obj } => pending.push(Reverse((pos, u8::MAX, obj, flat))),
+        Item::Node { level, idx } => (level, idx),
+        Item::Object { obj } => (u8::MAX, obj),
     }
 }
 
@@ -52,16 +47,86 @@ fn decode(kind: u8, payload: u32) -> Item {
     }
 }
 
+/// The traversal's pending reads. The single-receiver client pops by the
+/// arrival scheduled at push time (the pinned pre-refactor order); a
+/// multi-antenna client re-plans every pop through the tuner's
+/// batch-arrival API instead, because scheduled keys go stale in both
+/// directions as antennas retune — an airing can be missed (key too low)
+/// or a switch-cost penalty can evaporate once the channel is monitored
+/// (key too high), and either error costs up to a full channel cycle.
+enum Pending {
+    Scheduled(BinaryHeap<Reverse<(u64, u8, u32, u64)>>),
+    Planned {
+        /// (kind, payload, flat target) of each pending read.
+        items: Vec<(u8, u32, u64)>,
+        /// Reused flat-position buffer for the batch planner.
+        flats: Vec<u64>,
+    },
+}
+
+impl Pending {
+    fn for_tuner(tuner: &Tuner<'_, RtPacket>) -> Self {
+        if tuner.antennas() > 1 {
+            Pending::Planned {
+                items: Vec::new(),
+                flats: Vec::new(),
+            }
+        } else {
+            Pending::Scheduled(BinaryHeap::new())
+        }
+    }
+
+    /// Queues a read of `item` at flat position `flat`; `at` is its
+    /// arrival as scheduled by the caller (ignored by the planned
+    /// variant, which re-derives arrivals at pop time).
+    fn push(&mut self, at: u64, flat: u64, item: Item) {
+        let (kind, payload) = encode(item);
+        match self {
+            Pending::Scheduled(heap) => heap.push(Reverse((at, kind, payload, flat))),
+            Pending::Planned { items, .. } => items.push((kind, payload, flat)),
+        }
+    }
+
+    /// The next read: earliest scheduled arrival (single receiver) or
+    /// earliest current arrival across the monitored channels (planned).
+    ///
+    /// The planned variant re-derives each item's best readable copy
+    /// (replicated path nodes have one copy per covering segment, and the
+    /// earliest one changes as time passes) and picks through the tuner's
+    /// duration-aware planner ([`Tuner::plan_earliest`]) — scheduled heap
+    /// keys go stale in both directions as antennas retune, and either
+    /// error costs up to a full channel cycle.
+    fn pop(&mut self, air: &RTreeAir, tuner: &Tuner<'_, RtPacket>) -> Option<(Item, u64)> {
+        match self {
+            Pending::Scheduled(heap) => {
+                let Reverse((_, kind, payload, flat)) = heap.pop()?;
+                Some((decode(kind, payload), flat))
+            }
+            Pending::Planned { items, flats } => {
+                for item in items.iter_mut() {
+                    if item.0 != u8::MAX {
+                        item.2 = air.node_arrival(tuner, item.0, item.1).1;
+                    }
+                }
+                flats.clear();
+                flats.extend(items.iter().map(|&(_, _, flat)| flat));
+                let (pick, _) = tuner.plan_earliest(flats, |i| air.unit_dur(items[i].0))?;
+                let (kind, payload, flat) = items.swap_remove(pick);
+                Some((decode(kind, payload), flat))
+            }
+        }
+    }
+}
+
 impl RTreeAir {
     /// Seeds the search with the earliest readable root copy (the root
     /// heads every segment, or is the first subtree node when the whole
     /// tree is one segment); lost copies are requeued by the main loop.
     fn seed(&self, tuner: &mut Tuner<'_, RtPacket>) -> Pending {
         let root_level = (self.tree.height() - 1) as u8;
-        let mut pending = Pending::new();
+        let mut pending = Pending::for_tuner(tuner);
         let (at, flat) = self.node_arrival(tuner, root_level, 0);
-        push(
-            &mut pending,
+        pending.push(
             at,
             flat,
             Item::Node {
@@ -100,14 +165,14 @@ impl RTreeAir {
             return result;
         }
         let mut pending = self.seed(tuner);
-        while let Some(Reverse((_, kind, payload, flat))) = pending.pop() {
-            match decode(kind, payload) {
+        while let Some((item, flat)) = pending.pop(self, tuner) {
+            match item {
                 Item::Node { level, idx } => {
                     tuner.goto(flat);
                     if self.read_node(tuner, level).is_err() {
                         // Wait for the node's rebroadcast.
                         let (next, nflat) = self.node_arrival(tuner, level, idx);
-                        push(&mut pending, next, nflat, Item::Node { level, idx });
+                        pending.push(next, nflat, Item::Node { level, idx });
                         continue;
                     }
                     let node = &self.tree.levels[level as usize][idx as usize];
@@ -117,8 +182,7 @@ impl RTreeAir {
                                 let child = &self.tree.levels[level as usize - 1][k as usize];
                                 if child.mbr.intersects(window) {
                                     let (at, nflat) = self.node_arrival(tuner, level - 1, k);
-                                    push(
-                                        &mut pending,
+                                    pending.push(
                                         at,
                                         nflat,
                                         Item::Node {
@@ -133,12 +197,7 @@ impl RTreeAir {
                             for obj in *start..*start + *count {
                                 if window.contains(self.tree.objects[obj as usize].1) {
                                     let oflat = self.object_pos[obj as usize];
-                                    push(
-                                        &mut pending,
-                                        tuner.arrival(oflat),
-                                        oflat,
-                                        Item::Object { obj },
-                                    );
+                                    pending.push(tuner.arrival(oflat), oflat, Item::Object { obj });
                                 }
                             }
                         }
@@ -149,12 +208,7 @@ impl RTreeAir {
                     if self.read_object(tuner).is_ok() {
                         result.push(self.tree.objects[obj as usize].0);
                     } else {
-                        push(
-                            &mut pending,
-                            tuner.arrival(flat),
-                            flat,
-                            Item::Object { obj },
-                        );
+                        pending.push(tuner.arrival(flat), flat, Item::Object { obj });
                     }
                 }
             }
@@ -180,8 +234,7 @@ impl RTreeAir {
             self.tree.root().mbr.max_dist2(q),
         );
         let mut pending = self.seed(tuner);
-        while let Some(Reverse((_, kind, payload, flat))) = pending.pop() {
-            let item = decode(kind, payload);
+        while let Some((item, flat)) = pending.pop(self, tuner) {
             // Prune anything provably outside the search space.
             let min2 = match item {
                 Item::Node { level, idx } => self.tree.levels[level as usize][idx as usize]
@@ -198,7 +251,7 @@ impl RTreeAir {
                     tuner.goto(flat);
                     if self.read_node(tuner, level).is_err() {
                         let (next, nflat) = self.node_arrival(tuner, level, idx);
-                        push(&mut pending, next, nflat, Item::Node { level, idx });
+                        pending.push(next, nflat, Item::Node { level, idx });
                         continue;
                     }
                     // Expanded: the node's virtual is replaced by its
@@ -217,7 +270,7 @@ impl RTreeAir {
                                     };
                                     cands.add_virtual(it, child.mbr.max_dist2(q));
                                     let (at, nflat) = self.node_arrival(tuner, level - 1, k);
-                                    push(&mut pending, at, nflat, it);
+                                    pending.push(at, nflat, it);
                                 }
                             }
                         }
@@ -229,7 +282,7 @@ impl RTreeAir {
                                     let it = Item::Object { obj };
                                     cands.add_exact(it, d2);
                                     let oflat = self.object_pos[obj as usize];
-                                    push(&mut pending, tuner.arrival(oflat), oflat, it);
+                                    pending.push(tuner.arrival(oflat), oflat, it);
                                 }
                             }
                         }
@@ -240,12 +293,7 @@ impl RTreeAir {
                     if self.read_object(tuner).is_ok() {
                         cands.mark_retrieved(Item::Object { obj });
                     } else {
-                        push(
-                            &mut pending,
-                            tuner.arrival(flat),
-                            flat,
-                            Item::Object { obj },
-                        );
+                        pending.push(tuner.arrival(flat), flat, Item::Object { obj });
                     }
                 }
             }

@@ -8,7 +8,9 @@
 //! goes through the one [`dsi_broadcast::drive`] loop.
 
 use dsi_bptree::{BpAir, BpAirConfig};
-use dsi_broadcast::{ChannelConfig, DynScheme, LossModel, Query, QueryOutcome, QueryStats};
+use dsi_broadcast::{
+    AntennaConfig, ChannelConfig, DynScheme, LossModel, Query, QueryOutcome, QueryStats,
+};
 use dsi_core::{DsiAir, DsiConfig, DsiScheme, KnnStrategy};
 use dsi_datagen::SpatialDataset;
 use dsi_geom::{Point, Rect};
@@ -96,6 +98,20 @@ impl Engine {
     /// Runs one query through the scheme-agnostic driver.
     pub fn drive(&self, start: u64, loss: LossModel, seed: u64, query: &Query) -> QueryOutcome {
         self.scheme.drive(start, loss, seed, query)
+    }
+
+    /// Runs one query with an explicit receiver configuration (the client
+    /// monitors up to `antennas.antennas` channels concurrently).
+    pub fn drive_antennas(
+        &self,
+        start: u64,
+        loss: LossModel,
+        seed: u64,
+        antennas: AntennaConfig,
+        query: &Query,
+    ) -> QueryOutcome {
+        self.scheme
+            .drive_antennas(start, loss, seed, antennas, query)
     }
 
     /// Packets per (flat) broadcast cycle.

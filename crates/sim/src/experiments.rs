@@ -8,7 +8,7 @@
 //! (validating all answers), and shapes the resulting cells like the
 //! paper's panels: the x-axis in the first column, one series per curve.
 
-use dsi_broadcast::{ChannelConfig, LossModel};
+use dsi_broadcast::{AntennaConfig, ChannelConfig, LossModel};
 use dsi_core::{DsiConfig, KnnStrategy, ReorgStyle};
 use dsi_datagen::{knn_points, window_queries, zipf_hotspot, SpatialDataset};
 
@@ -88,6 +88,7 @@ impl ExpOptions {
             loss: LossModel::None,
             seed: 7,
             validate: self.validate,
+            ..BatchOptions::default()
         }
     }
 
@@ -98,6 +99,7 @@ impl ExpOptions {
             schemes: Vec::new(),
             capacity,
             channels: vec![("C1".into(), ChannelConfig::single())],
+            antennas: Vec::new(),
             losses: vec![("lossless".into(), LossModel::None)],
             workloads: Vec::new(),
             n_queries: self.n_queries,
@@ -449,11 +451,12 @@ pub fn table1(opts: &ExpOptions) -> Vec<Table> {
     vec![t]
 }
 
-/// Multi-channel scenarios: every scheme × channel configuration × loss ×
-/// workload from the one matrix entry point, with per-channel tuning and
-/// switch counts — the scaling lever the single-channel paper setting
-/// lacks. A second panel runs the Zipf-hotspot skewed scenario (dataset
-/// and queries drawn from the same hotspots).
+/// Multi-channel scenarios: every scheme × channel configuration ×
+/// antenna count × loss × workload from the one matrix entry point, with
+/// per-channel tuning and switch counts — the scaling lever the
+/// single-channel paper setting lacks. A second panel runs the
+/// Zipf-hotspot skewed scenario (dataset and queries drawn from the same
+/// hotspots).
 pub fn channels(opts: &ExpOptions) -> Vec<Table> {
     let ds = opts.dataset();
     let mut spec = opts.spec(64);
@@ -471,6 +474,14 @@ pub fn channels(opts: &ExpOptions) -> Vec<Table> {
         ),
         ("C4-blocked".into(), ChannelConfig::blocked(4, SWITCH_COST)),
         ("C4-stripe".into(), ChannelConfig::striped(4, SWITCH_COST)),
+        (
+            "C4-stripef".into(),
+            ChannelConfig::striped_frames(4, SWITCH_COST),
+        ),
+    ];
+    spec.antennas = vec![
+        ("k1".into(), AntennaConfig::single()),
+        ("k2".into(), AntennaConfig::new(2)),
     ];
     spec.losses = vec![
         ("lossless".into(), LossModel::None),
@@ -503,6 +514,10 @@ pub fn channels(opts: &ExpOptions) -> Vec<Table> {
             ChannelConfig::index_data(4, 1, SWITCH_COST),
         ),
         ("C4-blocked".into(), ChannelConfig::blocked(4, SWITCH_COST)),
+    ];
+    zspec.antennas = vec![
+        ("k1".into(), AntennaConfig::single()),
+        ("k2".into(), AntennaConfig::new(2)),
     ];
     zspec.workloads = vec![
         (
@@ -767,12 +782,12 @@ mod tests {
     fn channels_smoke_covers_all_configs() {
         let tables = channels(&ExpOptions::smoke());
         assert_eq!(tables.len(), 2);
-        // Uniform panel: 3 schemes × 6 channel configs × 2 losses × 2
-        // workloads.
-        assert_eq!(tables[0].rows.len(), 3 * 6 * 2 * 2);
-        // Skewed panel: 3 schemes × 3 channel configs × 1 loss × 2
-        // workloads.
-        assert_eq!(tables[1].rows.len(), 3 * 3 * 2);
+        // Uniform panel: 3 schemes × 7 channel configs × 2 antenna
+        // configs × 2 losses × 2 workloads.
+        assert_eq!(tables[0].rows.len(), 3 * 7 * 2 * 2 * 2);
+        // Skewed panel: 3 schemes × 3 channel configs × 2 antenna
+        // configs × 1 loss × 2 workloads.
+        assert_eq!(tables[1].rows.len(), 3 * 3 * 2 * 2);
         // Per-channel tuning column is populated and splits across
         // channels for a C4 row.
         let c4 = tables[0]
@@ -780,6 +795,8 @@ mod tests {
             .iter()
             .find(|r| r[1] == "C4-split")
             .expect("C4 rows exist");
-        assert_eq!(c4[7].matches(" / ").count(), 3, "four channel columns");
+        assert_eq!(c4[8].matches(" / ").count(), 3, "four channel columns");
+        // Both antenna configurations appear.
+        assert!(tables[0].rows.iter().any(|r| r[2] == "k2"));
     }
 }

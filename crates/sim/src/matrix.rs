@@ -8,7 +8,7 @@
 //! [`MatrixCell`] per combination with channel-aware statistics. Adding a
 //! scenario is a spec entry, not a new drive loop.
 
-use dsi_broadcast::{ChannelConfig, LossModel, Query};
+use dsi_broadcast::{AntennaConfig, ChannelConfig, LossModel, Query};
 use dsi_datagen::{
     knn_points, skewed_knn_points, skewed_window_queries, window_queries, SpatialDataset,
 };
@@ -97,6 +97,9 @@ pub struct MatrixSpec {
     pub capacity: u32,
     /// Channel configurations, with display names.
     pub channels: Vec<(String, ChannelConfig)>,
+    /// Receiver configurations, with display names (the client-side
+    /// multi-antenna axis; `k1` is the classic single receiver).
+    pub antennas: Vec<(String, AntennaConfig)>,
     /// Loss models, with display names.
     pub losses: Vec<(String, LossModel)>,
     /// Workloads: display name, family, and the materialization seed of
@@ -118,6 +121,8 @@ pub struct MatrixCell {
     pub scheme: String,
     /// Channel-configuration display name.
     pub channel: String,
+    /// Receiver-configuration display name.
+    pub antenna: String,
     /// Loss-model display name.
     pub loss: String,
     /// Workload display name.
@@ -136,26 +141,37 @@ pub fn run_matrix(dataset: &SpatialDataset, spec: &MatrixSpec) -> Vec<MatrixCell
         .iter()
         .map(|(name, w, seed)| (name, w.queries(spec.n_queries, *seed)))
         .collect();
+    // An omitted antennas axis means the classic single-receiver client.
+    let single = vec![("k1".to_string(), AntennaConfig::single())];
+    let antennas = if spec.antennas.is_empty() {
+        &single
+    } else {
+        &spec.antennas
+    };
     let mut cells = Vec::new();
     for (scheme_name, scheme) in &spec.schemes {
         for (chan_name, chan) in &spec.channels {
             let engine = Engine::build_channels(*scheme, dataset, spec.capacity, *chan);
-            for (loss_name, loss) in &spec.losses {
-                for (workload_name, queries) in &workloads {
-                    let opts = BatchOptions {
-                        loss: *loss,
-                        seed: spec.seed,
-                        validate: spec.validate,
-                    };
-                    let result = run_query_batch(&engine, dataset, queries, &opts);
-                    cells.push(MatrixCell {
-                        scheme: scheme_name.clone(),
-                        channel: chan_name.clone(),
-                        loss: loss_name.clone(),
-                        workload: (*workload_name).clone(),
-                        n_channels: engine.n_channels(),
-                        result,
-                    });
+            for (ant_name, ant) in antennas {
+                for (loss_name, loss) in &spec.losses {
+                    for (workload_name, queries) in &workloads {
+                        let opts = BatchOptions {
+                            loss: *loss,
+                            seed: spec.seed,
+                            validate: spec.validate,
+                            antennas: *ant,
+                        };
+                        let result = run_query_batch(&engine, dataset, queries, &opts);
+                        cells.push(MatrixCell {
+                            scheme: scheme_name.clone(),
+                            channel: chan_name.clone(),
+                            antenna: ant_name.clone(),
+                            loss: loss_name.clone(),
+                            workload: (*workload_name).clone(),
+                            n_channels: engine.n_channels(),
+                            result,
+                        });
+                    }
                 }
             }
         }
@@ -171,6 +187,7 @@ pub fn cells_table(title: &str, cells: &[MatrixCell]) -> Table {
         vec![
             "scheme".into(),
             "channels".into(),
+            "antennas".into(),
             "loss".into(),
             "workload".into(),
             "latency".into(),
@@ -183,6 +200,7 @@ pub fn cells_table(title: &str, cells: &[MatrixCell]) -> Table {
         t.push_row(vec![
             c.scheme.clone(),
             c.channel.clone(),
+            c.antenna.clone(),
             c.loss.clone(),
             c.workload.clone(),
             fmt_bytes(c.result.latency_bytes),
@@ -218,6 +236,10 @@ mod tests {
                 ("C1".into(), ChannelConfig::single()),
                 ("C2-split".into(), ChannelConfig::index_data(2, 1, 2)),
             ],
+            antennas: vec![
+                ("k1".into(), AntennaConfig::single()),
+                ("k2".into(), AntennaConfig::new(2)),
+            ],
             losses: vec![
                 ("lossless".into(), LossModel::None),
                 ("iid20".into(), LossModel::iid(0.2)),
@@ -241,7 +263,7 @@ mod tests {
             validate: true,
         };
         let cells = run_matrix(&ds, &spec);
-        assert_eq!(cells.len(), 2 * 2 * 2 * 3);
+        assert_eq!(cells.len(), 2 * 2 * 2 * 2 * 3);
         for c in &cells {
             assert_eq!(c.result.queries, 4);
             assert_eq!(
@@ -252,6 +274,26 @@ mod tests {
                 assert_eq!(c.n_channels, 2);
                 assert!(c.result.mean_switches > 0.0, "{c:?}");
             }
+        }
+        // The single-receiver axis entry reproduces the classic client:
+        // every k1 cell on C1 matches its k2 sibling (one channel leaves
+        // a second antenna idle).
+        for k1 in cells
+            .iter()
+            .filter(|c| c.antenna == "k1" && c.channel == "C1")
+        {
+            let k2 = cells
+                .iter()
+                .find(|c| {
+                    c.antenna == "k2"
+                        && c.scheme == k1.scheme
+                        && c.channel == k1.channel
+                        && c.loss == k1.loss
+                        && c.workload == k1.workload
+                })
+                .expect("sibling cell");
+            assert_eq!(k1.result.latency_bytes, k2.result.latency_bytes);
+            assert_eq!(k1.result.tuning_bytes, k2.result.tuning_bytes);
         }
         let t = cells_table("matrix", &cells);
         assert_eq!(t.rows.len(), cells.len());
@@ -267,6 +309,7 @@ mod tests {
             )],
             capacity: 64,
             channels: vec![("C2".into(), ChannelConfig::blocked(2, 1))],
+            antennas: Vec::new(),
             losses: vec![("lossless".into(), LossModel::None)],
             workloads: vec![("3NN".into(), WorkloadSpec::Knn { k: 3 }, 9)],
             n_queries: 3,

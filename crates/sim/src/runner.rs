@@ -4,7 +4,7 @@
 //! channel configuration), any [`Query`] list, any loss model. The window
 //! and kNN entry points are thin workload adapters over it.
 
-use dsi_broadcast::{LossModel, MeanStats, Query, QueryOutcome};
+use dsi_broadcast::{AntennaConfig, LossModel, MeanStats, Query, QueryOutcome};
 use dsi_datagen::SpatialDataset;
 use dsi_geom::{Point, Rect};
 use rand::rngs::StdRng;
@@ -22,6 +22,8 @@ pub struct BatchOptions {
     pub seed: u64,
     /// Cross-check every answer against brute force; panics on mismatch.
     pub validate: bool,
+    /// Receiver configuration handed to every client.
+    pub antennas: AntennaConfig,
 }
 
 impl Default for BatchOptions {
@@ -30,6 +32,7 @@ impl Default for BatchOptions {
             loss: LossModel::None,
             seed: 7,
             validate: true,
+            antennas: AntennaConfig::single(),
         }
     }
 }
@@ -119,10 +122,11 @@ pub fn run_query_batch(
                 dsi_core::hotpath::set_state_path(state_path);
                 for (i, q) in qs.iter().enumerate() {
                     let qi = base + i;
-                    let o = engine.drive(
+                    let o = engine.drive_antennas(
                         starts[qi],
                         opts.loss,
                         opts.seed ^ (qi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        opts.antennas,
                         q,
                     );
                     if opts.validate {

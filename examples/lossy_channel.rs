@@ -33,6 +33,7 @@ fn main() {
                 loss: LossModel::iid(theta),
                 seed: 5,
                 validate: true, // answers stay exact even on a lossy channel
+                ..BatchOptions::default()
             };
             let r = run_knn_batch(&engine, &dataset, &queries, 10, &opts);
             let b = *base.get_or_insert(r.latency_bytes);

@@ -28,6 +28,7 @@ fn main() {
         loss: LossModel::None,
         seed: 5,
         validate: true,
+        ..BatchOptions::default()
     };
 
     let schemes = [
