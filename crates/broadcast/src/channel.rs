@@ -20,7 +20,7 @@
 //! own, possibly shorter, cycle.
 
 /// How the flat cycle's units are assigned to channels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Placement {
     /// Each channel carries one contiguous arc of the flat cycle (arcs
     /// balanced by packet count, split only at unit boundaries). Adjacent
@@ -50,13 +50,27 @@ pub enum Placement {
     /// only to retrieve records.
     IndexData {
         /// Number of leading channels reserved for index units (must be
-        /// `>= 1` and `< channels` when `channels > 1`).
+        /// `>= 1` and `< channels`; the split needs at least two channels
+        /// to mean anything, so `IndexData` rejects `channels == 1`).
         index_channels: u32,
     },
+    /// An arbitrary, fully materialized unit→channel assignment: entry
+    /// `u` names the channel of the `u`-th unit of the flat cycle (units
+    /// in flat order). This is the output format of the workload-aware
+    /// placement optimizer ([`crate::optimize`]); every analytic policy
+    /// above is expressible as an `Explicit` vector. Units keep their
+    /// flat relative order within each channel, so intra-channel
+    /// adjacency (and with it serial-scan locality) is controlled purely
+    /// by the assignment.
+    ///
+    /// [`ChannelLayout::build`] panics if the vector's length differs
+    /// from the cycle's unit count, if any entry names a channel `>=
+    /// channels`, or if some channel receives no unit.
+    Explicit(Vec<u32>),
 }
 
 /// Channel count, placement policy and switch cost of a broadcast.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChannelConfig {
     /// Number of parallel channels `C >= 1`.
     pub channels: u32,
@@ -118,20 +132,31 @@ impl ChannelConfig {
 
     pub(crate) fn validate(&self) {
         assert!(self.channels >= 1, "need at least one channel");
-        if self.channels > 1 {
-            match self.placement {
-                Placement::IndexData { index_channels } => {
-                    assert!(
-                        index_channels >= 1 && index_channels < self.channels,
-                        "index_channels must be in 1..channels, got {index_channels} of {}",
-                        self.channels
-                    );
-                }
-                Placement::StripeFrames(g) => {
-                    assert!(g >= 1, "StripeFrames needs at least one frame per block");
-                }
-                _ => {}
+        // Placement parameters are range-checked even when `channels ==
+        // 1` (where the placement is otherwise ignored): a
+        // `StripeFrames(0)` or an out-of-range `IndexData` is a
+        // malformed configuration regardless of the channel count, and
+        // letting it validate silently masks bugs the moment the channel
+        // count is raised.
+        match &self.placement {
+            Placement::IndexData { index_channels } => {
+                assert!(
+                    *index_channels >= 1 && *index_channels < self.channels,
+                    "index_channels must be in 1..channels, got {index_channels} of {}",
+                    self.channels
+                );
             }
+            Placement::StripeFrames(g) => {
+                assert!(*g >= 1, "StripeFrames needs at least one frame per block");
+            }
+            Placement::Explicit(assignment) => {
+                assert!(
+                    assignment.iter().all(|&c| c < self.channels),
+                    "explicit assignment names a channel >= {}",
+                    self.channels
+                );
+            }
+            Placement::Blocked | Placement::Stripe => {}
         }
     }
 }
@@ -179,6 +204,15 @@ impl ChannelLayout {
                 "cycle must begin at a frame boundary"
             );
         }
+        if let Placement::Explicit(assignment) = &cfg.placement {
+            let units = unit_starts.iter().filter(|&&s| s).count();
+            assert_eq!(
+                assignment.len(),
+                units,
+                "explicit assignment covers {} units but the cycle has {units}",
+                assignment.len()
+            );
+        }
         let c = cfg.channels as usize;
         let mut chan_of = vec![0u32; n];
         let mut chan_pos = vec![0u64; n];
@@ -188,6 +222,8 @@ impl ChannelLayout {
         let mut next_data_chan = 0usize;
         // Frames seen so far (StripeFrames counts them as units stream by).
         let mut frames_seen = 0u64;
+        // Units seen so far (Explicit assignments index by unit ordinal).
+        let mut units_seen = 0usize;
         let mut i = 0usize;
         while i < n {
             let mut end = i + 1;
@@ -197,7 +233,7 @@ impl ChannelLayout {
             if frame_starts[i] {
                 frames_seen += 1;
             }
-            let ch = match cfg.placement {
+            let ch = match &cfg.placement {
                 Placement::Blocked => {
                     // Arc boundaries at multiples of n/C packets: a unit
                     // belongs to the arc its first packet falls into.
@@ -210,11 +246,12 @@ impl ChannelLayout {
                 }
                 Placement::StripeFrames(g) => {
                     // All units of a frame share its channel; the channel
-                    // advances once per `g` frames.
-                    (((frames_seen - 1) / g.max(1) as u64) % c as u64) as usize
+                    // advances once per `g` frames (`g >= 1` is enforced
+                    // by `validate`).
+                    (((frames_seen - 1) / *g as u64) % c as u64) as usize
                 }
                 Placement::IndexData { index_channels } => {
-                    let ic = index_channels as usize;
+                    let ic = *index_channels as usize;
                     if is_index[i] {
                         let ch = next_index_chan;
                         next_index_chan = (next_index_chan + 1) % ic;
@@ -225,7 +262,9 @@ impl ChannelLayout {
                         ch
                     }
                 }
+                Placement::Explicit(assignment) => assignment[units_seen] as usize,
             };
+            units_seen += 1;
             for (p, chan_slot) in chan_of
                 .iter_mut()
                 .zip(chan_pos.iter_mut())
@@ -426,6 +465,80 @@ mod tests {
             &fs,
         );
         assert_eq!(l.chan_of, vec![0, 0, 0, 0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn explicit_assignment_places_units_verbatim() {
+        // Units: [0,1], [2], [3,4,5], [6] → channels 1, 0, 1, 0.
+        let (us, ix) = starts(&[
+            (true, false),
+            (false, false),
+            (true, false),
+            (true, false),
+            (false, false),
+            (false, false),
+            (true, false),
+        ]);
+        let cfg = ChannelConfig {
+            channels: 2,
+            placement: Placement::Explicit(vec![1, 0, 1, 0]),
+            switch_cost: 1,
+        };
+        let l = ChannelLayout::build(&cfg, &us, &ix, &us);
+        assert_eq!(l.chan_of, vec![1, 1, 0, 1, 1, 1, 0]);
+        // Flat order is preserved within each channel; units stay whole.
+        assert_eq!(l.by_channel[0], vec![2, 6]);
+        assert_eq!(l.by_channel[1], vec![0, 1, 3, 4, 5]);
+        assert_eq!(l.chan_pos[4], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "explicit assignment covers")]
+    fn explicit_assignment_must_cover_every_unit() {
+        let (us, ix) = starts(&[(true, false), (true, false), (true, false)]);
+        let cfg = ChannelConfig {
+            channels: 2,
+            placement: Placement::Explicit(vec![0, 1]),
+            switch_cost: 0,
+        };
+        let _ = ChannelLayout::build(&cfg, &us, &ix, &us);
+    }
+
+    #[test]
+    #[should_panic(expected = "names a channel >= 2")]
+    fn explicit_assignment_rejects_out_of_range_channel() {
+        ChannelConfig {
+            channels: 2,
+            placement: Placement::Explicit(vec![0, 2]),
+            switch_cost: 0,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame per block")]
+    fn stripe_frames_zero_is_rejected_even_on_one_channel() {
+        // Placement parameters are checked regardless of the channel
+        // count; before the fix `channels == 1` skipped them entirely.
+        ChannelConfig {
+            channels: 1,
+            placement: Placement::StripeFrames(0),
+            switch_cost: 0,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "index_channels must be in")]
+    fn index_data_is_rejected_on_one_channel() {
+        // An index/data split needs at least two channels; `channels ==
+        // 1` used to validate silently.
+        ChannelConfig {
+            channels: 1,
+            placement: Placement::IndexData { index_channels: 1 },
+            switch_cost: 0,
+        }
+        .validate();
     }
 
     #[test]

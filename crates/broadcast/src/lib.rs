@@ -29,6 +29,11 @@
 //!   layer: every air index exposes its program and window/kNN search
 //!   algorithms through one trait, and one driver owns the
 //!   tune-in/loss/stats loop for all of them.
+//! * [`optimize`] — the workload-aware server-side placement optimizer:
+//!   measure an access-probability profile over the flat schema
+//!   ([`drive_profiled`]), price candidate unit→channel assignments with
+//!   a closed-form air-cost model, and hill-climb to a
+//!   [`Placement::Explicit`] layout that fits the workload.
 //!
 //! The simulator is deterministic under a fixed seed: every stochastic
 //! choice (loss draws) comes from the tuner's own RNG.
@@ -38,6 +43,7 @@
 
 mod channel;
 mod loss;
+pub mod optimize;
 mod program;
 mod scheme;
 mod stats;
@@ -46,6 +52,8 @@ mod tuner;
 pub use channel::{AntennaConfig, ChannelConfig, ChannelStats, Placement};
 pub use loss::{LossModel, LossScope};
 pub use program::{PacketClass, Payload, Program};
-pub use scheme::{drive, drive_antennas, AirScheme, DynScheme, Query, QueryOutcome};
+pub use scheme::{
+    drive, drive_antennas, drive_profiled, AirScheme, DynScheme, Query, QueryOutcome,
+};
 pub use stats::{MeanStats, QueryStats};
 pub use tuner::{PacketLost, Tuner};

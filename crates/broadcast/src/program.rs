@@ -199,6 +199,14 @@ impl<P> Program<P> {
 }
 
 impl<P: Payload> Program<P> {
+    /// Which flat positions begin an indivisible unit (`true` per
+    /// [`Payload::unit_start`]). This is the unit structure the
+    /// multi-channel scheduler and the placement optimizer
+    /// ([`crate::optimize::UnitSchema`]) operate on.
+    pub fn unit_starts(&self) -> Vec<bool> {
+        self.packets.iter().map(|p| p.unit_start()).collect()
+    }
+
     /// Creates a program scheduled over the channels of `cfg`. The packet
     /// sequence is the flat single-channel cycle (the schema clients
     /// address); the scheduler assigns its indivisible units to channels

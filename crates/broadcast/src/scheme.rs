@@ -101,6 +101,41 @@ pub fn drive_antennas<S: AirScheme + ?Sized>(
     }
 }
 
+/// [`drive_antennas`] with per-position access profiling: every read is
+/// additionally counted against its flat schema position in `counts`
+/// (length must equal the program's cycle length). Training a workload
+/// through this and feeding the counts to [`crate::optimize`] is how the
+/// server learns which parts of the schema a workload actually touches.
+pub fn drive_profiled<S: AirScheme + ?Sized>(
+    scheme: &S,
+    start: u64,
+    loss: LossModel,
+    seed: u64,
+    antennas: AntennaConfig,
+    query: &Query,
+    counts: &mut [u64],
+) -> QueryOutcome {
+    assert_eq!(
+        counts.len() as u64,
+        scheme.program().len(),
+        "one counter per flat cycle position"
+    );
+    let mut tuner = Tuner::tune_in_with(scheme.program(), start, loss, seed, antennas);
+    tuner.enable_profiling();
+    let ids = match query {
+        Query::Window(w) => scheme.window(&mut tuner, w),
+        Query::Knn(q, k) => scheme.knn(&mut tuner, *q, *k),
+    };
+    for (c, n) in counts.iter_mut().zip(tuner.access_counts()) {
+        *c += n;
+    }
+    QueryOutcome {
+        ids,
+        stats: tuner.stats(),
+        channels: tuner.channel_stats(),
+    }
+}
+
 /// Packet-type-erased [`AirScheme`], so heterogeneous schemes fit one
 /// `Box<dyn DynScheme>`. Blanket-implemented for every `AirScheme`.
 pub trait DynScheme: Send + Sync {
@@ -118,6 +153,18 @@ pub trait DynScheme: Send + Sync {
         query: &Query,
     ) -> QueryOutcome;
 
+    /// Runs one query through [`drive_profiled`], accumulating reads per
+    /// flat schema position into `counts`.
+    fn drive_profiled(
+        &self,
+        start: u64,
+        loss: LossModel,
+        seed: u64,
+        antennas: AntennaConfig,
+        query: &Query,
+        counts: &mut [u64],
+    ) -> QueryOutcome;
+
     /// Packets per (flat) broadcast cycle.
     fn cycle_packets(&self) -> u64;
 
@@ -126,6 +173,10 @@ pub trait DynScheme: Send + Sync {
 
     /// Number of parallel channels the program is scheduled over.
     fn n_channels(&self) -> u32;
+
+    /// Which flat positions begin an indivisible unit (the structure the
+    /// placement optimizer assigns to channels).
+    fn unit_starts(&self) -> Vec<bool>;
 }
 
 impl<S: AirScheme + Send + Sync> DynScheme for S {
@@ -144,6 +195,18 @@ impl<S: AirScheme + Send + Sync> DynScheme for S {
         drive_antennas(self, start, loss, seed, antennas, query)
     }
 
+    fn drive_profiled(
+        &self,
+        start: u64,
+        loss: LossModel,
+        seed: u64,
+        antennas: AntennaConfig,
+        query: &Query,
+        counts: &mut [u64],
+    ) -> QueryOutcome {
+        drive_profiled(self, start, loss, seed, antennas, query, counts)
+    }
+
     fn cycle_packets(&self) -> u64 {
         self.program().len()
     }
@@ -154,5 +217,9 @@ impl<S: AirScheme + Send + Sync> DynScheme for S {
 
     fn n_channels(&self) -> u32 {
         self.program().n_channels()
+    }
+
+    fn unit_starts(&self) -> Vec<bool> {
+        self.program().unit_starts()
     }
 }

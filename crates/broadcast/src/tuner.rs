@@ -56,6 +56,11 @@ pub struct Tuner<'a, P> {
     /// single-channel tuner stays allocation-free and pays nothing per
     /// read.
     tuning_by_channel: Vec<u64>,
+    /// Per-flat-position read counters, empty unless
+    /// [`Tuner::enable_profiling`] was called. Feeds the workload-aware
+    /// placement optimizer ([`crate::optimize`]): the counts over a
+    /// training workload are its access-probability profile.
+    access_counts: Vec<u64>,
 }
 
 impl<'a, P: Payload> Tuner<'a, P> {
@@ -98,7 +103,21 @@ impl<'a, P: Payload> Tuner<'a, P> {
             } else {
                 Vec::new()
             },
+            access_counts: Vec::new(),
         }
+    }
+
+    /// Starts counting reads per flat schema position (one counter per
+    /// packet of the cycle, retrievable via [`Tuner::access_counts`]).
+    /// Off by default so the hot read path pays nothing for it.
+    pub fn enable_profiling(&mut self) {
+        self.access_counts = vec![0; self.program.len() as usize];
+    }
+
+    /// Reads per flat schema position since [`Tuner::enable_profiling`];
+    /// empty if profiling was never enabled.
+    pub fn access_counts(&self) -> &[u64] {
+        &self.access_counts
     }
 
     /// The broadcast program being listened to.
@@ -113,10 +132,16 @@ impl<'a, P: Payload> Tuner<'a, P> {
         self.pos
     }
 
-    /// Cycle-relative position of the next packet.
+    /// Cycle-relative position of the next packet **on the listened
+    /// channel**: each channel repeats its own cycle of
+    /// [`Program::channel_len`] packets, so the slot about to air on the
+    /// current channel is `pos % channel_len(channel)`. On a
+    /// single-channel program this is the classic flat cycle position.
+    /// (It used to be `pos % program.len()`, which on `C > 1` programs
+    /// was neither the channel slot nor a flat position.)
     #[inline]
     pub fn cycle_pos(&self) -> u64 {
-        self.pos % self.program.len()
+        self.pos % self.program.channel_len(self.channel)
     }
 
     /// Channel currently listened to.
@@ -193,10 +218,20 @@ impl<'a, P: Payload> Tuner<'a, P> {
     /// channel yet) allows.
     #[inline]
     pub fn arrival(&self, flat_pos: u64) -> u64 {
+        self.arrival_from(self.pos, flat_pos)
+    }
+
+    /// [`Tuner::arrival`] from a hypothetical future instant `from`: the
+    /// earliest the packet at `flat_pos` could be read if the client were
+    /// free at `from`, charging the retune delay if no antenna currently
+    /// monitors the target's channel. This is the costing primitive of
+    /// [`Tuner::plan_earliest`]'s conflict model.
+    #[inline]
+    fn arrival_from(&self, from: u64, flat_pos: u64) -> u64 {
         let ready = if self.is_monitored(self.program.channel_of(flat_pos)) {
-            self.pos
+            from
         } else {
-            self.pos + self.program.switch_cost() as u64
+            from + self.program.switch_cost() as u64
         };
         self.program.next_occurrence_on(ready, flat_pos)
     }
@@ -225,10 +260,11 @@ impl<'a, P: Payload> Tuner<'a, P> {
     /// earliest airing can trample the runner-up's airing and push it a
     /// full channel cycle out. When the runner-up airs before the
     /// leader's read completes, both orders are costed by the completion
-    /// of the later read (re-occurrence included; switch costs are a wash
-    /// at that scale) and the cheaper order's first read wins. Arrivals
-    /// are computed once per candidate; `dur` is only consulted for the
-    /// top two. Ties go to the lowest index.
+    /// of the later read — the deferred read's re-occurrence charged
+    /// exactly like [`Tuner::arrival`] (retune delay included when its
+    /// channel is on no antenna) — and the cheaper order's first read
+    /// wins. Arrivals are computed once per candidate; `dur` is only
+    /// consulted for the top two. Ties go to the lowest index.
     pub fn plan_earliest(&self, flats: &[u64], dur: impl Fn(usize) -> u64) -> Option<(usize, u64)> {
         let mut best: Option<(usize, u64)> = None;
         let mut second: Option<(usize, u64)> = None;
@@ -246,8 +282,15 @@ impl<'a, P: Payload> Tuner<'a, P> {
             let dx = dur(x);
             if t_y < t_x + dx {
                 let dy = dur(y);
-                let y_after_x = self.program.next_occurrence_on(t_x + dx, flats[y]) + dy;
-                let x_after_y = self.program.next_occurrence_on(t_y + dy, flats[x]) + dx;
+                // The deferred read re-occurs under the same charging
+                // rules as any other arrival: if its channel is
+                // unmonitored, the retune delay applies. Costing it with
+                // a bare `next_occurrence_on` (the pre-fix behaviour)
+                // understated the deferred side by the switch cost, so a
+                // large `switch_cost` could flip the decision the wrong
+                // way.
+                let y_after_x = self.arrival_from(t_x + dx, flats[y]) + dy;
+                let x_after_y = self.arrival_from(t_y + dy, flats[x]) + dx;
                 if x_after_y < y_after_x {
                     return Some((y, t_y));
                 }
@@ -276,6 +319,10 @@ impl<'a, P: Payload> Tuner<'a, P> {
     #[inline]
     pub fn read(&mut self) -> Result<&'a P, PacketLost> {
         let packet = self.program.packet_at(self.channel, self.pos);
+        if !self.access_counts.is_empty() {
+            let flat = self.program.flat_at(self.channel, self.pos) as usize;
+            self.access_counts[flat] += 1;
+        }
         self.pos += 1;
         self.tuning += 1;
         if let Some(c) = self.tuning_by_channel.get_mut(self.channel as usize) {
@@ -404,6 +451,65 @@ mod tests {
         assert_eq!(t.read_at_cycle_pos(4).unwrap(), &P::Idx(1));
         assert_eq!(t.pos(), 13);
         assert_eq!(t.stats().latency_packets, 8);
+    }
+
+    #[test]
+    fn cycle_pos_is_the_listened_channels_slot() {
+        use crate::channel::ChannelConfig;
+        // Seven one-packet units striped over 3 channels: channel 0
+        // carries flats {0,3,6} (3 slots), channel 2 carries {2,5} (2).
+        let prog = Program::with_channels(
+            64,
+            (0..7).map(P::Idx).collect(),
+            ChannelConfig::striped(3, 1),
+        );
+        let mut t = Tuner::tune_in(&prog, 7, LossModel::None, 1);
+        assert_eq!(t.channel(), 0);
+        // The listened channel's cycle is 3 packets, not the flat 7.
+        assert_eq!(t.cycle_pos(), 7 % 3);
+        assert_eq!(prog.flat_at(t.channel(), t.cycle_pos()), t.flat_pos());
+        assert_ne!(t.cycle_pos(), t.pos() % prog.len(), "pre-fix value");
+        t.goto(5);
+        assert_eq!(t.channel(), 2);
+        assert_eq!(t.pos(), 9);
+        assert_eq!(t.cycle_pos(), 9 % prog.channel_len(2));
+        assert_eq!(prog.flat_at(t.channel(), t.cycle_pos()), 5);
+        assert_ne!(t.cycle_pos(), t.pos() % prog.len(), "pre-fix value");
+    }
+
+    #[test]
+    fn plan_earliest_charges_retune_on_the_deferred_read() {
+        use crate::channel::ChannelConfig;
+        // Sixteen one-packet units blocked over 2 channels (flats 0..8 on
+        // channel 0, 8..16 on channel 1), switch cost 6. From a fresh
+        // client (monitoring channel 0 only): flat 14 airs at t = 6
+        // (retune + slot 6), flat 7 at t = 7 — reading 14 first tramples
+        // 7's airing. Deferring 14 costs a *second* retune; the pre-fix
+        // costing ignored it (completion 16 < 17) and wrongly deferred
+        // the leader, while the arrival-style charge (completion 24)
+        // keeps it first.
+        let prog = Program::with_channels(
+            64,
+            (0..16).map(P::Idx).collect(),
+            ChannelConfig::blocked(2, 6),
+        );
+        let t = Tuner::tune_in(&prog, 0, LossModel::None, 1);
+        assert_eq!(t.arrival(14), 6);
+        assert_eq!(t.arrival(7), 7);
+        assert_eq!(t.plan_earliest(&[14, 7], |_| 2), Some((0, 6)));
+    }
+
+    #[test]
+    fn profiling_counts_reads_per_flat_position() {
+        let prog = program();
+        let mut t = Tuner::tune_in(&prog, 2, LossModel::None, 1);
+        assert!(t.access_counts().is_empty(), "off by default");
+        t.enable_profiling();
+        let _ = t.read(); // flat 2
+        let _ = t.read(); // flat 3
+        t.goto(2);
+        let _ = t.read(); // flat 2 again
+        assert_eq!(t.access_counts(), &[0, 0, 2, 1, 0, 0, 0, 0]);
     }
 
     #[test]

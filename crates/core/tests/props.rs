@@ -398,3 +398,48 @@ fn incremental_path_never_recomputes_from_scratch() {
     assert_eq!(got_w, ds.brute_window(&w));
     assert_eq!(got_k, ds.brute_knn(q, 5));
 }
+
+/// Explicit (optimizer-shaped) placements change scheduling only: a
+/// deliberately scrambled unit→channel assignment — reverse round-robin,
+/// destroying every adjacency the analytic placements preserve — keeps
+/// DSI's window and kNN answers equal to brute force under loss and any
+/// antenna count.
+#[test]
+fn explicit_placement_preserves_answers() {
+    use dsi_broadcast::{AntennaConfig, ChannelConfig, Placement};
+    let ds = SpatialDataset::build(&uniform(220, 7), 8);
+    let cfg = DsiConfig::paper_reorganized().with_capacity(64);
+    let single = DsiAir::build(&ds, cfg);
+    let units = single
+        .program()
+        .unit_starts()
+        .iter()
+        .filter(|&&s| s)
+        .count();
+    const C: u32 = 3;
+    assert!(units >= C as usize);
+    let assignment: Vec<u32> = (0..units).map(|u| (C - 1) - (u as u32 % C)).collect();
+    let air = DsiAir::build_channels(
+        &ds,
+        cfg,
+        ChannelConfig {
+            channels: C,
+            placement: Placement::Explicit(assignment),
+            switch_cost: 3,
+        },
+    );
+    let w = Rect::new(0.15, 0.2, 0.6, 0.7);
+    let q = Point::new(0.4, 0.5);
+    for antennas in [1u32, 2, 3] {
+        for loss in [LossModel::None, LossModel::iid(0.2)] {
+            let ant = AntennaConfig::new(antennas);
+            let mut tuner = Tuner::tune_in_with(air.program(), 11, loss, 5, ant);
+            assert_eq!(air.window_query(&mut tuner, &w), ds.brute_window(&w));
+            let mut tuner = Tuner::tune_in_with(air.program(), 23, loss, 9, ant);
+            assert_eq!(
+                air.knn_query(&mut tuner, q, 5, KnnStrategy::Conservative),
+                ds.brute_knn(q, 5)
+            );
+        }
+    }
+}

@@ -73,3 +73,43 @@ proptest! {
         prop_assert_eq!(air.knn_query(&mut t, q, k), brute_knn(&pts, q, k.min(n)));
     }
 }
+
+/// Explicit (optimizer-shaped) placements change scheduling only: a
+/// scrambled reverse round-robin unit→channel assignment keeps the
+/// R-tree's on-air answers equal to brute force under loss and any
+/// antenna count.
+#[test]
+fn explicit_placement_preserves_answers() {
+    use dsi_broadcast::{AntennaConfig, ChannelConfig, Placement};
+    let pts = points(200, 11);
+    let single = RTreeAir::build(&pts, RtreeAirConfig::new(64));
+    let units = single
+        .program()
+        .unit_starts()
+        .iter()
+        .filter(|&&s| s)
+        .count();
+    const C: u32 = 3;
+    assert!(units >= C as usize);
+    let assignment: Vec<u32> = (0..units).map(|u| (C - 1) - (u as u32 % C)).collect();
+    let air = RTreeAir::build_channels(
+        &pts,
+        RtreeAirConfig::new(64),
+        ChannelConfig {
+            channels: C,
+            placement: Placement::Explicit(assignment),
+            switch_cost: 3,
+        },
+    );
+    let w = Rect::new(0.15, 0.2, 0.6, 0.7);
+    let q = Point::new(0.4, 0.5);
+    for antennas in [1u32, 2, 3] {
+        for loss in [LossModel::None, LossModel::iid(0.2)] {
+            let ant = AntennaConfig::new(antennas);
+            let mut t = Tuner::tune_in_with(air.program(), 11, loss, 5, ant);
+            assert_eq!(air.window_query(&mut t, &w), brute_window(&pts, &w));
+            let mut t = Tuner::tune_in_with(air.program(), 23, loss, 9, ant);
+            assert_eq!(air.knn_query(&mut t, q, 5), brute_knn(&pts, q, 5));
+        }
+    }
+}

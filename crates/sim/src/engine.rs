@@ -114,6 +114,29 @@ impl Engine {
             .drive_antennas(start, loss, seed, antennas, query)
     }
 
+    /// Runs one query while accumulating reads per flat schema position
+    /// into `counts` (length = [`Engine::cycle_packets`]). Training a
+    /// workload through this yields the access-probability profile the
+    /// placement optimizer ([`dsi_broadcast::optimize`]) consumes.
+    pub fn drive_profiled(
+        &self,
+        start: u64,
+        loss: LossModel,
+        seed: u64,
+        antennas: AntennaConfig,
+        query: &Query,
+        counts: &mut [u64],
+    ) -> QueryOutcome {
+        self.scheme
+            .drive_profiled(start, loss, seed, antennas, query, counts)
+    }
+
+    /// Which flat positions begin an indivisible broadcast unit — the
+    /// structure a placement assigns to channels.
+    pub fn unit_starts(&self) -> Vec<bool> {
+        self.scheme.unit_starts()
+    }
+
     /// Packets per (flat) broadcast cycle.
     pub fn cycle_packets(&self) -> u64 {
         self.scheme.cycle_packets()
@@ -194,7 +217,7 @@ mod tests {
             ChannelConfig::index_data(2, 1, 2),
         ] {
             for scheme in [Scheme::dsi_reorganized(64), Scheme::RTree, Scheme::Hci] {
-                let e = Engine::build_channels(scheme, &ds, 64, chan);
+                let e = Engine::build_channels(scheme, &ds, 64, chan.clone());
                 assert_eq!(e.n_channels(), 2);
                 let out = e.drive(31, LossModel::iid(0.2), 9, &Query::Window(w));
                 assert_eq!(out.ids, ds.brute_window(&w), "{chan:?}");

@@ -13,7 +13,7 @@ use dsi_core::{DsiConfig, KnnStrategy, ReorgStyle};
 use dsi_datagen::{knn_points, window_queries, zipf_hotspot, SpatialDataset};
 
 use crate::engine::{Engine, Scheme};
-use crate::matrix::{cells_table, run_matrix, MatrixCell, MatrixSpec, WorkloadSpec};
+use crate::matrix::{cells_table, run_matrix, ChannelSpec, MatrixCell, MatrixSpec, WorkloadSpec};
 use crate::runner::{run_knn_batch, run_window_batch, BatchOptions, BatchResult};
 use crate::table::{fmt_bytes, fmt_pct, Table};
 use crate::{real_dataset, uniform_dataset, uniform_dataset_n};
@@ -98,7 +98,7 @@ impl ExpOptions {
         MatrixSpec {
             schemes: Vec::new(),
             capacity,
-            channels: vec![("C1".into(), ChannelConfig::single())],
+            channels: vec![("C1".into(), ChannelConfig::single().into())],
             antennas: Vec::new(),
             losses: vec![("lossless".into(), LossModel::None)],
             workloads: Vec::new(),
@@ -454,30 +454,50 @@ pub fn table1(opts: &ExpOptions) -> Vec<Table> {
 /// Multi-channel scenarios: every scheme × channel configuration ×
 /// antenna count × loss × workload from the one matrix entry point, with
 /// per-channel tuning and switch counts — the scaling lever the
-/// single-channel paper setting lacks. A second panel runs the
-/// Zipf-hotspot skewed scenario (dataset and queries drawn from the same
-/// hotspots).
+/// single-channel paper setting lacks. Both panels include the
+/// `optimized` placement value: the workload-aware optimizer profiles
+/// the panel's workloads, fits a [`dsi_broadcast::Placement::Explicit`]
+/// assignment, and reports measured next to predicted latency. A second
+/// panel runs the Zipf-hotspot skewed scenario (dataset and queries
+/// drawn from the same hotspots) — the workload where a fitted placement
+/// should beat every fixed one.
 pub fn channels(opts: &ExpOptions) -> Vec<Table> {
+    let optimized = |train_queries: usize| ChannelSpec::Optimized {
+        channels: 4,
+        switch_cost: SWITCH_COST,
+        antennas: AntennaConfig::single(),
+        train_queries,
+    };
     let ds = opts.dataset();
     let mut spec = opts.spec(64);
     spec.schemes = paper_schemes(64);
     spec.channels = vec![
-        ("C1".into(), ChannelConfig::single()),
+        ("C1".into(), ChannelConfig::single().into()),
         (
             "C2-split".into(),
-            ChannelConfig::index_data(2, 1, SWITCH_COST),
+            ChannelConfig::index_data(2, 1, SWITCH_COST).into(),
         ),
-        ("C2-blocked".into(), ChannelConfig::blocked(2, SWITCH_COST)),
+        (
+            "C2-blocked".into(),
+            ChannelConfig::blocked(2, SWITCH_COST).into(),
+        ),
         (
             "C4-split".into(),
-            ChannelConfig::index_data(4, 1, SWITCH_COST),
+            ChannelConfig::index_data(4, 1, SWITCH_COST).into(),
         ),
-        ("C4-blocked".into(), ChannelConfig::blocked(4, SWITCH_COST)),
-        ("C4-stripe".into(), ChannelConfig::striped(4, SWITCH_COST)),
+        (
+            "C4-blocked".into(),
+            ChannelConfig::blocked(4, SWITCH_COST).into(),
+        ),
+        (
+            "C4-stripe".into(),
+            ChannelConfig::striped(4, SWITCH_COST).into(),
+        ),
         (
             "C4-stripef".into(),
-            ChannelConfig::striped_frames(4, SWITCH_COST),
+            ChannelConfig::striped_frames(4, SWITCH_COST).into(),
         ),
+        ("C4-optimized".into(), optimized(opts.n_queries)),
     ];
     spec.antennas = vec![
         ("k1".into(), AntennaConfig::single()),
@@ -508,12 +528,24 @@ pub fn channels(opts: &ExpOptions) -> Vec<Table> {
     let mut zspec = opts.spec(64);
     zspec.schemes = paper_schemes(64);
     zspec.channels = vec![
-        ("C1".into(), ChannelConfig::single()),
+        ("C1".into(), ChannelConfig::single().into()),
         (
             "C4-split".into(),
-            ChannelConfig::index_data(4, 1, SWITCH_COST),
+            ChannelConfig::index_data(4, 1, SWITCH_COST).into(),
         ),
-        ("C4-blocked".into(), ChannelConfig::blocked(4, SWITCH_COST)),
+        (
+            "C4-blocked".into(),
+            ChannelConfig::blocked(4, SWITCH_COST).into(),
+        ),
+        (
+            "C4-stripe".into(),
+            ChannelConfig::striped(4, SWITCH_COST).into(),
+        ),
+        (
+            "C4-stripef".into(),
+            ChannelConfig::striped_frames(4, SWITCH_COST).into(),
+        ),
+        ("C4-optimized".into(), optimized(opts.n_queries)),
     ];
     zspec.antennas = vec![
         ("k1".into(), AntennaConfig::single()),
@@ -782,12 +814,12 @@ mod tests {
     fn channels_smoke_covers_all_configs() {
         let tables = channels(&ExpOptions::smoke());
         assert_eq!(tables.len(), 2);
-        // Uniform panel: 3 schemes × 7 channel configs × 2 antenna
-        // configs × 2 losses × 2 workloads.
-        assert_eq!(tables[0].rows.len(), 3 * 7 * 2 * 2 * 2);
-        // Skewed panel: 3 schemes × 3 channel configs × 2 antenna
+        // Uniform panel: 3 schemes × 8 channel configs (incl. optimized)
+        // × 2 antenna configs × 2 losses × 2 workloads.
+        assert_eq!(tables[0].rows.len(), 3 * 8 * 2 * 2 * 2);
+        // Skewed panel: 3 schemes × 6 channel configs × 2 antenna
         // configs × 1 loss × 2 workloads.
-        assert_eq!(tables[1].rows.len(), 3 * 3 * 2 * 2);
+        assert_eq!(tables[1].rows.len(), 3 * 6 * 2 * 2);
         // Per-channel tuning column is populated and splits across
         // channels for a C4 row.
         let c4 = tables[0]
@@ -798,5 +830,17 @@ mod tests {
         assert_eq!(c4[8].matches(" / ").count(), 3, "four channel columns");
         // Both antenna configurations appear.
         assert!(tables[0].rows.iter().any(|r| r[2] == "k2"));
+        // Optimized rows exist in both panels and carry a predicted
+        // latency; fixed rows do not.
+        for t in &tables {
+            let opt = t
+                .rows
+                .iter()
+                .find(|r| r[1] == "C4-optimized")
+                .expect("optimized rows exist");
+            assert_ne!(opt[9], "-", "optimized rows carry a prediction");
+            let fixed = t.rows.iter().find(|r| r[1] == "C1").expect("C1 rows");
+            assert_eq!(fixed[9], "-");
+        }
     }
 }

@@ -21,7 +21,7 @@ pub mod runner;
 pub mod table;
 
 pub use engine::{Engine, Scheme};
-pub use matrix::{cells_table, run_matrix, MatrixCell, MatrixSpec, WorkloadSpec};
+pub use matrix::{cells_table, run_matrix, ChannelSpec, MatrixCell, MatrixSpec, WorkloadSpec};
 pub use runner::{run_knn_batch, run_query_batch, run_window_batch, BatchOptions, BatchResult};
 pub use table::Table;
 

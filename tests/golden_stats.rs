@@ -73,7 +73,7 @@ fn dataset() -> SpatialDataset {
     SpatialDataset::build(&uniform(300, 42), 9)
 }
 
-fn schemes(ds: &SpatialDataset, chan: ChannelConfig) -> Vec<(&'static str, Box<dyn DynScheme>)> {
+fn schemes(ds: &SpatialDataset, chan: &ChannelConfig) -> Vec<(&'static str, Box<dyn DynScheme>)> {
     let pts: Vec<(u32, Point)> = ds.objects().iter().map(|o| (o.id, o.pos)).collect();
     vec![
         (
@@ -82,7 +82,7 @@ fn schemes(ds: &SpatialDataset, chan: ChannelConfig) -> Vec<(&'static str, Box<d
                 air: DsiAir::build_channels(
                     ds,
                     DsiConfig::paper_reorganized().with_capacity(64),
-                    chan,
+                    chan.clone(),
                 ),
                 strategy: KnnStrategy::Conservative,
             }) as Box<dyn DynScheme>,
@@ -92,12 +92,16 @@ fn schemes(ds: &SpatialDataset, chan: ChannelConfig) -> Vec<(&'static str, Box<d
             Box::new(RTreeAir::build_channels(
                 &pts,
                 RtreeAirConfig::new(64),
-                chan,
+                chan.clone(),
             )),
         ),
         (
             "hci",
-            Box::new(BpAir::build_channels(ds, BpAirConfig::new(64), chan)),
+            Box::new(BpAir::build_channels(
+                ds,
+                BpAirConfig::new(64),
+                chan.clone(),
+            )),
         ),
     ]
 }
@@ -132,7 +136,7 @@ fn single_channel_unified_path_reproduces_pre_refactor_stats() {
     let ds = dataset();
     let windows = window_queries(4, 0.2, 3);
     let points = knn_points(4, 9);
-    let schemes = schemes(&ds, ChannelConfig::single());
+    let schemes = schemes(&ds, &ChannelConfig::single());
     for &(scheme_name, loss_name, kind, qi, latency, tuning) in GOLDEN {
         let loss = match loss_name {
             "none" => LossModel::None,
@@ -174,7 +178,7 @@ fn multi_channel_answers_stay_exact() {
             switch_cost: 2,
         },
     ] {
-        for (name, scheme) in schemes(&ds, chan) {
+        for (name, scheme) in schemes(&ds, &chan) {
             for (loss_name, loss) in [("none", LossModel::None), ("iid30", LossModel::iid(0.3))] {
                 for kind in ["window", "knn"] {
                     for qi in 0..4 {
@@ -209,7 +213,7 @@ fn blocked_channels_shorten_latency_for_window_queries() {
     let windows = window_queries(8, 0.2, 3);
     let mut means = Vec::new();
     for c in [1u32, 4] {
-        let schemes = schemes(&ds, ChannelConfig::blocked(c, 0));
+        let schemes = schemes(&ds, &ChannelConfig::blocked(c, 0));
         let (_, dsi) = &schemes[0];
         let mut total = 0u64;
         for (qi, w) in windows.iter().enumerate() {
@@ -237,7 +241,7 @@ fn drive_reports_channel_switches_under_split() {
     let ds = dataset();
     let windows = window_queries(4, 0.2, 3);
     let chan = ChannelConfig::index_data(2, 1, 1);
-    for (name, scheme) in schemes(&ds, chan) {
+    for (name, scheme) in schemes(&ds, &chan) {
         let out = scheme.drive(17, LossModel::None, 5, &Query::Window(windows[0]));
         assert_eq!(out.ids, ds.brute_window(&windows[0]), "{name}");
         assert!(out.channels.switches > 0, "{name}: no switches recorded");

@@ -311,7 +311,7 @@ pub mod collection {
 /// Everything a property-test file needs, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
         ProptestConfig, Strategy,
     };
 
@@ -360,6 +360,19 @@ macro_rules! __proptest_impl {
 #[macro_export]
 macro_rules! prop_assert {
     ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition
+/// (upstream rejects and resamples; this stand-in simply ends the case,
+/// which preserves semantics at the cost of running fewer effective
+/// cases — fine for the workspace's generous case counts).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
 }
 
 /// Asserts equality inside a property test.
