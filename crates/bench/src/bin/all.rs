@@ -10,4 +10,5 @@ fn main() {
     dsi_bench::run_experiment("real", e::real_summary);
     dsi_bench::run_experiment("ablations", e::ablations);
     dsi_bench::run_experiment("channels", e::channels);
+    dsi_bench::run_experiment("chaos", dsi_sim::chaos::chaos_experiment);
 }

@@ -1,5 +1,5 @@
 //! Perf-tracking harness: measures client query-engine throughput and
-//! writes `BENCH_PR5.json` so later PRs have a trajectory to beat.
+//! writes `BENCH_PR6.json` so later PRs have a trajectory to beat.
 //!
 //! Runs seeded window and 10NN batches over one DSI broadcast twice —
 //! once on the incremental state path and once on the from-scratch
@@ -10,7 +10,7 @@
 //! them), so they compare exactly across PRs.
 //!
 //! `--compare <prev.json>` reads a previous run (e.g. the committed
-//! `BENCH_PR4.json`), prints per-metric deltas, and exits non-zero when
+//! `BENCH_PR5.json`), prints per-metric deltas, and exits non-zero when
 //! any incremental metric regressed by more than
 //! `DSI_BENCH_MAX_REGRESSION` (a fraction, default 0.10) — so CI can keep
 //! both the harness and the perf trajectory honest. Metrics absent from
@@ -18,7 +18,7 @@
 //!
 //! Scale knobs: `DSI_N` (objects, default 10,000), `DSI_QUERIES` (queries
 //! per batch, default 200), `DSI_BENCH_OUT` (output path, default
-//! `BENCH_PR5.json`).
+//! `BENCH_PR6.json`).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -32,7 +32,7 @@ const CAPACITY: u32 = 64;
 const ORDER: u8 = 12;
 const K: usize = 10;
 const WINDOW_RATIO: f64 = 0.1;
-const PR: u32 = 5;
+const PR: u32 = 6;
 
 #[derive(Clone, Copy)]
 struct BatchMetrics {
@@ -246,7 +246,7 @@ fn main() {
     let n_queries = env_usize("DSI_QUERIES", 200);
     assert!(n > 0, "DSI_N must be at least 1");
     assert!(n_queries > 0, "DSI_QUERIES must be at least 1");
-    let out_path = std::env::var("DSI_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR5.json".into());
+    let out_path = std::env::var("DSI_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR6.json".into());
     let args: Vec<String> = std::env::args().collect();
     let compare_path = args
         .iter()

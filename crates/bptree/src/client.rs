@@ -60,10 +60,11 @@ impl Pending {
     /// The planned variant re-derives each item's best readable copy
     /// (replicated path nodes have one copy per covering segment, and the
     /// earliest one changes as time passes) and picks through the tuner's
-    /// duration-aware planner ([`Tuner::plan_earliest`]) — scheduled heap
-    /// keys go stale in both directions as antennas retune, and either
-    /// error costs up to a full channel cycle.
-    fn pop(&mut self, air: &BpAir, tuner: &Tuner<'_, BpPacket>) -> Option<(u8, u32, u64, u64)> {
+    /// duration-aware planner ([`Tuner::plan_resilient`], the loss-aware
+    /// wrapper of [`Tuner::plan_earliest`]) — scheduled heap keys go
+    /// stale in both directions as antennas retune, and either error
+    /// costs up to a full channel cycle.
+    fn pop(&mut self, air: &BpAir, tuner: &mut Tuner<'_, BpPacket>) -> Option<(u8, u32, u64, u64)> {
         match self {
             Pending::Scheduled(heap) => {
                 let Reverse((_, kind, payload, ub, flat)) = heap.pop()?;
@@ -77,7 +78,7 @@ impl Pending {
                 }
                 flats.clear();
                 flats.extend(items.iter().map(|&(_, _, _, flat)| flat));
-                let (pick, _) = tuner.plan_earliest(flats, |i| air.unit_dur(items[i].0))?;
+                let (pick, _) = tuner.plan_resilient(flats, |i| air.unit_dur(items[i].0))?;
                 Some(items.swap_remove(pick))
             }
         }
@@ -242,7 +243,7 @@ impl BpAir {
                 flats.clear();
                 flats.extend(window.iter().map(|&lf| self.node_arrival(tuner, 0, lf).1));
                 let (i, _) = tuner
-                    .plan_earliest(&flats, |_| self.config.node_packets() as u64)
+                    .plan_resilient(&flats, |_| self.config.node_packets() as u64)
                     .expect("window is non-empty");
                 tuner.goto(flats[i]);
                 if self.read_node(tuner).is_ok() {

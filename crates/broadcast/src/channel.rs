@@ -311,12 +311,20 @@ pub struct AntennaConfig {
     /// Number of concurrently tunable receivers, `>= 1`. Capped at the
     /// program's channel count (extra antennas are idle).
     pub antennas: u32,
+    /// Loss-resilience policy (burst detection, loss-aware retune,
+    /// livelock guard). The default reproduces classic behaviour on
+    /// lossless channels bit-for-bit and only engages under observed
+    /// bursts.
+    pub resilience: Resilience,
 }
 
 impl AntennaConfig {
     /// The classic single-receiver client.
     pub fn single() -> Self {
-        Self { antennas: 1 }
+        Self {
+            antennas: 1,
+            resilience: Resilience::default(),
+        }
     }
 
     /// A client with `antennas` receivers.
@@ -326,13 +334,61 @@ impl AntennaConfig {
     /// Panics if `antennas` is zero.
     pub fn new(antennas: u32) -> Self {
         assert!(antennas >= 1, "a client needs at least one antenna");
-        Self { antennas }
+        Self {
+            antennas,
+            resilience: Resilience::default(),
+        }
+    }
+
+    /// Replaces the resilience policy.
+    pub fn with_resilience(mut self, resilience: Resilience) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Disables loss-aware retuning (the wait-out-the-fade ablation
+    /// client: bursts are ridden out at the next occurrence, as a k = 1
+    /// client must).
+    pub fn without_loss_retune(mut self) -> Self {
+        self.resilience.loss_retune = false;
+        self
     }
 }
 
 impl Default for AntennaConfig {
     fn default() -> Self {
         Self::single()
+    }
+}
+
+/// The client's loss-resilience policy.
+///
+/// Burst detection counts consecutive [`crate::PacketLost`] reads; once a
+/// burst reaches `burst_threshold`, a multi-antenna client's resilient
+/// planners (`Tuner::plan_resilient` / `Tuner::earliest_resilient`) bias
+/// the next read away from the fading channel onto another monitored
+/// channel instead of waiting out the fade. A k = 1 client (or a
+/// single-channel program) always falls back to plain next-occurrence
+/// retries, with the retry accounting capped by the livelock guard:
+/// `retry_cap` consecutive losses abort the query with a diagnostic panic
+/// rather than spinning forever on a schedule that never frees the packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resilience {
+    /// Whether a k ≥ 2 client re-plans reads off a fading channel.
+    pub loss_retune: bool,
+    /// Consecutive lost reads before a burst is declared.
+    pub burst_threshold: u32,
+    /// Consecutive lost reads before the livelock guard aborts the query.
+    pub retry_cap: u32,
+}
+
+impl Default for Resilience {
+    fn default() -> Self {
+        Self {
+            loss_retune: true,
+            burst_threshold: 2,
+            retry_cap: 512,
+        }
     }
 }
 
@@ -347,6 +403,10 @@ pub struct ChannelStats {
     pub tuning_packets: Vec<u64>,
     /// Packet capacity, for byte conversion.
     pub capacity: u32,
+    /// Channel switches forced by loss bursts: times the resilient
+    /// planner deviated from the loss-blind pick to dodge a fading
+    /// channel. Zero on lossless channels and for k = 1 clients.
+    pub loss_retunes: u64,
 }
 
 impl ChannelStats {

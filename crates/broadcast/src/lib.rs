@@ -17,9 +17,14 @@
 //!   Time only moves forward; a pointer into the past means waiting for the
 //!   next cycle, which is how the cost of mis-ordered tree traversals
 //!   emerges naturally.
-//! * [`LossModel`] — the error-prone environment of §5: i.i.d. per-packet
-//!   loss with probability θ, optionally scoped to index information (see
-//!   DESIGN.md §3.2 for why the data payload is assumed FEC-protected).
+//! * [`LossModel`] — the error-prone environment: the paper's §5 i.i.d.
+//!   per-packet loss (optionally scoped to index information; see
+//!   DESIGN.md §3.2 for why the data payload is assumed FEC-protected),
+//!   plus the resilience-testing fault models — per-channel keyed i.i.d.
+//!   streams, a bursty Gilbert–Elliott chain per channel, scheduled
+//!   whole-channel outages, and scripted [`FaultTrace`] replay (see the
+//!   [`loss`] module docs for the catalogue and compatibility
+//!   guarantees).
 //! * [`ChannelConfig`] / [`Placement`] — the multi-channel scheduler: the
 //!   flat cycle's indivisible units spread over `C` lockstep channels,
 //!   with a configurable per-switch latency cost and per-channel metrics
@@ -42,18 +47,20 @@
 #![warn(missing_docs)]
 
 mod channel;
-mod loss;
+pub mod loss;
 pub mod optimize;
 mod program;
 mod scheme;
 mod stats;
 mod tuner;
 
-pub use channel::{AntennaConfig, ChannelConfig, ChannelStats, Placement};
-pub use loss::{LossModel, LossScope};
+pub use channel::{AntennaConfig, ChannelConfig, ChannelStats, Placement, Resilience};
+pub use loss::{
+    FaultTrace, GilbertElliott, LossModel, LossScope, OutageSchedule, OutageWindow, TraceEntry,
+};
 pub use program::{PacketClass, Payload, Program};
 pub use scheme::{
-    drive, drive_antennas, drive_profiled, AirScheme, DynScheme, Query, QueryOutcome,
+    drive, drive_antennas, drive_profiled, drive_traced, AirScheme, DynScheme, Query, QueryOutcome,
 };
 pub use stats::{MeanStats, QueryStats};
 pub use tuner::{PacketLost, Tuner};

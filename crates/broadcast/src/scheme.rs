@@ -17,7 +17,7 @@
 use dsi_geom::{Point, Rect};
 
 use crate::channel::{AntennaConfig, ChannelStats};
-use crate::loss::LossModel;
+use crate::loss::{FaultTrace, LossModel};
 use crate::program::{Payload, Program};
 use crate::stats::QueryStats;
 use crate::tuner::Tuner;
@@ -136,6 +136,37 @@ pub fn drive_profiled<S: AirScheme + ?Sized>(
     }
 }
 
+/// [`drive_antennas`] with fault journaling: every read's loss outcome is
+/// recorded and returned as a [`FaultTrace`] alongside the outcome.
+/// Replaying the trace via [`LossModel::Trace`] (same scheme, same start,
+/// same antennas) reproduces the run's loss sequence exactly, with no RNG
+/// involved — the deterministic-reproduction entry point of the fault
+/// harness.
+pub fn drive_traced<S: AirScheme + ?Sized>(
+    scheme: &S,
+    start: u64,
+    loss: LossModel,
+    seed: u64,
+    antennas: AntennaConfig,
+    query: &Query,
+) -> (QueryOutcome, FaultTrace) {
+    let mut tuner = Tuner::tune_in_with(scheme.program(), start, loss, seed, antennas);
+    tuner.enable_fault_recording();
+    let ids = match query {
+        Query::Window(w) => scheme.window(&mut tuner, w),
+        Query::Knn(q, k) => scheme.knn(&mut tuner, *q, *k),
+    };
+    let trace = tuner.fault_trace();
+    (
+        QueryOutcome {
+            ids,
+            stats: tuner.stats(),
+            channels: tuner.channel_stats(),
+        },
+        trace,
+    )
+}
+
 /// Packet-type-erased [`AirScheme`], so heterogeneous schemes fit one
 /// `Box<dyn DynScheme>`. Blanket-implemented for every `AirScheme`.
 pub trait DynScheme: Send + Sync {
@@ -164,6 +195,17 @@ pub trait DynScheme: Send + Sync {
         query: &Query,
         counts: &mut [u64],
     ) -> QueryOutcome;
+
+    /// Runs one query through [`drive_traced`], returning the recorded
+    /// fault journal alongside the outcome.
+    fn drive_traced(
+        &self,
+        start: u64,
+        loss: LossModel,
+        seed: u64,
+        antennas: AntennaConfig,
+        query: &Query,
+    ) -> (QueryOutcome, FaultTrace);
 
     /// Packets per (flat) broadcast cycle.
     fn cycle_packets(&self) -> u64;
@@ -205,6 +247,17 @@ impl<S: AirScheme + Send + Sync> DynScheme for S {
         counts: &mut [u64],
     ) -> QueryOutcome {
         drive_profiled(self, start, loss, seed, antennas, query, counts)
+    }
+
+    fn drive_traced(
+        &self,
+        start: u64,
+        loss: LossModel,
+        seed: u64,
+        antennas: AntennaConfig,
+        query: &Query,
+    ) -> (QueryOutcome, FaultTrace) {
+        drive_traced(self, start, loss, seed, antennas, query)
     }
 
     fn cycle_packets(&self) -> u64 {

@@ -1,7 +1,9 @@
 //! Access latency and tuning time accounting.
 
 /// The two performance metrics of the paper (§2.1), in packets, convertible
-/// to bytes via the packet capacity they were measured under.
+/// to bytes via the packet capacity they were measured under — plus the
+/// robustness counters of the resilience layer (zero on lossless runs, so
+/// classic accounting is unchanged).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct QueryStats {
     /// Packets elapsed from the moment the query was issued until it was
@@ -11,6 +13,15 @@ pub struct QueryStats {
     pub tuning_packets: u64,
     /// Capacity the program was built with, for byte conversion.
     pub capacity: u32,
+    /// Reads corrupted by the link-error model (each forces a retry).
+    pub lost_packets: u64,
+    /// Longest loss stall in packets: the widest span of broadcast time
+    /// from the first lost read of a burst to the end of its last
+    /// consecutive lost read (retry waits included).
+    pub longest_stall_packets: u64,
+    /// Channel retunes forced by loss bursts (see
+    /// [`crate::ChannelStats::loss_retunes`]).
+    pub loss_retunes: u64,
 }
 
 impl QueryStats {
@@ -77,6 +88,7 @@ mod tests {
             latency_packets: 100,
             tuning_packets: 7,
             capacity: 64,
+            ..QueryStats::default()
         };
         assert_eq!(s.latency_bytes(), 6400);
         assert_eq!(s.tuning_bytes(), 448);
@@ -90,11 +102,13 @@ mod tests {
             latency_packets: 10,
             tuning_packets: 2,
             capacity: 32,
+            ..QueryStats::default()
         });
         m.push(QueryStats {
             latency_packets: 30,
             tuning_packets: 4,
             capacity: 32,
+            ..QueryStats::default()
         });
         assert_eq!(m.count(), 2);
         assert_eq!(m.latency_bytes(), 640.0);

@@ -3,9 +3,12 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::channel::{AntennaConfig, ChannelStats};
-use crate::loss::LossModel;
-use crate::program::{Payload, Program};
+use crate::channel::{AntennaConfig, ChannelStats, Resilience};
+use crate::loss::{
+    stream_seed, FaultTrace, GilbertElliott, LossModel, TraceEntry, GE_DRAW_SALT, GE_STATE_SALT,
+    KEYED_DRAW_SALT,
+};
+use crate::program::{PacketClass, Payload, Program};
 use crate::stats::QueryStats;
 
 /// Error returned by [`Tuner::read`] when the packet was corrupted by the
@@ -61,6 +64,92 @@ pub struct Tuner<'a, P> {
     /// placement optimizer ([`crate::optimize`]): the counts over a
     /// training workload are its access-probability profile.
     access_counts: Vec<u64>,
+    /// Per-model fault state (the [`LossModel::None`]/[`LossModel::Iid`]
+    /// arm is the frozen historical draw path; see the loss module docs).
+    fault: FaultDriver,
+    /// Loss-resilience policy (from the [`AntennaConfig`]).
+    resilience: Resilience,
+    /// Total reads corrupted by the link-error model.
+    lost_reads: u64,
+    /// Consecutive lost reads (reset by any successful read).
+    burst: u32,
+    /// Instant of the first lost read of the open burst.
+    stall_start: u64,
+    /// Longest loss stall observed, in packets of broadcast time.
+    longest_stall: u64,
+    /// Retunes forced by loss (resilient planner deviated from the
+    /// loss-blind pick).
+    loss_retunes: u64,
+    /// Per-read fault journal, recorded when
+    /// [`Tuner::enable_fault_recording`] was called.
+    record: Option<Vec<TraceEntry>>,
+}
+
+/// Per-model fault state behind [`Tuner::read`]'s loss decision.
+enum FaultDriver {
+    /// `None`/`Iid`: the historical path — one shared RNG, one draw per
+    /// scoped read, in read order. Frozen bit-for-bit.
+    Classic,
+    /// `KeyedIid`: one draw stream per channel.
+    Keyed { rngs: Vec<StdRng> },
+    /// `Gilbert`: one independent two-state chain per channel.
+    Ge { chains: Vec<GeChain> },
+    /// `Outage`: pure schedule lookup, no state.
+    Outage,
+    /// `Trace`: replay cursor over the recorded entries.
+    Trace { cursor: usize },
+}
+
+/// One channel's Gilbert–Elliott chain. The state trajectory is sampled
+/// lazily over absolute broadcast time from its own keyed stream (one
+/// geometric sojourn draw per transition), so where the chain is at
+/// instant `t` is a pure function of (seed, channel, t) — independent of
+/// when or how often the client reads.
+struct GeChain {
+    /// Currently in the bad (burst) state?
+    bad: bool,
+    /// Absolute instant at which the current state's sojourn ends.
+    until: u64,
+    /// Sojourn-length stream (`GE_STATE_SALT`).
+    state_rng: StdRng,
+    /// Within-state loss-draw stream (`GE_DRAW_SALT`).
+    draw_rng: StdRng,
+}
+
+impl GeChain {
+    fn new(seed: u64, channel: u32, ge: &GilbertElliott) -> Self {
+        let mut state_rng = StdRng::seed_from_u64(stream_seed(seed, channel, GE_STATE_SALT));
+        // Chains start in the good state; the first transition instant is
+        // the initial good sojourn.
+        let until = sojourn(&mut state_rng, ge.p_gb);
+        Self {
+            bad: false,
+            until,
+            state_rng,
+            draw_rng: StdRng::seed_from_u64(stream_seed(seed, channel, GE_DRAW_SALT)),
+        }
+    }
+
+    /// Advances the chain to instant `t` (amortized O(1): one geometric
+    /// draw per state transition).
+    fn advance(&mut self, t: u64, ge: &GilbertElliott) {
+        while self.until <= t {
+            self.bad = !self.bad;
+            let leave = if self.bad { ge.p_bg } else { ge.p_gb };
+            self.until += sojourn(&mut self.state_rng, leave);
+        }
+    }
+}
+
+/// One geometric sojourn length (≥ 1 instants) for a state left with
+/// per-instant probability `leave`.
+fn sojourn(rng: &mut StdRng, leave: f64) -> u64 {
+    if leave >= 1.0 {
+        return 1;
+    }
+    let u: f64 = rng.gen();
+    let len = 1.0 + ((1.0 - u).ln() / (1.0 - leave).ln()).floor();
+    (len as u64).clamp(1, 1 << 32)
 }
 
 impl<'a, P: Payload> Tuner<'a, P> {
@@ -87,6 +176,19 @@ impl<'a, P: Payload> Tuner<'a, P> {
             "a client needs at least one antenna"
         );
         let n_channels = program.n_channels();
+        let fault = match &loss {
+            LossModel::None | LossModel::Iid { .. } => FaultDriver::Classic,
+            LossModel::KeyedIid { .. } => FaultDriver::Keyed {
+                rngs: (0..n_channels)
+                    .map(|c| StdRng::seed_from_u64(stream_seed(seed, c, KEYED_DRAW_SALT)))
+                    .collect(),
+            },
+            LossModel::Gilbert(ge) => FaultDriver::Ge {
+                chains: (0..n_channels).map(|c| GeChain::new(seed, c, ge)).collect(),
+            },
+            LossModel::Outage(_) => FaultDriver::Outage,
+            LossModel::Trace(_) => FaultDriver::Trace { cursor: 0 },
+        };
         Self {
             program,
             start,
@@ -104,7 +206,27 @@ impl<'a, P: Payload> Tuner<'a, P> {
                 Vec::new()
             },
             access_counts: Vec::new(),
+            fault,
+            resilience: antennas.resilience,
+            lost_reads: 0,
+            burst: 0,
+            stall_start: 0,
+            longest_stall: 0,
+            loss_retunes: 0,
+            record: None,
         }
+    }
+
+    /// Starts journaling every read's loss outcome; retrieve the script
+    /// with [`Tuner::fault_trace`] and replay it via [`LossModel::Trace`].
+    pub fn enable_fault_recording(&mut self) {
+        self.record = Some(Vec::new());
+    }
+
+    /// The fault journal recorded since [`Tuner::enable_fault_recording`]
+    /// (empty if recording was never enabled).
+    pub fn fault_trace(&self) -> FaultTrace {
+        FaultTrace::new(self.record.clone().unwrap_or_default())
     }
 
     /// Starts counting reads per flat schema position (one counter per
@@ -299,6 +421,101 @@ impl<'a, P: Payload> Tuner<'a, P> {
         Some((x, t_x))
     }
 
+    /// Consecutive lost reads of the currently open burst (0 after any
+    /// successful read).
+    #[inline]
+    pub fn current_burst(&self) -> u32 {
+        self.burst
+    }
+
+    /// Total reads corrupted by the link-error model since tune-in.
+    #[inline]
+    pub fn lost_reads(&self) -> u64 {
+        self.lost_reads
+    }
+
+    /// Whether the resilient planners are currently biasing picks away
+    /// from the listened channel: a burst of at least
+    /// [`Resilience::burst_threshold`] losses is open, loss-aware retune
+    /// is enabled, and the client has a spare antenna on a multi-channel
+    /// program to dodge with.
+    #[inline]
+    fn fade_active(&self) -> bool {
+        self.resilience.loss_retune
+            && self.antennas > 1
+            && self.program.n_channels() > 1
+            && self.burst >= self.resilience.burst_threshold
+    }
+
+    /// Loss-aware [`Tuner::arrival_earliest`]: identical (and loss-blind —
+    /// it consumes no RNG draws) until burst detection declares a fade on
+    /// the listened channel, then candidates on that channel are costed
+    /// with an exponential backoff (`2^min(burst, 6)` instants) so an
+    /// airing on another monitored channel wins instead of waiting out
+    /// the fade. Deviations from the loss-blind pick are counted in
+    /// [`QueryStats::loss_retunes`]. The returned instant is always the
+    /// chosen candidate's *true* arrival.
+    pub fn earliest_resilient(&mut self, flats: &[u64]) -> Option<(usize, u64)> {
+        if !self.fade_active() {
+            return self.arrival_earliest(flats);
+        }
+        self.pick_avoiding_fade(flats)
+    }
+
+    /// Loss-aware [`Tuner::plan_earliest`]: identical until a fade is
+    /// declared (see [`Tuner::earliest_resilient`]); under a fade the
+    /// dodge dominates duration-conflict costing, so the biased arrival
+    /// pick is used directly.
+    pub fn plan_resilient(
+        &mut self,
+        flats: &[u64],
+        dur: impl Fn(usize) -> u64,
+    ) -> Option<(usize, u64)> {
+        if !self.fade_active() {
+            return self.plan_earliest(flats, dur);
+        }
+        self.pick_avoiding_fade(flats)
+    }
+
+    /// The fade-biased pick: cost candidates on the fading (listened)
+    /// channel as if the client backed off exponentially in the burst
+    /// length before retrying there; candidates on other channels keep
+    /// their true arrivals. The dodge only ever diverts to a *different*
+    /// channel: when the biased winner still lives on the fading channel
+    /// there is nowhere to escape to, and the loss-blind pick stands —
+    /// reordering reads *within* the fading channel would defer each
+    /// skipped candidate by a whole channel cycle for no loss-avoidance
+    /// gain at all.
+    fn pick_avoiding_fade(&mut self, flats: &[u64]) -> Option<(usize, u64)> {
+        let fading = self.channel;
+        let backoff = 1u64 << self.burst.min(6);
+        let mut naive: Option<(usize, u64)> = None;
+        let mut best: Option<(usize, u64, u64)> = None;
+        for (i, &flat) in flats.iter().enumerate() {
+            let real = self.arrival(flat);
+            if naive.is_none_or(|(_, nt)| real < nt) {
+                naive = Some((i, real));
+            }
+            let biased = if self.program.channel_of(flat) == fading {
+                self.arrival_from(self.pos + backoff, flat)
+            } else {
+                real
+            };
+            if best.is_none_or(|(_, bb, _)| biased < bb) {
+                best = Some((i, biased, real));
+            }
+        }
+        let (i, _, real) = best?;
+        if naive.map(|(j, _)| j) == Some(i) {
+            return Some((i, real));
+        }
+        if self.program.channel_of(flats[i]) == fading {
+            return naive;
+        }
+        self.loss_retunes += 1;
+        Some((i, real))
+    }
+
     /// Dozes (and re-tunes an antenna, if no antenna monitors the target's
     /// channel) to the arrival of flat schema position `flat_pos`,
     /// returning the instant reached; the next [`Tuner::read`] receives
@@ -323,16 +540,102 @@ impl<'a, P: Payload> Tuner<'a, P> {
             let flat = self.program.flat_at(self.channel, self.pos) as usize;
             self.access_counts[flat] += 1;
         }
+        let instant = self.pos;
         self.pos += 1;
         self.tuning += 1;
         if let Some(c) = self.tuning_by_channel.get_mut(self.channel as usize) {
             *c += 1;
         }
-        let theta = self.loss.theta_for(packet.class());
-        if theta > 0.0 && self.rng.gen_bool(theta) {
+        let lost = self.decide_loss(packet.class(), instant);
+        if let Some(rec) = self.record.as_mut() {
+            rec.push(TraceEntry {
+                channel: self.channel,
+                instant,
+                lost,
+            });
+        }
+        if lost {
+            self.lost_reads += 1;
+            if self.burst == 0 {
+                self.stall_start = instant;
+            }
+            self.burst += 1;
+            let stall = self.pos - self.stall_start;
+            if stall > self.longest_stall {
+                self.longest_stall = stall;
+            }
+            // The livelock guard: a retry set that stops shrinking shows
+            // up as an unbounded run of consecutive lost reads (each
+            // retry re-reads at the next occurrence and loses again).
+            // Abort with a diagnostic instead of spinning forever — e.g.
+            // under an outage schedule that never frees this packet.
+            if self.burst > self.resilience.retry_cap {
+                panic!(
+                    "livelock guard: {} consecutive lost reads (cap {}) on channel {} \
+                     at instant {} ({} losses total, monitored {:?}) under {:?} — \
+                     the fault schedule never frees this read",
+                    self.burst,
+                    self.resilience.retry_cap,
+                    self.channel,
+                    instant,
+                    self.lost_reads,
+                    self.monitored,
+                    self.loss
+                );
+            }
             Err(PacketLost)
         } else {
+            self.burst = 0;
             Ok(packet)
+        }
+    }
+
+    /// One read's loss verdict at `instant` on the listened channel.
+    /// The `Classic` arm is the frozen historical draw path (`None`/
+    /// `Iid`): θ-gated single draws from the shared RNG in read order.
+    fn decide_loss(&mut self, class: PacketClass, instant: u64) -> bool {
+        match &mut self.fault {
+            FaultDriver::Classic => {
+                let theta = self.loss.theta_for(class);
+                theta > 0.0 && self.rng.gen_bool(theta)
+            }
+            FaultDriver::Keyed { rngs } => {
+                let theta = self.loss.theta_for(class);
+                theta > 0.0 && rngs[self.channel as usize].gen_bool(theta)
+            }
+            FaultDriver::Ge { chains } => {
+                let LossModel::Gilbert(ge) = &self.loss else {
+                    unreachable!("Ge driver is only built for Gilbert models")
+                };
+                let chain = &mut chains[self.channel as usize];
+                chain.advance(instant, ge);
+                let theta = ge.theta_in(chain.bad, class);
+                // A full fade (θ = 1) consumes no draw, so a channel's
+                // draw stream stays aligned across fade severities.
+                theta > 0.0 && (theta >= 1.0 || chain.draw_rng.gen_bool(theta))
+            }
+            FaultDriver::Outage => {
+                let LossModel::Outage(schedule) = &self.loss else {
+                    unreachable!("Outage driver is only built for Outage models")
+                };
+                schedule.is_dark(self.channel, instant)
+            }
+            FaultDriver::Trace { cursor } => {
+                let LossModel::Trace(trace) = &self.loss else {
+                    unreachable!("Trace driver is only built for Trace models")
+                };
+                let entries = trace.entries();
+                if let Some(off) = entries[*cursor..]
+                    .iter()
+                    .position(|e| e.channel == self.channel && e.instant == instant)
+                {
+                    let lost = entries[*cursor + off].lost;
+                    *cursor += off + 1;
+                    lost
+                } else {
+                    false
+                }
+            }
         }
     }
 
@@ -365,6 +668,9 @@ impl<'a, P: Payload> Tuner<'a, P> {
             latency_packets: self.pos - self.start,
             tuning_packets: self.tuning,
             capacity: self.program.capacity(),
+            lost_packets: self.lost_reads,
+            longest_stall_packets: self.longest_stall,
+            loss_retunes: self.loss_retunes,
         }
     }
 
@@ -379,6 +685,7 @@ impl<'a, P: Payload> Tuner<'a, P> {
                 self.tuning_by_channel.clone()
             },
             capacity: self.program.capacity(),
+            loss_retunes: self.loss_retunes,
         }
     }
 }
@@ -386,7 +693,7 @@ impl<'a, P: Payload> Tuner<'a, P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::loss::LossScope;
+    use crate::loss::{LossScope, OutageWindow};
     use crate::program::PacketClass;
 
     #[derive(Debug, Clone, PartialEq)]
@@ -544,10 +851,166 @@ mod tests {
         let prog = program();
         let loss = LossModel::iid(0.5);
         let run = |seed| {
-            let mut t = Tuner::tune_in(&prog, 0, loss, seed);
+            let mut t = Tuner::tune_in(&prog, 0, loss.clone(), seed);
             (0..16).map(|_| t.read().is_ok()).collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8), "different seeds should diverge");
+    }
+
+    /// A cycle of index-class one-packet units (every read draws under
+    /// index-scoped models).
+    fn index_program() -> Program<P> {
+        Program::new(64, (0..8).map(P::Idx).collect())
+    }
+
+    #[test]
+    fn gilbert_is_deterministic_and_bursty() {
+        let prog = index_program();
+        // Certain loss inside a fade: the loss pattern is exactly the
+        // bad-state trajectory, so runs of losses are fades by construction.
+        let ge = GilbertElliott::new(0.2, 0.3, 1.0);
+        let run = |seed| {
+            let mut t = Tuner::tune_in(&prog, 0, LossModel::Gilbert(ge), seed);
+            let seen: Vec<bool> = (0..64).map(|_| t.read().is_ok()).collect();
+            (seen, t.stats())
+        };
+        let (a, sa) = run(3);
+        assert_eq!((a.clone(), sa), run(3), "replayable under its seed");
+        let lost = a.iter().filter(|ok| !**ok).count() as u64;
+        assert_eq!(sa.lost_packets, lost);
+        assert!(lost > 0, "fades hit within 64 reads");
+        assert!(
+            a.windows(2).any(|w| w == [false, false]),
+            "losses arrive in bursts, not singletons only"
+        );
+        assert!(sa.longest_stall_packets >= 2, "stall spans the burst");
+        assert_ne!(a, run(4).0, "different seeds diverge");
+    }
+
+    #[test]
+    fn outage_darkens_exact_instants() {
+        let prog = index_program();
+        let loss = LossModel::outage(vec![OutageWindow {
+            channel: 0,
+            start: 2,
+            len: 3,
+        }]);
+        let mut t = Tuner::tune_in(&prog, 0, loss, 9);
+        let seen: Vec<bool> = (0..8).map(|_| t.read().is_ok()).collect();
+        assert_eq!(
+            seen,
+            vec![true, true, false, false, false, true, true, true],
+            "dark exactly over instants [2, 5)"
+        );
+        let s = t.stats();
+        assert_eq!(s.lost_packets, 3);
+        assert_eq!(s.longest_stall_packets, 3);
+    }
+
+    #[test]
+    fn recorded_trace_replays_identically() {
+        let prog = index_program();
+        let ge = GilbertElliott::new(0.3, 0.4, 0.9);
+        let mut live = Tuner::tune_in(&prog, 1, LossModel::Gilbert(ge), 21);
+        live.enable_fault_recording();
+        let lived: Vec<bool> = (0..48).map(|_| live.read().is_ok()).collect();
+        let trace = live.fault_trace();
+        assert!(lived.iter().any(|ok| !ok), "the run saw losses");
+        // Round-trip the trace through its text format, then replay it.
+        let replayed = FaultTrace::from_text(&trace.to_text()).expect("text round-trip");
+        let mut replay = Tuner::tune_in(&prog, 1, LossModel::Trace(replayed), 999);
+        let replays: Vec<bool> = (0..48).map(|_| replay.read().is_ok()).collect();
+        assert_eq!(lived, replays, "trace replay is seed-independent");
+        assert_eq!(live.stats(), replay.stats());
+    }
+
+    #[test]
+    #[should_panic(expected = "livelock guard")]
+    fn livelock_guard_stops_unbounded_retry() {
+        let prog = index_program();
+        // A permanent outage with a tiny retry cap: the guard must fire
+        // with a diagnostic rather than let the client spin forever.
+        let loss = LossModel::outage(vec![OutageWindow {
+            channel: 0,
+            start: 0,
+            len: u64::MAX / 2,
+        }]);
+        let ant = AntennaConfig::single().with_resilience(Resilience {
+            retry_cap: 4,
+            ..Resilience::default()
+        });
+        let mut t = Tuner::tune_in_with(&prog, 0, loss, 5, ant);
+        for _ in 0..64 {
+            let _ = t.read();
+        }
+    }
+
+    #[test]
+    fn resilient_pick_dodges_the_fading_channel() {
+        use crate::channel::ChannelConfig;
+        // Sixteen one-packet units blocked over 2 channels, free switches:
+        // channel 0 airs flats 0..8, channel 1 airs flats 8..16.
+        let prog = Program::with_channels(
+            64,
+            (0..16).map(P::Idx).collect(),
+            ChannelConfig::blocked(2, 0),
+        );
+        let loss = LossModel::outage(vec![OutageWindow {
+            channel: 0,
+            start: 0,
+            len: 100,
+        }]);
+        let mut t = Tuner::tune_in_with(&prog, 0, loss, 13, AntennaConfig::new(2));
+        assert_eq!(t.read(), Err(PacketLost));
+        assert_eq!(t.read(), Err(PacketLost));
+        assert_eq!(t.current_burst(), 2, "burst detection is armed");
+        // Loss-blind planning still prefers flat 3 (airs at t = 3 on the
+        // fading channel) over flat 9 (t = 9 on channel 1)…
+        assert_eq!(t.arrival_earliest(&[3, 9]), Some((0, 3)));
+        assert_eq!(t.plan_earliest(&[3, 9], |_| 1), Some((0, 3)));
+        // …but the resilient pick dodges to channel 1, reporting flat 9's
+        // *true* arrival, and counts the forced retune.
+        assert_eq!(t.earliest_resilient(&[3, 9]), Some((1, 9)));
+        assert_eq!(t.plan_resilient(&[3, 9], |_| 1), Some((1, 9)));
+        assert_eq!(t.stats().loss_retunes, 2);
+        // A successful read closes the burst and restores blind picks.
+        t.goto(9);
+        assert_eq!(t.read().unwrap(), &P::Idx(9));
+        assert_eq!(t.current_burst(), 0);
+        assert_eq!(t.earliest_resilient(&[3, 12]), t.arrival_earliest(&[3, 12]));
+    }
+
+    #[test]
+    fn keyed_channel0_draws_survive_adding_channels() {
+        use crate::channel::{ChannelConfig, Placement};
+        // Eight one-packet units; both layouts give channel 0 the same
+        // four units, C=4 merely splits the rest across more channels.
+        let explicit = |channels: u32, assignment: Vec<u32>| ChannelConfig {
+            channels,
+            placement: Placement::Explicit(assignment),
+            switch_cost: 1,
+        };
+        let c2 = Program::with_channels(
+            64,
+            (0..8).map(P::Idx).collect(),
+            explicit(2, vec![0, 0, 0, 0, 1, 1, 1, 1]),
+        );
+        let c4 = Program::with_channels(
+            64,
+            (0..8).map(P::Idx).collect(),
+            explicit(4, vec![0, 0, 0, 0, 1, 2, 3, 1]),
+        );
+        let loss = LossModel::keyed_iid(0.5);
+        let draws_on_channel0 = |prog: &Program<P>| {
+            // Camp on channel 0 and read three of its cycles.
+            let mut t = Tuner::tune_in(prog, 0, loss.clone(), 77);
+            (0..12).map(|_| t.read().is_ok()).collect::<Vec<_>>()
+        };
+        assert_eq!(
+            draws_on_channel0(&c2),
+            draws_on_channel0(&c4),
+            "channel 0's loss stream is keyed by (seed, channel), not by C"
+        );
     }
 }

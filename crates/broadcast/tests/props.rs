@@ -5,8 +5,8 @@
 
 use dsi_broadcast::optimize::{AccessProfile, CostModel, UnitSchema};
 use dsi_broadcast::{
-    drive, AirScheme, AntennaConfig, ChannelConfig, LossModel, PacketClass, Payload, Placement,
-    Program, Query, Tuner,
+    drive, AirScheme, AntennaConfig, ChannelConfig, GilbertElliott, LossModel, OutageWindow,
+    PacketClass, Payload, Placement, Program, Query, Tuner,
 };
 use dsi_geom::{Point, Rect};
 use proptest::prelude::*;
@@ -446,6 +446,68 @@ proptest! {
                 "unit {}: measured {} model {}", u, mean, predicted
             );
         }
+    }
+
+    #[test]
+    fn planning_never_peeks_at_the_fault_model(
+        len in 8u64..60,
+        channels in 2u32..5,
+        switch_cost in 0u32..4,
+        antennas in 1u32..4,
+        blocked in any::<bool>(),
+        start in 0u64..1_000,
+        model_sel in 0u8..5,
+        theta in 0.05..0.9f64,
+        seed in any::<u64>(),
+        targets in prop::collection::vec(0u64..60, 2..10),
+    ) {
+        let cfg = if blocked {
+            ChannelConfig::blocked(channels, switch_cost)
+        } else {
+            ChannelConfig::striped(channels, switch_cost)
+        };
+        let prog = multi_channel_program(len, cfg);
+        let loss = match model_sel {
+            0 => LossModel::None,
+            1 => LossModel::iid(theta),
+            2 => LossModel::keyed_iid(theta),
+            3 => LossModel::Gilbert(GilbertElliott::new(0.2, 0.3, theta)),
+            _ => LossModel::outage(vec![OutageWindow { channel: 0, start, len: 16 }]),
+        };
+        let flats: Vec<u64> = targets.iter().map(|&x| x % len).collect();
+        let dur = |i: usize| (i as u64 % 3) + 1;
+
+        // The loss-blind planners decide identically under every fault
+        // model: swapping the model changes nothing about planning.
+        let lossless = Tuner::tune_in_with(
+            &prog, start, LossModel::None, seed, AntennaConfig::new(antennas),
+        );
+        let lossy = Tuner::tune_in_with(
+            &prog, start, loss.clone(), seed, AntennaConfig::new(antennas),
+        );
+        prop_assert_eq!(lossless.arrival_earliest(&flats), lossy.arrival_earliest(&flats));
+        prop_assert_eq!(lossless.plan_earliest(&flats, dur), lossy.plan_earliest(&flats, dur));
+
+        // And planning consumes no loss draws: interleaving planner calls
+        // (including the resilient wrappers) between reads leaves the
+        // loss outcome of every subsequent read untouched.
+        let run = |plan: bool| {
+            let mut t = Tuner::tune_in_with(
+                &prog, start, loss.clone(), seed, AntennaConfig::new(antennas),
+            );
+            (0..24)
+                .map(|_| {
+                    if plan {
+                        let _ = t.arrival_earliest(&flats);
+                        let _ = t.plan_earliest(&flats, dur);
+                        let _ = t.earliest_resilient(&flats);
+                        let _ = t.plan_resilient(&flats, dur);
+                    }
+                    t.read().is_ok()
+                })
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(false), run(true), "a planner consumed a loss draw");
     }
 
     #[test]

@@ -190,8 +190,18 @@ pub(crate) fn run_query<M: QueryMode>(
     loop {
         fuel -= 1;
         if fuel == 0 {
-            debug_assert!(false, "DSI query did not terminate");
-            break;
+            // Livelock guard: a stuck retry set shows up here (and as a
+            // run of consecutive losses in the tuner's own guard). Abort
+            // with a diagnostic instead of returning a silently partial
+            // answer.
+            panic!(
+                "DSI query did not terminate: fuel exhausted at instant {} \
+                 ({} retries pending over {} slots, {} packets lost)",
+                tuner.pos(),
+                state.retries.total(),
+                state.retries.iter_slots().count(),
+                tuner.lost_reads(),
+            );
         }
         let just_read_table = match pending {
             Pending::Table(slot) => {
@@ -352,7 +362,7 @@ fn visit_frame<M: QueryMode>(
             visit_flats.clear();
             visit_flats.extend(visit.iter().map(|&(idx, _)| l.header_packet(slot, idx)));
             let (i, _) = tuner
-                .arrival_earliest(visit_flats)
+                .earliest_resilient(visit_flats)
                 .expect("visit plan is non-empty");
             let (idx, is_retry) = visit.swap_remove(i);
             if visit_header(
@@ -410,7 +420,7 @@ fn visit_header<M: QueryMode>(
                 if read_payload(tuner, payload_packets) {
                     mode.on_retrieved(o);
                 } else {
-                    state.retries.insert(slot, idx);
+                    state.retries.insert(slot, idx, n_obj);
                 }
             }
             !is_retry && o.hc > max_hi
@@ -419,7 +429,7 @@ fn visit_header<M: QueryMode>(
             if !is_retry {
                 state.note_attempted(t, n_obj, idx);
             }
-            state.retries.insert(slot, idx);
+            state.retries.insert(slot, idx, n_obj);
             false
         }
     }
@@ -591,7 +601,7 @@ fn navigate<M: QueryMode>(
     let pick = if tuner.antennas() > 1 && nav_flats.len() > 1 {
         // Multi-antenna: run the duration-aware planner instead (top-2
         // conflict costing; one plan can trample the runner-up's airing).
-        let (j, _) = tuner.plan_earliest(nav_flats, |j| {
+        let (j, _) = tuner.plan_resilient(nav_flats, |j| {
             plan_duration(l, state, &nav_plans[j], nav_flats[j])
         })?;
         j

@@ -265,8 +265,31 @@ impl Retries {
         self.total == 0
     }
 
+    /// Total pending re-fetches over all slots.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
     /// Marks object `idx` of broadcast slot `slot` as needing a re-fetch.
-    pub fn insert(&mut self, slot: u32, idx: u32) {
+    ///
+    /// `n_obj` is the slot's live object count — the growth cap: a slot's
+    /// retry set holds at most one entry per object the slot carries, so
+    /// under sustained loss the set is bounded by the live remainders
+    /// instead of growing silently.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a diagnostic if `idx` is not a live object index of the
+    /// slot (`idx >= n_obj`) — that retry could never be satisfied and
+    /// would leak forever.
+    pub fn insert(&mut self, slot: u32, idx: u32, n_obj: u32) {
+        assert!(
+            idx < n_obj,
+            "retry cap: object index {idx} is outside slot {slot}'s {n_obj} \
+             live objects ({} retries pending) — an unsatisfiable retry \
+             would leak forever",
+            self.total
+        );
         match self.slots.binary_search_by_key(&slot, |s| s.slot) {
             Ok(si) => {
                 let idxs = &mut self.slots[si].idxs;
@@ -274,6 +297,10 @@ impl Retries {
                     idxs.insert(pos, idx);
                     self.total += 1;
                 }
+                debug_assert!(
+                    idxs.len() <= n_obj as usize,
+                    "slot {slot} retry set exceeded its {n_obj} live objects"
+                );
             }
             Err(si) => {
                 self.slots.insert(
@@ -881,11 +908,12 @@ mod tests {
     fn retries_sorted_per_slot() {
         let mut r = Retries::new();
         assert!(r.is_empty());
-        r.insert(3, 1);
-        r.insert(2, 0);
-        r.insert(3, 0);
-        r.insert(3, 1); // duplicate ignored
+        r.insert(3, 1, 2);
+        r.insert(2, 0, 1);
+        r.insert(3, 0, 2);
+        r.insert(3, 1, 2); // duplicate ignored
         assert!(!r.is_empty());
+        assert_eq!(r.total(), 3);
         assert_eq!(r.for_slot(3), &[0, 1]);
         assert_eq!(r.for_slot(2), &[0]);
         assert_eq!(r.for_slot(9), &[] as &[u32]);
@@ -896,7 +924,30 @@ mod tests {
         r.remove(3, 1);
         r.remove(2, 0);
         assert!(r.is_empty());
+        assert_eq!(r.total(), 0);
         assert_eq!(r.iter_slots().count(), 0);
+    }
+
+    #[test]
+    fn retries_stay_bounded_by_live_remainders() {
+        // Sustained loss re-inserts the same live indices cycle after
+        // cycle: the per-slot set must stay capped at the slot's object
+        // count, never growing with the number of loss events.
+        let mut r = Retries::new();
+        for _cycle in 0..100 {
+            for idx in 0..4 {
+                r.insert(7, idx, 4);
+            }
+        }
+        assert_eq!(r.total(), 4);
+        assert_eq!(r.for_slot(7), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "retry cap")]
+    fn retries_reject_dead_indices() {
+        let mut r = Retries::new();
+        r.insert(7, 4, 4); // index 4 of a 4-object slot can never resolve
     }
 
     #[test]

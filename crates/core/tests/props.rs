@@ -187,7 +187,7 @@ proptest! {
         hotpath::with_state_path(StatePath::Audit, || {
             // Window run: audited against the oracle after every event.
             let w = Rect::window_in_unit_square(Point::new(cx, cy), side);
-            let mut tuner = Tuner::tune_in(air.program(), start, loss, start_seed);
+            let mut tuner = Tuner::tune_in(air.program(), start, loss.clone(), start_seed);
             let got = air.window_query(&mut tuner, &w);
             assert_eq!(got, ds.brute_window(&w));
 
@@ -433,7 +433,7 @@ fn explicit_placement_preserves_answers() {
     for antennas in [1u32, 2, 3] {
         for loss in [LossModel::None, LossModel::iid(0.2)] {
             let ant = AntennaConfig::new(antennas);
-            let mut tuner = Tuner::tune_in_with(air.program(), 11, loss, 5, ant);
+            let mut tuner = Tuner::tune_in_with(air.program(), 11, loss.clone(), 5, ant);
             assert_eq!(air.window_query(&mut tuner, &w), ds.brute_window(&w));
             let mut tuner = Tuner::tune_in_with(air.program(), 23, loss, 9, ant);
             assert_eq!(

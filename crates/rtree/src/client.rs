@@ -93,10 +93,11 @@ impl Pending {
     /// The planned variant re-derives each item's best readable copy
     /// (replicated path nodes have one copy per covering segment, and the
     /// earliest one changes as time passes) and picks through the tuner's
-    /// duration-aware planner ([`Tuner::plan_earliest`]) — scheduled heap
-    /// keys go stale in both directions as antennas retune, and either
-    /// error costs up to a full channel cycle.
-    fn pop(&mut self, air: &RTreeAir, tuner: &Tuner<'_, RtPacket>) -> Option<(Item, u64)> {
+    /// duration-aware planner ([`Tuner::plan_resilient`], the loss-aware
+    /// wrapper of [`Tuner::plan_earliest`]) — scheduled heap keys go
+    /// stale in both directions as antennas retune, and either error
+    /// costs up to a full channel cycle.
+    fn pop(&mut self, air: &RTreeAir, tuner: &mut Tuner<'_, RtPacket>) -> Option<(Item, u64)> {
         match self {
             Pending::Scheduled(heap) => {
                 let Reverse((_, kind, payload, flat)) = heap.pop()?;
@@ -110,7 +111,7 @@ impl Pending {
                 }
                 flats.clear();
                 flats.extend(items.iter().map(|&(_, _, flat)| flat));
-                let (pick, _) = tuner.plan_earliest(flats, |i| air.unit_dur(items[i].0))?;
+                let (pick, _) = tuner.plan_resilient(flats, |i| air.unit_dur(items[i].0))?;
                 let (kind, payload, flat) = items.swap_remove(pick);
                 Some((decode(kind, payload), flat))
             }

@@ -106,7 +106,7 @@ fn explicit_placement_preserves_answers() {
     for antennas in [1u32, 2, 3] {
         for loss in [LossModel::None, LossModel::iid(0.2)] {
             let ant = AntennaConfig::new(antennas);
-            let mut t = Tuner::tune_in_with(air.program(), 11, loss, 5, ant);
+            let mut t = Tuner::tune_in_with(air.program(), 11, loss.clone(), 5, ant);
             assert_eq!(air.window_query(&mut t, &w), brute_window(&pts, &w));
             let mut t = Tuner::tune_in_with(air.program(), 23, loss, 9, ant);
             assert_eq!(air.knn_query(&mut t, q, 5), brute_knn(&pts, q, 5));

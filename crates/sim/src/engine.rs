@@ -9,7 +9,7 @@
 
 use dsi_bptree::{BpAir, BpAirConfig};
 use dsi_broadcast::{
-    AntennaConfig, ChannelConfig, DynScheme, LossModel, Query, QueryOutcome, QueryStats,
+    AntennaConfig, ChannelConfig, DynScheme, FaultTrace, LossModel, Query, QueryOutcome, QueryStats,
 };
 use dsi_core::{DsiAir, DsiConfig, DsiScheme, KnnStrategy};
 use dsi_datagen::SpatialDataset;
@@ -129,6 +129,21 @@ impl Engine {
     ) -> QueryOutcome {
         self.scheme
             .drive_profiled(start, loss, seed, antennas, query, counts)
+    }
+
+    /// Runs one query while journaling every read's loss outcome,
+    /// returning the recorded [`FaultTrace`] alongside the outcome. The
+    /// trace replays the run exactly via [`LossModel::Trace`], on any
+    /// seed.
+    pub fn drive_traced(
+        &self,
+        start: u64,
+        loss: LossModel,
+        seed: u64,
+        antennas: AntennaConfig,
+        query: &Query,
+    ) -> (QueryOutcome, FaultTrace) {
+        self.scheme.drive_traced(start, loss, seed, antennas, query)
     }
 
     /// Which flat positions begin an indivisible broadcast unit — the

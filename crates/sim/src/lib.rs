@@ -14,12 +14,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod engine;
 pub mod experiments;
 pub mod matrix;
 pub mod runner;
 pub mod table;
 
+pub use chaos::{chaos_spec, retune_ablation, run_chaos, AblationResult};
 pub use engine::{Engine, Scheme};
 pub use matrix::{cells_table, run_matrix, ChannelSpec, MatrixCell, MatrixSpec, WorkloadSpec};
 pub use runner::{run_knn_batch, run_query_batch, run_window_batch, BatchOptions, BatchResult};

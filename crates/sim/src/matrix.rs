@@ -517,7 +517,7 @@ pub fn run_matrix(dataset: &SpatialDataset, spec: &MatrixSpec) -> Vec<MatrixCell
                 for (loss_name, loss) in &spec.losses {
                     for (wi, (workload_name, queries)) in workloads.iter().enumerate() {
                         let opts = BatchOptions {
-                            loss: *loss,
+                            loss: loss.clone(),
                             seed: spec.seed,
                             validate: spec.validate,
                             antennas: *ant,
@@ -544,7 +544,9 @@ pub fn run_matrix(dataset: &SpatialDataset, spec: &MatrixSpec) -> Vec<MatrixCell
 /// Renders matrix cells as one table with channel-aware columns
 /// (per-channel tuning joined as `a / b / …`; the `predicted` column
 /// carries the cost model's latency estimate for optimized placements,
-/// `-` elsewhere).
+/// `-` elsewhere). The trailing robustness columns report the batch's
+/// loss behaviour: mean reads lost per query, the longest stall any
+/// query saw (packets), and mean loss-forced retunes per query.
 pub fn cells_table(title: &str, cells: &[MatrixCell]) -> Table {
     let mut t = Table::new(
         title,
@@ -559,6 +561,9 @@ pub fn cells_table(title: &str, cells: &[MatrixCell]) -> Table {
             "switches".into(),
             "tuning/channel".into(),
             "predicted".into(),
+            "lost/query".into(),
+            "max stall".into(),
+            "loss retunes".into(),
         ],
     );
     for c in cells {
@@ -579,6 +584,9 @@ pub fn cells_table(title: &str, cells: &[MatrixCell]) -> Table {
                 .join(" / "),
             c.predicted_latency_bytes
                 .map_or_else(|| "-".to_string(), fmt_bytes),
+            format!("{:.2}", c.result.mean_lost_packets),
+            format!("{}", c.result.max_stall_packets),
+            format!("{:.2}", c.result.mean_loss_retunes),
         ]);
     }
     t
@@ -736,8 +744,11 @@ mod tests {
             }
         }
         let t = cells_table("matrix", &cells);
-        assert_eq!(t.columns.last().map(String::as_str), Some("predicted"));
+        assert_eq!(t.columns.last().map(String::as_str), Some("loss retunes"));
+        assert_eq!(t.columns[9], "predicted");
         assert!(t.rows.iter().any(|r| r[9] != "-"));
         assert!(t.rows.iter().any(|r| r[9] == "-"));
+        // Lossless cells report an all-quiet robustness tail.
+        assert!(t.rows.iter().all(|r| r[10] == "0.00" && r[11] == "0"));
     }
 }

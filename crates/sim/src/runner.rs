@@ -13,7 +13,7 @@ use rand::{Rng, SeedableRng};
 use crate::engine::Engine;
 
 /// Batch configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BatchOptions {
     /// Link-error model handed to every client.
     pub loss: LossModel,
@@ -50,11 +50,20 @@ pub struct BatchResult {
     pub mean_switches: f64,
     /// Mean tuning time per channel, bytes (length = channel count).
     pub per_channel_tuning_bytes: Vec<f64>,
+    /// Mean reads lost to the link-error model per query (retries).
+    pub mean_lost_packets: f64,
+    /// Longest loss stall of any query, in packets of broadcast time.
+    pub max_stall_packets: u64,
+    /// Mean retunes forced by loss bursts per query.
+    pub mean_loss_retunes: f64,
 }
 
 fn aggregate(outcomes: Vec<QueryOutcome>) -> BatchResult {
     let mut m = MeanStats::default();
     let mut switches = 0u64;
+    let mut lost = 0u64;
+    let mut max_stall = 0u64;
+    let mut retunes = 0u64;
     let channels = outcomes
         .first()
         .map_or(1, |o| o.channels.tuning_packets.len());
@@ -63,6 +72,9 @@ fn aggregate(outcomes: Vec<QueryOutcome>) -> BatchResult {
     for o in &outcomes {
         m.push(o.stats);
         switches += o.channels.switches;
+        lost += o.stats.lost_packets;
+        max_stall = max_stall.max(o.stats.longest_stall_packets);
+        retunes += o.stats.loss_retunes;
         for (c, sum) in per_channel.iter_mut().enumerate() {
             *sum += o.channels.tuning_bytes(c) as f64 / n;
         }
@@ -73,6 +85,9 @@ fn aggregate(outcomes: Vec<QueryOutcome>) -> BatchResult {
         queries: m.count(),
         mean_switches: switches as f64 / n,
         per_channel_tuning_bytes: per_channel,
+        mean_lost_packets: lost as f64 / n,
+        max_stall_packets: max_stall,
+        mean_loss_retunes: retunes as f64 / n,
     }
 }
 
@@ -124,7 +139,7 @@ pub fn run_query_batch(
                     let qi = base + i;
                     let o = engine.drive_antennas(
                         starts[qi],
-                        opts.loss,
+                        opts.loss.clone(),
                         opts.seed ^ (qi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                         opts.antennas,
                         q,

@@ -23,7 +23,8 @@ use dsi::broadcast::optimize::{
     optimize_placement, read_runs, AccessProfile, OptimizeOptions, UnitSchema,
 };
 use dsi::broadcast::{
-    AntennaConfig, ChannelConfig, DynScheme, LossModel, Placement, Query, QueryOutcome,
+    AntennaConfig, ChannelConfig, DynScheme, GilbertElliott, LossModel, OutageSchedule,
+    OutageWindow, Placement, Query, QueryOutcome,
 };
 use dsi::core::{DsiAir, DsiConfig, DsiScheme, KnnStrategy};
 use dsi::datagen::{knn_points, uniform, window_queries, SpatialDataset};
@@ -148,8 +149,15 @@ fn answers_match_oracle_and_antennas_never_slow_the_batch() {
                         .enumerate()
                     {
                         for qi in 0..NQ {
-                            let out =
-                                run(scheme.as_ref(), loss, antennas, kind, qi, &windows, &points);
+                            let out = run(
+                                scheme.as_ref(),
+                                loss.clone(),
+                                antennas,
+                                kind,
+                                qi,
+                                &windows,
+                                &points,
+                            );
                             let want = match kind {
                                 "window" => ds.brute_window(&windows[qi]),
                                 _ => ds.brute_knn(points[qi], K),
@@ -189,6 +197,101 @@ fn answers_match_oracle_and_antennas_never_slow_the_batch() {
                 mean_latency[1],
                 mean_latency[0]
             );
+        }
+    }
+}
+
+/// The fault-model loss axis of the robustness grid: one bursty
+/// Gilbert–Elliott channel (mean fade 4 packets, 90% loss inside a
+/// fade), one periodic two-channel outage schedule, and the keyed
+/// per-(query, channel) i.i.d. streams.
+fn fault_grid() -> Vec<(&'static str, LossModel)> {
+    vec![
+        (
+            "gilbert",
+            LossModel::Gilbert(GilbertElliott::new(0.02, 0.25, 0.9)),
+        ),
+        (
+            // Prime period: a recurring packet's airing drifts through
+            // every residue of the period (unless 509 divides the channel
+            // cycle), so retries of an object caught by one window always
+            // escape it eventually — no resonance livelock.
+            "outage",
+            LossModel::Outage(OutageSchedule::periodic(
+                vec![
+                    OutageWindow {
+                        channel: 0,
+                        start: 48,
+                        len: 24,
+                    },
+                    OutageWindow {
+                        channel: 1,
+                        start: 304,
+                        len: 24,
+                    },
+                ],
+                509,
+            )),
+        ),
+        ("keyed10", LossModel::keyed_iid(0.10)),
+    ]
+}
+
+/// The robustness counterpart of the oracle test: under bursty
+/// Gilbert–Elliott fades, scheduled whole-channel outages, and keyed
+/// i.i.d. streams, every scheme × placement × C × antenna cell still
+/// answers exactly the brute-force result, terminates (the livelock
+/// guard would panic otherwise), and keeps its per-channel tuning
+/// reconciled. Loss-aware retunes only ever happen on k = 2 clients
+/// with somewhere to dodge to.
+#[test]
+fn answers_survive_bursty_faults_across_the_grid() {
+    const NQ: usize = 4;
+    let ds = dataset();
+    let windows = window_queries(NQ, 0.2, 3);
+    let points = knn_points(NQ, 9);
+    for (cname, chan) in channel_grid() {
+        for (sname, scheme) in schemes(&ds, &chan) {
+            for (lname, loss) in fault_grid() {
+                for kind in ["window", "knn"] {
+                    for antennas in [AntennaConfig::single(), AntennaConfig::new(2)] {
+                        for qi in 0..NQ {
+                            let out = run(
+                                scheme.as_ref(),
+                                loss.clone(),
+                                antennas,
+                                kind,
+                                qi,
+                                &windows,
+                                &points,
+                            );
+                            let want = match kind {
+                                "window" => ds.brute_window(&windows[qi]),
+                                _ => ds.brute_knn(points[qi], K),
+                            };
+                            assert_eq!(
+                                out.ids, want,
+                                "{sname}/{cname}/k{}/{lname}/{kind} q{qi} diverged from oracle",
+                                antennas.antennas
+                            );
+                            assert_eq!(
+                                out.channels.tuning_packets.iter().sum::<u64>(),
+                                out.stats.tuning_packets
+                            );
+                            if antennas.antennas == 1 || chan.channels == 1 {
+                                assert_eq!(
+                                    out.stats.loss_retunes, 0,
+                                    "{sname}/{cname}/{lname}: nowhere to dodge, yet retuned"
+                                );
+                            }
+                            assert!(
+                                out.stats.longest_stall_packets <= out.stats.latency_packets,
+                                "stall cannot exceed the query's own span"
+                            );
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -1519,8 +1622,15 @@ fn optimized_placements_preserve_answers_across_the_grid() {
                 for antennas in [AntennaConfig::single(), AntennaConfig::new(2)] {
                     for kind in ["window", "knn"] {
                         for qi in 0..NQ {
-                            let out =
-                                run(scheme.as_ref(), loss, antennas, kind, qi, &windows, &points);
+                            let out = run(
+                                scheme.as_ref(),
+                                loss.clone(),
+                                antennas,
+                                kind,
+                                qi,
+                                &windows,
+                                &points,
+                            );
                             let want = match kind {
                                 "window" => ds.brute_window(&windows[qi]),
                                 _ => ds.brute_knn(points[qi], K),

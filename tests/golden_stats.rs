@@ -182,7 +182,7 @@ fn multi_channel_answers_stay_exact() {
             for (loss_name, loss) in [("none", LossModel::None), ("iid30", LossModel::iid(0.3))] {
                 for kind in ["window", "knn"] {
                     for qi in 0..4 {
-                        let out = run(scheme.as_ref(), loss, kind, qi, &windows, &points);
+                        let out = run(scheme.as_ref(), loss.clone(), kind, qi, &windows, &points);
                         let want = match kind {
                             "window" => ds.brute_window(&windows[qi]),
                             _ => ds.brute_knn(points[qi], K),
