@@ -1,0 +1,124 @@
+//! Static verification gate: builds the scheme × placement × channel grid
+//! at small N, runs the `dsi-verify` analyzer over every program, smokes
+//! the derived worst-case bounds against measured lossless maxima, and
+//! writes a machine-readable report to `results/verify.json`.
+//!
+//! Exit status is nonzero on any violation, rejected build, or bound
+//! breach, so CI can gate on it the same way it gates on clippy. Scale
+//! comes from `DSI_N` (default 300 objects).
+
+use std::process::ExitCode;
+
+use dsi_broadcast::{ChannelConfig, LossModel, Query};
+use dsi_core::KnnStrategy;
+use dsi_datagen::{knn_points, window_queries, SpatialDataset};
+use dsi_sim::{Engine, Scheme};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let n = env_usize("DSI_N", 300);
+    let ds = SpatialDataset::build(&dsi_datagen::uniform(n, 42), 10);
+    let schemes = [
+        ("DSI-reorg", Scheme::dsi_reorganized(64)),
+        ("DSI", Scheme::dsi_original(64, KnnStrategy::Conservative)),
+        ("R-tree", Scheme::RTree),
+        ("HCI", Scheme::Hci),
+    ];
+    let channel_cfgs = [
+        ("C1", ChannelConfig::single()),
+        ("C2-blocked", ChannelConfig::blocked(2, 1)),
+        ("C2-striped", ChannelConfig::striped(2, 1)),
+        ("C4-frames", ChannelConfig::striped_frames(4, 1)),
+        ("C3-split", ChannelConfig::index_data(3, 1, 2)),
+    ];
+    // The bound is proven for the lossless single-antenna client; the
+    // smoke drives a small mixed workload from tune-ins spread across the
+    // cycle and checks the measured maxima never exceed it.
+    let queries: Vec<Query> = window_queries(6, 0.15, 9)
+        .into_iter()
+        .map(Query::Window)
+        .chain(knn_points(6, 10).into_iter().map(|p| Query::Knn(p, 4)))
+        .collect();
+    let mut rows = Vec::new();
+    let mut failed = false;
+    for (sname, scheme) in schemes {
+        for (cname, cfg) in &channel_cfgs {
+            let engine = match Engine::try_build_channels(scheme, &ds, 64, cfg.clone()) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("verify: {sname} x {cname}: build rejected: {e}");
+                    failed = true;
+                    continue;
+                }
+            };
+            let report = match engine.verify() {
+                Ok(r) => r,
+                Err(violations) => {
+                    eprintln!(
+                        "verify: {sname} x {cname}: {} violation(s)",
+                        violations.len()
+                    );
+                    for v in violations.iter().take(8) {
+                        eprintln!("  {v}");
+                    }
+                    failed = true;
+                    continue;
+                }
+            };
+            let cycle = engine.cycle_packets();
+            let mut max_lat = 0u64;
+            let mut max_tun = 0u64;
+            for (qi, q) in queries.iter().enumerate() {
+                for s in 0..8u64 {
+                    let out = engine.drive(s * cycle / 8, LossModel::None, qi as u64, q);
+                    max_lat = max_lat.max(out.stats.latency_packets);
+                    max_tun = max_tun.max(out.stats.tuning_packets);
+                }
+            }
+            let lat_ok = max_lat <= report.bounds.latency_packets;
+            let tun_ok = max_tun <= report.bounds.tuning_packets;
+            if !lat_ok || !tun_ok {
+                eprintln!(
+                    "verify: {sname} x {cname}: measured exceeds bound \
+                     (latency {max_lat} vs {}, tuning {max_tun} vs {})",
+                    report.bounds.latency_packets, report.bounds.tuning_packets
+                );
+                failed = true;
+            }
+            println!(
+                "verify: {sname:9} x {cname:10}: {} units, {} hops, \
+                 latency {max_lat} <= {}, tuning {max_tun} <= {}",
+                report.n_units,
+                report.max_nav_hops,
+                report.bounds.latency_packets,
+                report.bounds.tuning_packets
+            );
+            rows.push(format!(
+                "{{\"scheme\": \"{sname}\", \"channels\": \"{cname}\", \
+                 \"measured_latency_packets\": {max_lat}, \
+                 \"measured_tuning_packets\": {max_tun}, \
+                 \"report\": {}}}",
+                report.to_json()
+            ));
+        }
+    }
+    let json = format!("{{\"n\": {n}, \"cells\": [{}]}}\n", rows.join(", "));
+    if let Err(e) =
+        std::fs::create_dir_all("results").and_then(|_| std::fs::write("results/verify.json", json))
+    {
+        eprintln!("warning: could not write results/verify.json: {e}");
+    }
+    if failed {
+        eprintln!("VERIFY FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("VERIFY OK");
+        ExitCode::SUCCESS
+    }
+}

@@ -5,7 +5,7 @@
 //! by a replicated root-path copy, followed by the segment's nodes
 //! (depth-first, once per cycle) and its data objects in HC order.
 
-use dsi_broadcast::{ChannelConfig, PacketClass, Payload, Program, Tuner};
+use dsi_broadcast::{ChannelConfig, LayoutError, PacketClass, Payload, Program, Tuner};
 use dsi_datagen::SpatialDataset;
 use dsi_geom::GridMapper;
 use dsi_hilbert::HilbertCurve;
@@ -137,11 +137,28 @@ impl BpAir {
     }
 
     /// Builds the HCI broadcast scheduled over the channels of `channels`.
+    ///
+    /// Panics when the channel configuration cannot schedule this cycle;
+    /// [`BpAir::try_build_channels`] reports the defect as a
+    /// [`LayoutError`] instead.
     pub fn build_channels(
         dataset: &SpatialDataset,
         config: BpAirConfig,
         channels: ChannelConfig,
     ) -> Self {
+        match Self::try_build_channels(dataset, config, channels) {
+            Ok(air) => air,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`BpAir::build_channels`]: structural channel-layout
+    /// defects come back as a [`LayoutError`] instead of a panic.
+    pub fn try_build_channels(
+        dataset: &SpatialDataset,
+        config: BpAirConfig,
+        channels: ChannelConfig,
+    ) -> Result<Self, LayoutError> {
         let tree = bulk_load(dataset.objects(), config.fanout());
         let height = tree.height();
         let cut_level = (0..height)
@@ -220,8 +237,8 @@ impl BpAir {
             frame_starts[s as usize] = true;
         }
         let program =
-            Program::with_channels_frames(config.capacity, packets, channels, &frame_starts);
-        Self {
+            Program::try_with_channels_frames(config.capacity, packets, channels, &frame_starts)?;
+        Ok(Self {
             tree,
             config,
             program,
@@ -230,7 +247,7 @@ impl BpAir {
             object_pos,
             curve: *dataset.curve(),
             mapper: *dataset.mapper(),
-        }
+        })
     }
 
     /// Packets one queued read occupies the receiver for: an object

@@ -1,6 +1,7 @@
 //! On-air HCI query processing.
 
 use std::cmp::Reverse;
+// dsi-lint: allow(hash): iteration order never escapes — results are re-sorted by (d2, id)
 use std::collections::{BinaryHeap, HashMap};
 
 use dsi_broadcast::Tuner;
@@ -264,6 +265,7 @@ impl BpAir {
         // ---- Phase 2: window-style retrieval over the bounding box.
         let bbox = Rect::bounding_square(q, r2_phase1.sqrt());
         let ranges = ranges_in_rect(&self.curve, &self.mapper, &bbox);
+        // dsi-lint: allow(hash): candidates are drained through a full sort before output
         let mut cands: HashMap<u64, (f64, u32, bool)> = HashMap::new(); // hc -> (d2, id, retrieved)
         let mut running = Running::new(k, r2_phase1);
         let mut pending = self.seed(tuner);

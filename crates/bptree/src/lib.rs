@@ -17,6 +17,7 @@
 mod air;
 mod client;
 mod tree;
+mod verify;
 
 pub use air::{BpAir, BpAirConfig, BpPacket};
 pub use tree::{bulk_load, BpChildren, BpNode, BpTree, BP_ENTRY_BYTES, BP_NODE_HEADER_BYTES};

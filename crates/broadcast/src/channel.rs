@@ -19,6 +19,109 @@
 //! lockstep (one packet per channel per instant); each channel repeats its
 //! own, possibly shorter, cycle.
 
+/// A structural defect in a channel configuration or in the layout it
+/// produces over a concrete cycle.
+///
+/// Every condition [`ChannelConfig::try_validate`],
+/// [`crate::Program::try_with_channels`] and the layout builder check is
+/// named here, so the static analyzer (`dsi-verify`) and the runtime share
+/// one error vocabulary. The panicking constructors ([`crate::Program::new`],
+/// [`crate::Program::with_channels`]) format these errors verbatim as their
+/// panic messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LayoutError {
+    /// Packet capacity of zero — no payload can be framed.
+    ZeroCapacity,
+    /// An empty broadcast cycle — nothing to repeat.
+    EmptyCycle,
+    /// `channels == 0`.
+    NoChannels,
+    /// [`Placement::IndexData`] with `index_channels` outside `1..channels`.
+    BadIndexSplit {
+        /// The offending `index_channels` value.
+        index_channels: u32,
+        /// The configured channel count.
+        channels: u32,
+    },
+    /// [`Placement::StripeFrames`] with a zero-frame block.
+    ZeroFrameBlock,
+    /// [`Placement::Explicit`] naming a channel `>= channels`.
+    ExplicitOutOfRange {
+        /// The configured channel count.
+        channels: u32,
+    },
+    /// [`Placement::Explicit`] whose length differs from the cycle's unit
+    /// count.
+    ExplicitWrongLength {
+        /// Entries in the assignment vector.
+        got: usize,
+        /// Units in the cycle.
+        units: usize,
+    },
+    /// The cycle's first packet is not a unit start.
+    CycleNotUnitAligned,
+    /// The cycle's first packet is not a frame start (required by
+    /// [`Placement::StripeFrames`]).
+    CycleNotFrameAligned,
+    /// Some channel received no units at all.
+    EmptyChannel {
+        /// The starved channel.
+        channel: u32,
+    },
+    /// An [`Placement::Explicit`] assignment left a channel without any
+    /// index unit while the cycle has index units: a client tuning into
+    /// that channel can scan data packets forever without ever reading a
+    /// pointer, so some tune-ins never terminate. Analytic placements
+    /// cannot produce this (`IndexData` deliberately reserves data-only
+    /// channels *and* a dedicated index cycle the client camps on), so the
+    /// check applies to explicit maps only.
+    StrandedChannel {
+        /// The index-starved channel.
+        channel: u32,
+    },
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutError::ZeroCapacity => write!(f, "packet capacity must be positive"),
+            LayoutError::EmptyCycle => write!(f, "broadcast cycle must not be empty"),
+            LayoutError::NoChannels => write!(f, "need at least one channel"),
+            LayoutError::BadIndexSplit {
+                index_channels,
+                channels,
+            } => write!(
+                f,
+                "index_channels must be in 1..channels, got {index_channels} of {channels}"
+            ),
+            LayoutError::ZeroFrameBlock => {
+                write!(f, "StripeFrames needs at least one frame per block")
+            }
+            LayoutError::ExplicitOutOfRange { channels } => {
+                write!(f, "explicit assignment names a channel >= {channels}")
+            }
+            LayoutError::ExplicitWrongLength { got, units } => write!(
+                f,
+                "explicit assignment covers {got} units but the cycle has {units}"
+            ),
+            LayoutError::CycleNotUnitAligned => write!(f, "cycle must begin at a unit boundary"),
+            LayoutError::CycleNotFrameAligned => write!(f, "cycle must begin at a frame boundary"),
+            LayoutError::EmptyChannel { channel } => write!(
+                f,
+                "channel {channel} received no units; use fewer channels or another placement"
+            ),
+            LayoutError::StrandedChannel { channel } => write!(
+                f,
+                "channel {channel} received no index unit; an explicit placement must give \
+                 every channel index access or some tune-ins can never terminate"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
 /// How the flat cycle's units are assigned to channels.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Placement {
@@ -63,9 +166,10 @@ pub enum Placement {
     /// adjacency (and with it serial-scan locality) is controlled purely
     /// by the assignment.
     ///
-    /// [`ChannelLayout::build`] panics if the vector's length differs
-    /// from the cycle's unit count, if any entry names a channel `>=
-    /// channels`, or if some channel receives no unit.
+    /// The layout builder rejects (see [`LayoutError`]) a vector whose
+    /// length differs from the cycle's unit count, an entry naming a
+    /// channel `>= channels`, a channel receiving no unit, and — when the
+    /// cycle has index units — a channel receiving no *index* unit.
     Explicit(Vec<u32>),
 }
 
@@ -130,33 +234,49 @@ impl ChannelConfig {
         }
     }
 
-    pub(crate) fn validate(&self) {
-        assert!(self.channels >= 1, "need at least one channel");
-        // Placement parameters are range-checked even when `channels ==
-        // 1` (where the placement is otherwise ignored): a
-        // `StripeFrames(0)` or an out-of-range `IndexData` is a
-        // malformed configuration regardless of the channel count, and
-        // letting it validate silently masks bugs the moment the channel
-        // count is raised.
+    /// Checks the configuration's internal consistency, returning the
+    /// first [`LayoutError`] found. Placement parameters are range-checked
+    /// even when `channels == 1` (where the placement is otherwise
+    /// ignored): a `StripeFrames(0)` or an out-of-range `IndexData` is a
+    /// malformed configuration regardless of the channel count, and
+    /// letting it validate silently masks bugs the moment the channel
+    /// count is raised.
+    pub fn try_validate(&self) -> Result<(), LayoutError> {
+        if self.channels < 1 {
+            return Err(LayoutError::NoChannels);
+        }
         match &self.placement {
             Placement::IndexData { index_channels } => {
-                assert!(
-                    *index_channels >= 1 && *index_channels < self.channels,
-                    "index_channels must be in 1..channels, got {index_channels} of {}",
-                    self.channels
-                );
+                if !(*index_channels >= 1 && *index_channels < self.channels) {
+                    return Err(LayoutError::BadIndexSplit {
+                        index_channels: *index_channels,
+                        channels: self.channels,
+                    });
+                }
             }
             Placement::StripeFrames(g) => {
-                assert!(*g >= 1, "StripeFrames needs at least one frame per block");
+                if *g < 1 {
+                    return Err(LayoutError::ZeroFrameBlock);
+                }
             }
             Placement::Explicit(assignment) => {
-                assert!(
-                    assignment.iter().all(|&c| c < self.channels),
-                    "explicit assignment names a channel >= {}",
-                    self.channels
-                );
+                if !assignment.iter().all(|&c| c < self.channels) {
+                    return Err(LayoutError::ExplicitOutOfRange {
+                        channels: self.channels,
+                    });
+                }
             }
             Placement::Blocked | Placement::Stripe => {}
+        }
+        Ok(())
+    }
+
+    /// Panicking [`ChannelConfig::try_validate`], kept for the tests that
+    /// pin the legacy panic messages.
+    #[cfg(test)]
+    pub(crate) fn validate(&self) {
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
         }
     }
 }
@@ -178,6 +298,10 @@ pub(crate) struct ChannelLayout {
     pub(crate) chan_pos: Vec<u64>,
     /// Channel → slot → flat position (each channel's own cycle).
     pub(crate) by_channel: Vec<Vec<u32>>,
+    /// Whether the layout came from a [`Placement::Explicit`] map — the
+    /// one placement whose termination guarantee rests on the checked
+    /// per-channel index coverage rather than on construction.
+    pub(crate) explicit: bool,
 }
 
 impl ChannelLayout {
@@ -186,32 +310,47 @@ impl ChannelLayout {
     /// (only read at unit starts); `frame_starts[i]` marks units that
     /// begin a *frame* (only read at unit starts, and only by
     /// [`Placement::StripeFrames`]).
+    /// Panicking [`ChannelLayout::try_build`], kept for the tests that
+    /// pin the legacy panic messages.
+    #[cfg(test)]
     pub(crate) fn build(
         cfg: &ChannelConfig,
         unit_starts: &[bool],
         is_index: &[bool],
         frame_starts: &[bool],
     ) -> Self {
-        cfg.validate();
+        match Self::try_build(cfg, unit_starts, is_index, frame_starts) {
+            Ok(l) => l,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds the layout, returning the first structural defect as a
+    /// [`LayoutError`].
+    pub(crate) fn try_build(
+        cfg: &ChannelConfig,
+        unit_starts: &[bool],
+        is_index: &[bool],
+        frame_starts: &[bool],
+    ) -> Result<Self, LayoutError> {
+        cfg.try_validate()?;
         let n = unit_starts.len();
-        assert!(
-            unit_starts.first().copied().unwrap_or(false),
-            "cycle must begin at a unit boundary"
-        );
-        if matches!(cfg.placement, Placement::StripeFrames(_)) {
-            assert!(
-                frame_starts.first().copied().unwrap_or(false),
-                "cycle must begin at a frame boundary"
-            );
+        if !unit_starts.first().copied().unwrap_or(false) {
+            return Err(LayoutError::CycleNotUnitAligned);
+        }
+        if matches!(cfg.placement, Placement::StripeFrames(_))
+            && !frame_starts.first().copied().unwrap_or(false)
+        {
+            return Err(LayoutError::CycleNotFrameAligned);
         }
         if let Placement::Explicit(assignment) = &cfg.placement {
             let units = unit_starts.iter().filter(|&&s| s).count();
-            assert_eq!(
-                assignment.len(),
-                units,
-                "explicit assignment covers {} units but the cycle has {units}",
-                assignment.len()
-            );
+            if assignment.len() != units {
+                return Err(LayoutError::ExplicitWrongLength {
+                    got: assignment.len(),
+                    units,
+                });
+            }
         }
         let c = cfg.channels as usize;
         let mut chan_of = vec![0u32; n];
@@ -282,16 +421,35 @@ impl ChannelLayout {
             i = end;
         }
         for (ch, slots) in by_channel.iter().enumerate() {
-            assert!(
-                !slots.is_empty(),
-                "channel {ch} received no units; use fewer channels or another placement"
-            );
+            if slots.is_empty() {
+                return Err(LayoutError::EmptyChannel { channel: ch as u32 });
+            }
         }
-        Self {
+        // An explicit map can strand a channel without index access: a
+        // client tuned there sees only data packets and has no pointer to
+        // follow, so (unlike every analytic placement) termination is no
+        // longer guaranteed from all tune-in points. Reject it here rather
+        // than let the broadcast build and livelock clients at runtime.
+        // Cycles without any index units (pure-data broadcasts, as in some
+        // scheduler tests) are exempt: there is no index to navigate.
+        if matches!(cfg.placement, Placement::Explicit(_))
+            && (0..n).any(|i| unit_starts[i] && is_index[i])
+        {
+            for (ch, slots) in by_channel.iter().enumerate() {
+                let has_index = slots
+                    .iter()
+                    .any(|&p| unit_starts[p as usize] && is_index[p as usize]);
+                if !has_index {
+                    return Err(LayoutError::StrandedChannel { channel: ch as u32 });
+                }
+            }
+        }
+        Ok(Self {
             chan_of,
             chan_pos,
             by_channel,
-        }
+            explicit: matches!(cfg.placement, Placement::Explicit(_)),
+        })
     }
 }
 
@@ -613,5 +771,64 @@ mod tests {
     fn bad_split_is_rejected() {
         let (us, ix) = starts(&[(true, true), (true, false)]);
         let _ = ChannelLayout::build(&ChannelConfig::index_data(2, 2, 0), &us, &ix, &us);
+    }
+
+    #[test]
+    fn explicit_assignment_must_give_every_channel_an_index_unit() {
+        // Units: index [0], index [1], data [2] → packing both index units
+        // onto channel 0 leaves channel 1 data-only, so a client tuning in
+        // there never reads a pointer. Regression test for the `Explicit`
+        // stranding gap: this used to build.
+        let (us, ix) = starts(&[(true, true), (true, true), (true, false)]);
+        let cfg = ChannelConfig {
+            channels: 2,
+            placement: Placement::Explicit(vec![0, 0, 1]),
+            switch_cost: 0,
+        };
+        let err = ChannelLayout::try_build(&cfg, &us, &ix, &us).unwrap_err();
+        assert_eq!(err, LayoutError::StrandedChannel { channel: 1 });
+        // Spreading the index units over both channels clears the error.
+        let cfg = ChannelConfig {
+            channels: 2,
+            placement: Placement::Explicit(vec![0, 1, 1]),
+            switch_cost: 0,
+        };
+        assert!(ChannelLayout::try_build(&cfg, &us, &ix, &us).is_ok());
+        // A pure-data cycle is exempt: there is no index to strand.
+        let (us, ix) = starts(&[(true, false), (true, false), (true, false)]);
+        let cfg = ChannelConfig {
+            channels: 2,
+            placement: Placement::Explicit(vec![0, 0, 1]),
+            switch_cost: 0,
+        };
+        assert!(ChannelLayout::try_build(&cfg, &us, &ix, &us).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "received no index unit")]
+    fn stranded_explicit_channel_panics_through_build() {
+        let (us, ix) = starts(&[(true, true), (true, false)]);
+        let cfg = ChannelConfig {
+            channels: 2,
+            placement: Placement::Explicit(vec![0, 1]),
+            switch_cost: 0,
+        };
+        let _ = ChannelLayout::build(&cfg, &us, &ix, &us);
+    }
+
+    #[test]
+    fn layout_errors_format_their_invariant() {
+        // The `Display` strings are the panic messages of the legacy
+        // constructors; tests elsewhere match on these substrings.
+        assert_eq!(
+            LayoutError::NoChannels.to_string(),
+            "need at least one channel"
+        );
+        assert!(LayoutError::EmptyChannel { channel: 3 }
+            .to_string()
+            .contains("channel 3 received no units"));
+        assert!(LayoutError::ExplicitWrongLength { got: 2, units: 5 }
+            .to_string()
+            .contains("covers 2 units but the cycle has 5"));
     }
 }

@@ -54,7 +54,7 @@ mod scheme;
 mod stats;
 mod tuner;
 
-pub use channel::{AntennaConfig, ChannelConfig, ChannelStats, Placement, Resilience};
+pub use channel::{AntennaConfig, ChannelConfig, ChannelStats, LayoutError, Placement, Resilience};
 pub use loss::{
     FaultTrace, GilbertElliott, LossModel, LossScope, OutageSchedule, OutageWindow, TraceEntry,
 };

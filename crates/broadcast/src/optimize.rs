@@ -546,6 +546,7 @@ pub fn optimize_placement(
     } else {
         (n as u32).saturating_mul(24).clamp(4_096, 262_144)
     };
+    // dsi-lint: allow(rng): annealing is seeded from OptimizeOptions, fully deterministic
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut stall = 0u32;
     let stall_limit = (n as u32).saturating_mul(8).max(4_096);

@@ -1,6 +1,6 @@
 //! Broadcast programs: the repeating packet cycle of a base station.
 
-use crate::channel::{ChannelConfig, ChannelLayout};
+use crate::channel::{ChannelConfig, ChannelLayout, LayoutError};
 
 /// Coarse classification of a packet's content, used by the link-error
 /// model to decide whether a loss draw applies (see [`crate::LossScope`]).
@@ -64,15 +64,27 @@ impl<P> Program<P> {
     ///
     /// Panics if the cycle is empty or the capacity is zero.
     pub fn new(capacity: u32, packets: Vec<P>) -> Self {
-        assert!(capacity > 0, "packet capacity must be positive");
-        assert!(!packets.is_empty(), "broadcast cycle must not be empty");
-        Self {
+        match Self::try_new(capacity, packets) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Program::new`] returning a [`LayoutError`] instead of panicking.
+    pub fn try_new(capacity: u32, packets: Vec<P>) -> Result<Self, LayoutError> {
+        if capacity == 0 {
+            return Err(LayoutError::ZeroCapacity);
+        }
+        if packets.is_empty() {
+            return Err(LayoutError::EmptyCycle);
+        }
+        Ok(Self {
             capacity,
             packets,
             layout: None,
             switch_cost: 0,
             n_channels: 1,
-        }
+        })
     }
 
     /// Packet capacity in bytes.
@@ -91,6 +103,16 @@ impl<P> Program<P> {
     #[inline]
     pub fn switch_cost(&self) -> u32 {
         self.switch_cost
+    }
+
+    /// Whether the units were assigned by an explicit per-unit placement
+    /// map ([`crate::Placement::Explicit`]). Explicit maps are the one
+    /// placement whose every-tune-in-terminates guarantee is checked
+    /// rather than structural, so static analyzers give them an extra
+    /// per-channel index-coverage pass.
+    #[inline]
+    pub fn placement_is_explicit(&self) -> bool {
+        self.layout.as_ref().is_some_and(|l| l.explicit)
     }
 
     /// The channel carrying the packet at flat cycle position `flat_pos`.
@@ -222,6 +244,17 @@ impl<P: Payload> Program<P> {
         Self::with_channels_frames(capacity, packets, cfg, &frame_starts)
     }
 
+    /// [`Program::with_channels`] returning the first structural defect as
+    /// a [`LayoutError`] instead of panicking.
+    pub fn try_with_channels(
+        capacity: u32,
+        packets: Vec<P>,
+        cfg: ChannelConfig,
+    ) -> Result<Self, LayoutError> {
+        let frame_starts: Vec<bool> = packets.iter().map(|p| p.frame_start()).collect();
+        Self::try_with_channels_frames(capacity, packets, cfg, &frame_starts)
+    }
+
     /// [`Program::with_channels`] with explicit frame boundaries, for
     /// schemes whose frame granularity is not computable from a packet
     /// alone (e.g. the R-tree's segments, whose replicated path copies
@@ -234,13 +267,27 @@ impl<P: Payload> Program<P> {
         cfg: ChannelConfig,
         frame_starts: &[bool],
     ) -> Self {
-        cfg.validate();
+        match Self::try_with_channels_frames(capacity, packets, cfg, frame_starts) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Program::with_channels_frames`] returning the first structural
+    /// defect as a [`LayoutError`] instead of panicking.
+    pub fn try_with_channels_frames(
+        capacity: u32,
+        packets: Vec<P>,
+        cfg: ChannelConfig,
+        frame_starts: &[bool],
+    ) -> Result<Self, LayoutError> {
+        cfg.try_validate()?;
         assert_eq!(
             frame_starts.len(),
             packets.len(),
             "one frame flag per packet"
         );
-        let mut prog = Self::new(capacity, packets);
+        let mut prog = Self::try_new(capacity, packets)?;
         if cfg.channels > 1 {
             let unit_starts: Vec<bool> = prog.packets.iter().map(|p| p.unit_start()).collect();
             debug_assert!(
@@ -255,16 +302,16 @@ impl<P: Payload> Program<P> {
                 .iter()
                 .map(|p| p.class() == PacketClass::Index)
                 .collect();
-            prog.layout = Some(ChannelLayout::build(
+            prog.layout = Some(ChannelLayout::try_build(
                 &cfg,
                 &unit_starts,
                 &is_index,
                 frame_starts,
-            ));
+            )?);
             prog.n_channels = cfg.channels;
         }
         prog.switch_cost = cfg.switch_cost;
-        prog
+        Ok(prog)
     }
 }
 

@@ -1,6 +1,6 @@
 //! Building the DSI broadcast: server side.
 
-use dsi_broadcast::{AirScheme, ChannelConfig, PacketClass, Payload, Program, Tuner};
+use dsi_broadcast::{AirScheme, ChannelConfig, LayoutError, PacketClass, Payload, Program, Tuner};
 use dsi_datagen::{Object, SpatialDataset};
 use dsi_geom::GridMapper;
 use dsi_geom::{Point, Rect};
@@ -102,11 +102,30 @@ impl DsiAir {
     /// Builds the broadcast scheduled over the channels of `channels`.
     /// The flat cycle (the schema clients address) is identical to the
     /// single-channel build; only the on-air scheduling differs.
+    ///
+    /// Panics when the channel configuration cannot schedule this cycle;
+    /// [`DsiAir::try_build_channels`] reports the defect as a
+    /// [`LayoutError`] instead.
     pub fn build_channels(
         dataset: &SpatialDataset,
         config: DsiConfig,
         channels: ChannelConfig,
     ) -> Self {
+        match Self::try_build_channels(dataset, config, channels) {
+            Ok(air) => air,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`DsiAir::build_channels`]: a channel configuration that
+    /// cannot schedule this cycle (zero channels, stranded explicit
+    /// assignment, …) comes back as the structural [`LayoutError`] rather
+    /// than a panic, so batch drivers can reject the cell and continue.
+    pub fn try_build_channels(
+        dataset: &SpatialDataset,
+        config: DsiConfig,
+        channels: ChannelConfig,
+    ) -> Result<Self, LayoutError> {
         let objects: Vec<Object> = dataset.objects().to_vec();
         let n = objects.len() as u32;
         let framing = compute_framing(&config, n);
@@ -148,9 +167,9 @@ impl DsiAir {
             }
         }
         debug_assert_eq!(packets.len() as u64, layout.cycle_packets());
-        let program = Program::with_channels(config.capacity, packets, channels);
+        let program = Program::try_with_channels(config.capacity, packets, channels)?;
 
-        Self {
+        Ok(Self {
             layout,
             curve: *dataset.curve(),
             mapper: *dataset.mapper(),
@@ -158,7 +177,7 @@ impl DsiAir {
             frames,
             objects,
             program,
-        }
+        })
     }
 
     /// The client-known broadcast schema.

@@ -57,6 +57,7 @@ mod knn;
 mod layout;
 mod state;
 mod table;
+mod verify;
 mod window;
 
 pub use build::{DsiAir, DsiPacket, DsiScheme, FrameMeta};

@@ -17,7 +17,7 @@
 //! the client-known schema, exactly as for DSI. Node *contents* (MBRs,
 //! child assignment) are only available by reading packets.
 
-use dsi_broadcast::{ChannelConfig, PacketClass, Payload, Program, Tuner};
+use dsi_broadcast::{ChannelConfig, LayoutError, PacketClass, Payload, Program, Tuner};
 use dsi_geom::Point;
 
 use crate::tree::{Children, RTree, INTERNAL_ENTRY_BYTES, LEAF_ENTRY_BYTES, NODE_HEADER_BYTES};
@@ -168,13 +168,30 @@ impl RTreeAir {
     }
 
     /// Builds the broadcast scheduled over the channels of `channels`.
+    ///
+    /// Panics when the channel configuration cannot schedule this cycle;
+    /// [`RTreeAir::try_build_channels`] reports the defect as a
+    /// [`LayoutError`] instead.
     pub fn build_channels(
         objects: &[(u32, Point)],
         config: RtreeAirConfig,
         channels: ChannelConfig,
     ) -> Self {
+        match Self::try_build_channels(objects, config, channels) {
+            Ok(air) => air,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`RTreeAir::build_channels`]: structural channel-layout
+    /// defects come back as a [`LayoutError`] instead of a panic.
+    pub fn try_build_channels(
+        objects: &[(u32, Point)],
+        config: RtreeAirConfig,
+        channels: ChannelConfig,
+    ) -> Result<Self, LayoutError> {
         let tree = str_pack_for(objects, &config);
-        Self::from_tree_channels(tree, config, channels)
+        Self::try_from_tree_channels(tree, config, channels)
     }
 
     /// Lays out an existing tree on a single channel.
@@ -188,6 +205,18 @@ impl RTreeAir {
         config: RtreeAirConfig,
         channels: ChannelConfig,
     ) -> Self {
+        match Self::try_from_tree_channels(tree, config, channels) {
+            Ok(air) => air,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`RTreeAir::from_tree_channels`].
+    pub fn try_from_tree_channels(
+        tree: RTree,
+        config: RtreeAirConfig,
+        channels: ChannelConfig,
+    ) -> Result<Self, LayoutError> {
         let height = tree.height();
         // Cut level: lowest level with at most max_segments nodes.
         let cut_level = (0..height)
@@ -279,8 +308,8 @@ impl RTreeAir {
             frame_starts[s as usize] = true;
         }
         let program =
-            Program::with_channels_frames(config.capacity, packets, channels, &frame_starts);
-        Self {
+            Program::try_with_channels_frames(config.capacity, packets, channels, &frame_starts)?;
+        Ok(Self {
             tree,
             config,
             program,
@@ -288,7 +317,7 @@ impl RTreeAir {
             segment_starts,
             object_pos,
             cut_level: cut_level as u8,
-        }
+        })
     }
 
     /// The broadcast packet program.

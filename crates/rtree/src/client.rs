@@ -327,6 +327,7 @@ impl dsi_broadcast::AirScheme for RTreeAir {
 struct RtCandidates {
     k: usize,
     /// (key, upper bound, exact distance or NaN, retrieved)
+    // dsi-lint: allow(hash): candidate set; results leave through a full (d2, id) sort
     entries: std::collections::HashMap<(u8, u32), CandState>,
     r2_cache: std::cell::Cell<f64>,
     dirty: std::cell::Cell<bool>,
@@ -350,6 +351,7 @@ impl RtCandidates {
     fn new(k: usize) -> Self {
         Self {
             k,
+            // dsi-lint: allow(hash): see the field's rationale above
             entries: std::collections::HashMap::new(),
             r2_cache: std::cell::Cell::new(f64::INFINITY),
             dirty: std::cell::Cell::new(true),

@@ -30,6 +30,7 @@ mod air;
 mod client;
 mod str_pack;
 mod tree;
+mod verify;
 
 pub use air::{RTreeAir, RtPacket, RtreeAirConfig};
 pub use str_pack::str_pack;

@@ -9,12 +9,14 @@
 
 use dsi_bptree::{BpAir, BpAirConfig};
 use dsi_broadcast::{
-    AntennaConfig, ChannelConfig, DynScheme, FaultTrace, LossModel, Query, QueryOutcome, QueryStats,
+    AntennaConfig, ChannelConfig, DynScheme, FaultTrace, LayoutError, LossModel, Query,
+    QueryOutcome, QueryStats,
 };
 use dsi_core::{DsiAir, DsiConfig, DsiScheme, KnnStrategy};
 use dsi_datagen::SpatialDataset;
 use dsi_geom::{Point, Rect};
 use dsi_rtree::{RTreeAir, RtreeAirConfig};
+use dsi_verify::{StaticModel, Verifiable, VerifyReport, Violation};
 
 /// Which air index to build.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,6 +57,10 @@ impl Scheme {
 /// A built broadcast behind the unified [`DynScheme`] interface.
 pub struct Engine {
     scheme: Box<dyn DynScheme>,
+    /// The static pointer-graph model extracted at build time, so any
+    /// engine — whatever scheme or placement produced it — can be handed
+    /// to the `dsi-verify` analyzer without re-deriving scheme internals.
+    model: StaticModel,
 }
 
 impl Engine {
@@ -72,27 +78,62 @@ impl Engine {
         capacity: u32,
         channels: ChannelConfig,
     ) -> Self {
-        let scheme: Box<dyn DynScheme> = match scheme {
-            Scheme::Dsi(cfg, strategy) => Box::new(DsiScheme {
-                air: DsiAir::build_channels(dataset, cfg.with_capacity(capacity), channels),
-                strategy,
-            }),
+        match Self::try_build_channels(scheme, dataset, capacity, channels) {
+            Ok(e) => e,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Engine::build_channels`]: a channel configuration the
+    /// cycle cannot be scheduled over (zero channels, stranded explicit
+    /// assignment, …) comes back as its structural [`LayoutError`], so
+    /// batch drivers like the experiment matrix can reject the cell with
+    /// a diagnostic and keep running.
+    pub fn try_build_channels(
+        scheme: Scheme,
+        dataset: &SpatialDataset,
+        capacity: u32,
+        channels: ChannelConfig,
+    ) -> Result<Self, LayoutError> {
+        let (scheme, model): (Box<dyn DynScheme>, StaticModel) = match scheme {
+            Scheme::Dsi(cfg, strategy) => {
+                let s = DsiScheme {
+                    air: DsiAir::try_build_channels(
+                        dataset,
+                        cfg.with_capacity(capacity),
+                        channels,
+                    )?,
+                    strategy,
+                };
+                let model = s.static_model();
+                (Box::new(s), model)
+            }
             Scheme::RTree => {
                 let pts: Vec<(u32, Point)> =
                     dataset.objects().iter().map(|o| (o.id, o.pos)).collect();
-                Box::new(RTreeAir::build_channels(
-                    &pts,
-                    RtreeAirConfig::new(capacity),
-                    channels,
-                ))
+                let air =
+                    RTreeAir::try_build_channels(&pts, RtreeAirConfig::new(capacity), channels)?;
+                let model = air.static_model();
+                (Box::new(air), model)
             }
-            Scheme::Hci => Box::new(BpAir::build_channels(
-                dataset,
-                BpAirConfig::new(capacity),
-                channels,
-            )),
+            Scheme::Hci => {
+                let air = BpAir::try_build_channels(dataset, BpAirConfig::new(capacity), channels)?;
+                let model = air.static_model();
+                (Box::new(air), model)
+            }
         };
-        Self { scheme }
+        Ok(Self { scheme, model })
+    }
+
+    /// The static model extracted when this engine was built.
+    pub fn static_model(&self) -> &StaticModel {
+        &self.model
+    }
+
+    /// Runs the full `dsi-verify` analysis (structure, progress, bounds)
+    /// over this engine's broadcast program.
+    pub fn verify(&self) -> Result<VerifyReport, Vec<Violation>> {
+        dsi_verify::verify(&self.model)
     }
 
     /// Runs one query through the scheme-agnostic driver.

@@ -278,6 +278,85 @@ fn build_optimized(
     // on the index crates would remove it if the search ever needs to
     // scale further.
     let m_cap = 120usize;
+    // Explicit placements must give every channel at least one index
+    // unit — the layout builder rejects stranded channels outright
+    // (`LayoutError::StrandedChannel`), since a client parked there could
+    // never terminate. Screen every candidate assignment up front and
+    // repair coverage by moving an index unit over from the
+    // best-provisioned channel; when the cycle simply has fewer index
+    // units than channels no explicit map is feasible at all.
+    let unit_is_index: Vec<bool> = single
+        .static_model()
+        .units
+        .iter()
+        .map(|u| u.kind == dsi_verify::UnitKind::Index)
+        .collect();
+    let total_index = unit_is_index.iter().filter(|&&b| b).count();
+    let cover = |mut a: Vec<u32>| -> Vec<u32> {
+        if total_index == 0 {
+            return a;
+        }
+        let mut count = vec![0u32; channels as usize];
+        for (u, &ch) in a.iter().enumerate() {
+            if unit_is_index[u] {
+                count[ch as usize] += 1;
+            }
+        }
+        for ch in 0..channels as usize {
+            while count[ch] == 0 {
+                let donor = (0..channels as usize)
+                    .max_by_key(|&d| count[d])
+                    .expect("at least one channel");
+                assert!(count[donor] >= 2, "feasibility checked by pigeonhole");
+                let u = a
+                    .iter()
+                    .enumerate()
+                    .find(|&(u, &c)| c as usize == donor && unit_is_index[u])
+                    .map(|(u, _)| u)
+                    .expect("donor channel has an index unit");
+                a[u] = ch as u32;
+                count[donor] -= 1;
+                count[ch] += 1;
+            }
+        }
+        a
+    };
+    let predict_all = |assignment: &[u32]| -> Vec<f64> {
+        per_workload
+            .iter()
+            .map(|(counts, wsamples)| {
+                let p = AccessProfile::from_counts(counts, train_queries as u64)
+                    .with_samples(wsamples.clone());
+                predict_latency_packets(
+                    &schema,
+                    &p,
+                    channels,
+                    switch_cost,
+                    model_antennas,
+                    assignment,
+                ) * spec.capacity as f64
+            })
+            .collect()
+    };
+    if total_index > 0 && total_index < channels as usize {
+        // Fewer index units than channels: every explicit map strands a
+        // channel, so the optimizer's candidate family is empty. Fall
+        // back to the blocked placement.
+        let nu = schema.n_units();
+        let equal: Vec<usize> = (0..channels as usize)
+            .map(|g| g * nu / channels as usize)
+            .collect();
+        let predictions = predict_all(&arc_assignment(&schema, &profile, &equal));
+        let cfg = ChannelConfig {
+            channels,
+            placement: Placement::Blocked,
+            switch_cost,
+        };
+        return (
+            Engine::build_channels(scheme, dataset, spec.capacity, cfg),
+            predictions,
+        );
+    }
     let is_window = |queries: &[Query]| matches!(queries.first(), Some(Query::Window(_)));
     let any_window = train_sets.iter().any(|t| is_window(t));
     let measure = |cfg: ChannelConfig| -> (f64, f64) {
@@ -359,13 +438,13 @@ fn build_optimized(
     let mut best_cuts: Vec<usize> = (0..channels as usize)
         .map(|g| g * n_units / channels as usize)
         .collect();
-    let mut best_assignment = arc_assignment(&schema, &profile, &best_cuts);
+    let mut best_assignment = cover(arc_assignment(&schema, &profile, &best_cuts));
     let mut best_score = score(measure(explicit(&best_assignment)));
     for cuts in candidates {
         if !valid(&cuts) || cuts == best_cuts {
             continue;
         }
-        let a = arc_assignment(&schema, &profile, &cuts);
+        let a = cover(arc_assignment(&schema, &profile, &cuts));
         let s = score(measure(explicit(&a)));
         if better(s, best_score) {
             best_score = s;
@@ -402,7 +481,7 @@ fn build_optimized(
                 if cuts.len() != channels as usize || !valid(&cuts) {
                     continue;
                 }
-                let a = arc_assignment(&schema, &profile, &cuts);
+                let a = cover(arc_assignment(&schema, &profile, &cuts));
                 let s = score(measure(explicit(&a)));
                 if better(s, best_score) {
                     best_score = s;
@@ -443,24 +522,10 @@ fn build_optimized(
                 .map(|g| g * n_units / channels as usize)
                 .collect()
         };
-        best_assignment = arc_assignment(&schema, &profile, &fallback);
+        best_assignment = cover(arc_assignment(&schema, &profile, &fallback));
     }
 
-    let predictions = per_workload
-        .iter()
-        .map(|(counts, wsamples)| {
-            let p = AccessProfile::from_counts(counts, train_queries as u64)
-                .with_samples(wsamples.clone());
-            predict_latency_packets(
-                &schema,
-                &p,
-                channels,
-                switch_cost,
-                model_antennas,
-                &best_assignment,
-            ) * spec.capacity as f64
-        })
-        .collect();
+    let predictions = predict_all(&best_assignment);
     let cfg = ChannelConfig {
         channels,
         placement: Placement::Explicit(best_assignment),
@@ -474,6 +539,10 @@ fn build_optimized(
 
 /// Runs every cell of the matrix. Engines are built once per
 /// (scheme, channel) pair; workloads are materialized once per workload.
+/// A fixed channel configuration the scheme's cycle cannot be scheduled
+/// over ([`dsi_broadcast::LayoutError`]) rejects that (scheme, channel)
+/// pair with a diagnostic on stderr instead of panicking; the remaining
+/// cells still run.
 pub fn run_matrix(dataset: &SpatialDataset, spec: &MatrixSpec) -> Vec<MatrixCell> {
     let workloads: Vec<(&String, Vec<Query>)> = spec
         .workloads
@@ -491,10 +560,19 @@ pub fn run_matrix(dataset: &SpatialDataset, spec: &MatrixSpec) -> Vec<MatrixCell
     for (scheme_name, scheme) in &spec.schemes {
         for (chan_name, chan) in &spec.channels {
             let (engine, predictions) = match chan {
-                ChannelSpec::Fixed(cfg) => (
-                    Engine::build_channels(*scheme, dataset, spec.capacity, cfg.clone()),
-                    None,
-                ),
+                ChannelSpec::Fixed(cfg) => {
+                    // A fixed configuration can be structurally invalid
+                    // for this cycle (wrong explicit length, stranded
+                    // channel, …). Reject the cell with its diagnostic
+                    // and keep the rest of the matrix running.
+                    match Engine::try_build_channels(*scheme, dataset, spec.capacity, cfg.clone()) {
+                        Ok(engine) => (engine, None),
+                        Err(e) => {
+                            eprintln!("matrix: rejecting cell {scheme_name} x {chan_name}: {e}");
+                            continue;
+                        }
+                    }
+                }
                 ChannelSpec::Optimized {
                     channels,
                     switch_cost,
@@ -672,6 +750,38 @@ mod tests {
         }
         let t = cells_table("matrix", &cells);
         assert_eq!(t.rows.len(), cells.len());
+    }
+
+    #[test]
+    fn invalid_fixed_cells_are_rejected_not_fatal() {
+        let ds = uniform_dataset_n(120);
+        let spec = MatrixSpec {
+            schemes: vec![("DSI".into(), Scheme::dsi_reorganized(64))],
+            capacity: 64,
+            channels: vec![
+                ("C1".into(), ChannelConfig::single().into()),
+                // Wrong explicit length for every cycle: structurally
+                // invalid, so the pair must be rejected, not panic.
+                (
+                    "bad-explicit".into(),
+                    ChannelConfig {
+                        channels: 2,
+                        placement: Placement::Explicit(vec![0, 1]),
+                        switch_cost: 1,
+                    }
+                    .into(),
+                ),
+            ],
+            antennas: Vec::new(),
+            losses: vec![("lossless".into(), LossModel::None)],
+            workloads: vec![("3NN".into(), WorkloadSpec::Knn { k: 3 }, 9)],
+            n_queries: 2,
+            seed: 5,
+            validate: true,
+        };
+        let cells = run_matrix(&ds, &spec);
+        assert_eq!(cells.len(), 1, "only the valid channel produces cells");
+        assert_eq!(cells[0].channel, "C1");
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! The `dsi-lint` binary: runs the repo-invariant lint pass over the
+//! workspace and exits non-zero on any finding. See
+//! [`dsi_verify::lint`] for the rules. Usage: `dsi-lint [workspace-root]`
+//! (defaults to the current directory).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    match dsi_verify::lint_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("dsi-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                eprintln!("{f}");
+            }
+            eprintln!("dsi-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("dsi-lint: cannot read workspace at {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}

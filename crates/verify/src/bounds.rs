@@ -1,0 +1,129 @@
+//! Worst-case access-latency and tuning-time bounds, derived statically.
+//!
+//! The bound model is deliberately coarse but *sound*: every term is a
+//! supremum over the model (worst channel cycle, worst unit length, worst
+//! pointer-chain depth from the forward-progress analysis), composed the
+//! way the client composes its phases — probe for an entry, navigate the
+//! pointer chain, sweep for results. The conformance-grid test
+//! (`tests/verify_bounds.rs`) checks both directions: every measured
+//! maximum is dominated by the bound, and the bound stays within a
+//! documented per-scheme slack factor of the measurement, so the bounds
+//! cannot silently rot into vacuity.
+//!
+//! Bounds are computed for the lossless single-antenna client (`k = 1`).
+//! They dominate every antenna count: the conformance grid pins the
+//! invariant that `k >= 2` is never slower than `k = 1` on lossless
+//! workloads, so one bound serves all receiver configurations. Loss is
+//! out of scope by design — under an adversarial loss model no finite
+//! bound exists (the runtime retry-cap exists for exactly that reason).
+
+use crate::model::{StaticModel, UnitKind};
+
+/// Worst-case bounds for one built broadcast, in packets and bytes.
+///
+/// All figures bound the lossless `k = 1` client (and therefore every
+/// `k >= 1` client; see the module docs). `latency` counts instants from
+/// tune-in to last result packet; `tuning` counts packets actively
+/// received.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundsReport {
+    /// Tune-in → first navigation entry read: a channel switch plus a
+    /// full worst-channel cycle plus reading the entry unit.
+    pub probe_packets: u64,
+    /// Pointer hops the deepest navigation needs (from the
+    /// forward-progress analysis), plus safety margin.
+    pub nav_hops: u32,
+    /// Worst cost of one pointer hop: switch, wait out the target's
+    /// channel cycle, read the target unit.
+    pub per_hop_packets: u64,
+    /// Worst cost of one full result sweep over every unit in flat
+    /// order, counting inter-unit gaps (free when the next unit is
+    /// adjacent on the same channel, a switch plus a worst channel wait
+    /// otherwise).
+    pub sweep_packets: u64,
+    /// Sequential result passes the scheme's worst query performs.
+    pub sweep_passes: u32,
+    /// Total worst-case access latency in packets.
+    pub latency_packets: u64,
+    /// Total worst-case tuning time in packets.
+    pub tuning_packets: u64,
+    /// [`BoundsReport::latency_packets`] in bytes.
+    pub latency_bytes: u64,
+    /// [`BoundsReport::tuning_packets`] in bytes.
+    pub tuning_bytes: u64,
+}
+
+impl BoundsReport {
+    /// Machine-readable JSON rendering.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"probe_packets\":{},\"nav_hops\":{},\"per_hop_packets\":{},\
+             \"sweep_packets\":{},\"sweep_passes\":{},\"latency_packets\":{},\
+             \"tuning_packets\":{},\"latency_bytes\":{},\"tuning_bytes\":{}}}",
+            self.probe_packets,
+            self.nav_hops,
+            self.per_hop_packets,
+            self.sweep_packets,
+            self.sweep_passes,
+            self.latency_packets,
+            self.tuning_packets,
+            self.latency_bytes,
+            self.tuning_bytes
+        )
+    }
+}
+
+/// Derives the worst-case bounds of `model`. `max_nav_hops` is the
+/// deepest pointer chain the forward-progress analysis walked; two hops
+/// of margin absorb sampled analyses and the entry re-read after a
+/// wrapped probe.
+pub fn compute_bounds(model: &StaticModel, max_nav_hops: u32) -> BoundsReport {
+    let switch = model.switch_cost as u64;
+    let max_chan_len = model.channel_lens.iter().copied().max().unwrap_or(0);
+    let max_index_unit = model
+        .units
+        .iter()
+        .filter(|u| u.kind == UnitKind::Index)
+        .map(|u| u.len)
+        .max()
+        .unwrap_or(0);
+    let probe = switch + max_chan_len + max_index_unit;
+    let per_hop = switch + max_chan_len + max_index_unit;
+    // One worst-case sweep: read every unit; between consecutive units
+    // pay nothing if the broadcast airs them back-to-back on one channel,
+    // else a retune plus (worst case) a full wait on the next unit's
+    // channel.
+    let mut sweep = 0u64;
+    for (i, u) in model.units.iter().enumerate() {
+        sweep += u.len;
+        let next = &model.units[(i + 1) % model.units.len()];
+        let u_last = (u.start + u.len - 1) as usize;
+        let n_first = next.start as usize;
+        let adjacent = model.chan_of[u_last] == model.chan_of[n_first]
+            && model.chan_slot[n_first]
+                == (model.chan_slot[u_last] + 1)
+                    % model.channel_lens[model.chan_of[u_last] as usize];
+        if !adjacent {
+            let c = model.chan_of[n_first] as usize;
+            sweep += switch + model.channel_lens[c].saturating_sub(1);
+        }
+    }
+    let nav_hops = max_nav_hops + 2;
+    let passes = model.sweep_passes as u64;
+    let latency = probe + nav_hops as u64 * per_hop + passes * sweep;
+    // Tuning: the probe and each hop read at most one index unit; each
+    // sweep pass reads at most the whole cycle.
+    let tuning = (nav_hops as u64 + 1) * max_index_unit + passes * model.n_packets;
+    let cap = model.capacity as u64;
+    BoundsReport {
+        probe_packets: probe,
+        nav_hops,
+        per_hop_packets: per_hop,
+        sweep_packets: sweep,
+        sweep_passes: model.sweep_passes,
+        latency_packets: latency,
+        tuning_packets: tuning,
+        latency_bytes: latency * cap,
+        tuning_bytes: tuning * cap,
+    }
+}

@@ -1,0 +1,310 @@
+//! `dsi-lint`: a lightweight source-token lint enforcing the repo's
+//! determinism invariants.
+//!
+//! The whole test pyramid — 120 bit-for-bit `ChannelStats` goldens, the
+//! conformance grid, the chaos harness — assumes the library is
+//! *deterministic*: same dataset, same seed, same numbers. Three
+//! recurring ways that assumption has historically rotted in broadcast
+//! codebases are codified as lint rules here. The pass is a token scan
+//! over the workspace sources (no syn, no crates.io), wired into `cargo
+//! test` (`crates/verify/tests/lint_workspace.rs`) and the CI `verify`
+//! job, both of which fail on any finding.
+//!
+//! # Rules
+//!
+//! ## `rng` — no RNG construction in deterministic library crates
+//!
+//! **What it catches:** construction of random generators
+//! (`seed_from_u64`, `thread_rng`, `from_entropy`, `rand::random`) inside
+//! the library crates (`geom`, `hilbert`, `broadcast`, `core`, `rtree`,
+//! `bptree`), outside the two sanctioned homes of randomness:
+//! `broadcast::loss` (the link-error models) and `broadcast::tuner` (the
+//! client's loss draws), with `datagen` (workload synthesis) out of scope
+//! by design. **Why:** an RNG anywhere else in the library makes index
+//! construction or navigation run-dependent, which silently invalidates
+//! every golden. **How to silence:** append `// dsi-lint: allow(rng):
+//! <why this site is deterministic>` on or directly above the line —
+//! e.g. the placement optimizer's fixed-seed candidate search.
+//!
+//! ## `hash` — no `HashMap`/`HashSet` in golden-affecting paths
+//!
+//! **What it catches:** any `HashMap`/`HashSet` mention in library-crate
+//! sources. **Why:** `std` hash iteration order is randomized per
+//! process; iterating one in a stats- or answer-affecting path produces
+//! run-dependent output that may pass locally and flake in CI. Keyed
+//! *lookups* are fine — but the lint cannot tell a lookup from an
+//! iteration, so every use must be audited once and annotated. **How to
+//! silence:** `// dsi-lint: allow(hash): <why iteration order never
+//! escapes>` on or directly above the line (e.g. contents are drained
+//! through a sort before anything observable).
+//!
+//! ## `spawn` — every worker must propagate `dsi_core::hotpath`
+//!
+//! **What it catches:** a `spawn(` call with no `hotpath` mention within
+//! the next eight lines. **Why:** the incremental/from-scratch state-path
+//! toggle is thread-local; a worker spawned without
+//! `dsi_core::hotpath::set_state_path(...)` silently falls back to the
+//! default path and benchmarks/tests measure the wrong code. **How to
+//! silence:** propagate the path inside the closure, or annotate
+//! `// dsi-lint: allow(spawn): <why this worker needs no state path>`.
+//!
+//! # Scope
+//!
+//! `lint_workspace` walks `crates/*/src` and the umbrella `src/`;
+//! `vendor/`, `target/`, test directories and `#[cfg(test)]` modules are
+//! skipped (tests are free to use RNGs and hash maps). Line comments are
+//! stripped before token matching, after directives are parsed.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lint finding: file, line, rule, and the offending source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier: `"rng"`, `"hash"` or `"spawn"`.
+    pub rule: &'static str,
+    /// The trimmed source line.
+    pub excerpt: String,
+}
+
+impl std::fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.excerpt
+        )
+    }
+}
+
+/// Crates whose `src/` trees are golden-affecting ("library" scope for
+/// the `rng` and `hash` rules). `datagen` (workload synthesis), `sim`,
+/// `bench` and `verify` are harness code: their RNGs are seeded
+/// experiment inputs, not hidden library state.
+const LIBRARY_CRATES: &[&str] = &["geom", "hilbert", "broadcast", "core", "rtree", "bptree"];
+
+/// Files inside library scope where RNG construction is the *point*:
+/// the link-error models and the client's loss draws.
+const RNG_HOMES: &[&str] = &[
+    "crates/broadcast/src/loss.rs",
+    "crates/broadcast/src/tuner.rs",
+];
+
+/// RNG construction tokens. Constructions, not uses: every `gen_range`
+/// call needs a generator built somewhere, so flagging construction
+/// keeps the findings one-per-site.
+const RNG_TOKENS: &[&str] = &[
+    "seed_from_u64",
+    "thread_rng(",
+    "from_entropy(",
+    "rand::random",
+];
+
+/// Lines of context after a `spawn(` within which the `hotpath` token
+/// must appear.
+const SPAWN_WINDOW: usize = 8;
+
+/// Lints every workspace source file under `root` (`crates/*/src` and
+/// the umbrella `src/`). Returns all findings; empty means clean.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<LintFinding>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let umbrella = root.join("src");
+    if umbrella.is_dir() {
+        collect_rs(&umbrella, &mut files)?;
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(&path)?;
+        findings.extend(lint_source(&rel, &src));
+    }
+    Ok(findings)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name != "target" && name != "vendor" {
+                collect_rs(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints one source file (`rel` is its workspace-relative path, which
+/// determines rule scope). Exposed separately so rule behaviour is
+/// unit-testable on synthetic sources.
+pub fn lint_source(rel: &str, src: &str) -> Vec<LintFinding> {
+    let in_library = LIBRARY_CRATES
+        .iter()
+        .any(|c| rel.starts_with(&format!("crates/{c}/src/")));
+    let rng_scope = in_library && !RNG_HOMES.contains(&rel);
+    let lines: Vec<&str> = src.lines().collect();
+    let mut findings = Vec::new();
+    // `#[cfg(test)]` module skipping: once the attribute is seen, skip
+    // until the brace opened by the following item closes.
+    let mut skip_depth: i64 = 0;
+    let mut pending_skip = false;
+    for (i, raw) in lines.iter().enumerate() {
+        let trimmed = raw.trim();
+        if skip_depth > 0 || pending_skip {
+            let opens = raw.matches('{').count() as i64;
+            let closes = raw.matches('}').count() as i64;
+            if pending_skip && opens > 0 {
+                pending_skip = false;
+                skip_depth = opens - closes;
+            } else if skip_depth > 0 {
+                skip_depth += opens - closes;
+            }
+            if skip_depth <= 0 && !pending_skip {
+                skip_depth = 0;
+            }
+            continue;
+        }
+        if trimmed.starts_with("#[cfg(test)]") {
+            pending_skip = true;
+            continue;
+        }
+        // Directives are parsed from the raw line (they live in
+        // comments); code tokens from the comment-stripped line.
+        let allow = |rule: &str| {
+            let directive = format!("dsi-lint: allow({rule})");
+            raw.contains(&directive) || (i > 0 && lines[i - 1].contains(&directive))
+        };
+        let code = strip_comments(raw);
+        let mut flag = |rule: &'static str| {
+            if !allow(rule) {
+                findings.push(LintFinding {
+                    file: rel.to_string(),
+                    line: i + 1,
+                    rule,
+                    excerpt: trimmed.chars().take(100).collect(),
+                });
+            }
+        };
+        if rng_scope && RNG_TOKENS.iter().any(|t| code.contains(t)) {
+            flag("rng");
+        }
+        if in_library && (code.contains("HashMap") || code.contains("HashSet")) {
+            flag("hash");
+        }
+        if code.contains("spawn(") && !code.contains("fn spawn(") {
+            let window_end = (i + 1 + SPAWN_WINDOW).min(lines.len());
+            let propagated = lines[i..window_end].iter().any(|l| l.contains("hotpath"));
+            if !propagated {
+                flag("spawn");
+            }
+        }
+    }
+    findings
+}
+
+/// Strips `//` line comments and single-line `/* */` blocks before token
+/// matching, so tokens mentioned in prose never trip a rule.
+fn strip_comments(line: &str) -> String {
+    let line = match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    };
+    let mut out = String::with_capacity(line.len());
+    let mut rest = line;
+    while let Some(start) = rest.find("/*") {
+        out.push_str(&rest[..start]);
+        match rest[start..].find("*/") {
+            Some(end) => rest = &rest[start + end + 2..],
+            None => return out,
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_construction_in_library_scope_is_flagged() {
+        let f = lint_source(
+            "crates/core/src/build.rs",
+            "let mut rng = StdRng::seed_from_u64(7);\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "rng");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn rng_homes_and_harness_crates_are_exempt() {
+        let src = "let mut rng = StdRng::seed_from_u64(7);\n";
+        assert!(lint_source("crates/broadcast/src/loss.rs", src).is_empty());
+        assert!(lint_source("crates/broadcast/src/tuner.rs", src).is_empty());
+        assert!(lint_source("crates/sim/src/matrix.rs", src).is_empty());
+        assert!(lint_source("crates/datagen/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hash_in_library_scope_is_flagged_and_silencable() {
+        let flagged = "use std::collections::HashMap;\n";
+        let f = lint_source("crates/rtree/src/client.rs", flagged);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "hash");
+        let silenced = "// dsi-lint: allow(hash): drained through a sort\n\
+                        use std::collections::HashMap;\n";
+        assert!(lint_source("crates/rtree/src/client.rs", silenced).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_skipped() {
+        let src = "fn a() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       use std::collections::HashMap;\n\
+                       fn b() { let _ = StdRng::seed_from_u64(1); }\n\
+                   }\n";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn spawn_without_hotpath_propagation_is_flagged() {
+        let bare = "scope.spawn(|| {\n    work();\n});\n";
+        let f = lint_source("crates/sim/src/runner.rs", bare);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "spawn");
+        let propagated = "scope.spawn(move || {\n\
+                              dsi_core::hotpath::set_state_path(path);\n\
+                              work();\n\
+                          });\n";
+        assert!(lint_source("crates/sim/src/runner.rs", propagated).is_empty());
+    }
+
+    #[test]
+    fn tokens_in_comments_do_not_trip_rules() {
+        let src = "// a HashMap would be wrong here; see seed_from_u64 docs\nlet x = 1;\n";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+}

@@ -18,6 +18,9 @@
 //!   workloads.
 //! * [`sim`] — the experiment harness regenerating every figure and table
 //!   of the paper's evaluation.
+//! * [`verify`] — the static broadcast-program analyzer: structural
+//!   soundness, forward-progress proofs, worst-case latency/tuning
+//!   bounds, and the repo-invariant source lints.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, and DESIGN.md /
 //! EXPERIMENTS.md for the reproduction methodology and results.
@@ -31,6 +34,7 @@ pub use dsi_datagen as datagen;
 pub use dsi_geom as geom;
 pub use dsi_hilbert as hilbert;
 pub use dsi_sim as sim;
+pub use dsi_verify as verify;
 
 pub use dsi_bptree as bptree;
 pub use dsi_rtree as rtree;
