@@ -1,5 +1,5 @@
 //! Perf-tracking harness: measures client query-engine throughput and
-//! writes `BENCH_PR6.json` so later PRs have a trajectory to beat.
+//! writes `BENCH_PR8.json` so later PRs have a trajectory to beat.
 //!
 //! Runs seeded window and 10NN batches over one DSI broadcast twice —
 //! once on the incremental state path and once on the from-scratch
@@ -16,23 +16,43 @@
 //! both the harness and the perf trajectory honest. Metrics absent from
 //! the older baseline (the percentiles, pre-PR 3) are skipped.
 //!
+//! Since PR 8 the run also exercises the **fleet engine**
+//! (`dsi_sim::fleet`): a population of `DSI_FLEET_CLIENTS` (default
+//! 200,000) concurrent clients on the same broadcast, A/B-measured in the
+//! same process against the classic one-`run_query_batch`-call-per-client
+//! loop over the *same* population (interleaved passes, so host noise
+//! hits both arms alike; the deliberately slow baseline is rate-measured
+//! on a deterministic population subsample). The `fleet` section of the
+//! JSON reports clients/sec, served events/sec, the baseline events/sec
+//! and speedup, and population latency/tuning p50/p95/p99. Fleet
+//! *outcomes* are pinned bit-identical to the sequential oracle by the
+//! differential suite and the `fleet` binary's equality gate; this
+//! harness only adds the throughput trajectory.
+//!
 //! Scale knobs: `DSI_N` (objects, default 10,000), `DSI_QUERIES` (queries
-//! per batch, default 200), `DSI_BENCH_OUT` (output path, default
-//! `BENCH_PR6.json`).
+//! per batch, default 200), `DSI_FLEET_CLIENTS` (fleet population,
+//! default 200,000), `DSI_BENCH_OUT` (output path, default
+//! `BENCH_PR8.json`).
+//!
+//! PR 7 shipped no bench JSON, so CI compares against the committed
+//! `BENCH_PR6.json`; the classic air metrics must stay bit-identical.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
-use dsi_broadcast::{LossModel, MeanStats, QueryStats, Tuner};
+use dsi_broadcast::{LossModel, MeanStats, Query, QueryStats, Tuner};
 use dsi_core::hotpath::{self, StatePath};
 use dsi_core::{DsiAir, DsiConfig, KnnStrategy};
 use dsi_datagen::{knn_points, uniform, window_queries, SpatialDataset};
+use dsi_sim::fleet::{baseline_loop, run_fleet, BaselineRun, FleetSpec, FleetStats};
+use dsi_sim::{Engine, Scheme};
 
 const CAPACITY: u32 = 64;
 const ORDER: u8 = 12;
 const K: usize = 10;
 const WINDOW_RATIO: f64 = 0.1;
-const PR: u32 = 6;
+const PR: u32 = 8;
 
 #[derive(Clone, Copy)]
 struct BatchMetrics {
@@ -241,12 +261,120 @@ fn compare_against(prev_path: &str, batches: &[(&str, BatchMetrics)], max_regres
     regressed
 }
 
+/// One fleet workload's interleaved A/B result.
+struct FleetAb {
+    stats: FleetStats,
+    baseline: BaselineRun,
+    baseline_stride: usize,
+}
+
+impl FleetAb {
+    /// Baseline events (tuning packets) served per second, from the
+    /// subsampled rate measurement.
+    fn baseline_events_per_sec(&self) -> f64 {
+        (self.baseline.tuning_bytes / CAPACITY as f64) / self.baseline.wall_seconds
+    }
+
+    /// Fleet served-events/sec over baseline events/sec.
+    fn events_speedup(&self) -> f64 {
+        self.stats.events_per_sec / self.baseline_events_per_sec()
+    }
+}
+
+/// Runs one fleet workload and its classic-loop baseline, interleaved
+/// (fleet, baseline, fleet, baseline), keeping the best pass of each arm.
+fn run_fleet_ab(
+    engine: &Arc<Engine>,
+    ds: &Arc<SpatialDataset>,
+    pool: Vec<Query>,
+    clients: usize,
+) -> FleetAb {
+    let spec = FleetSpec {
+        skew: 1.1,
+        ..FleetSpec::new(clients, pool)
+    };
+    // Rate-measure the slow baseline on ~300 clients of the population.
+    let baseline_stride = clients.div_ceil(300).max(1);
+    let mut best: Option<(FleetStats, BaselineRun)> = None;
+    for _ in 0..2 {
+        let (stats, _) = run_fleet(engine, None, &spec);
+        let base = baseline_loop(engine, ds, &spec, baseline_stride);
+        best = Some(match best.take() {
+            None => (stats, base),
+            Some((bs, bb)) => (
+                if stats.wall_seconds < bs.wall_seconds {
+                    stats
+                } else {
+                    bs
+                },
+                if base.wall_seconds < bb.wall_seconds {
+                    base
+                } else {
+                    bb
+                },
+            ),
+        });
+    }
+    let (stats, baseline) = best.expect("two passes ran");
+    FleetAb {
+        stats,
+        baseline,
+        baseline_stride,
+    }
+}
+
+fn fleet_report(name: &str, ab: &FleetAb) {
+    let s = &ab.stats;
+    println!(
+        "fleet {name:>6}: {} clients | {} drives ({:.1}% coalesced) | {:>9.0} clients/s | {:.3e} events/s | baseline {:.3e} events/s ({:.1}x) | lat p50/p95/p99 {}/{}/{} pkt | tun p50/p95/p99 {}/{}/{} pkt",
+        s.clients,
+        s.drives,
+        100.0 * s.coalesced as f64 / s.clients.max(1) as f64,
+        s.clients_per_sec,
+        s.events_per_sec,
+        ab.baseline_events_per_sec(),
+        ab.events_speedup(),
+        s.latency.p50,
+        s.latency.p95,
+        s.latency.p99,
+        s.tuning.p50,
+        s.tuning.p95,
+        s.tuning.p99,
+    );
+}
+
+fn fleet_json(out: &mut String, name: &str, ab: &FleetAb) {
+    let s = &ab.stats;
+    let _ = write!(
+        out,
+        "    \"{name}\": {{\"drives\": {}, \"coalesced\": {}, \"wall_seconds\": {:.4}, \"clients_per_sec\": {:.1}, \"events_per_sec\": {:.1}, \"baseline_clients\": {}, \"baseline_stride\": {}, \"baseline_wall_seconds\": {:.4}, \"baseline_events_per_sec\": {:.1}, \"events_speedup\": {:.2}, \"latency_p50\": {}, \"latency_p95\": {}, \"latency_p99\": {}, \"tuning_p50\": {}, \"tuning_p95\": {}, \"tuning_p99\": {}, \"share_hits\": {}, \"share_misses\": {}}}",
+        s.drives,
+        s.coalesced,
+        s.wall_seconds,
+        s.clients_per_sec,
+        s.events_per_sec,
+        ab.baseline.clients,
+        ab.baseline_stride,
+        ab.baseline.wall_seconds,
+        ab.baseline_events_per_sec(),
+        ab.events_speedup(),
+        s.latency.p50,
+        s.latency.p95,
+        s.latency.p99,
+        s.tuning.p50,
+        s.tuning.p95,
+        s.tuning.p99,
+        s.window_cache_hits,
+        s.window_cache_misses,
+    );
+}
+
 fn main() {
     let n = env_usize("DSI_N", 10_000);
     let n_queries = env_usize("DSI_QUERIES", 200);
     assert!(n > 0, "DSI_N must be at least 1");
     assert!(n_queries > 0, "DSI_QUERIES must be at least 1");
-    let out_path = std::env::var("DSI_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR6.json".into());
+    let out_path = std::env::var("DSI_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR8.json".into());
     let args: Vec<String> = std::env::args().collect();
     let compare_path = args
         .iter()
@@ -311,6 +439,33 @@ fn main() {
     report("window", win_inc, win_scr);
     report("knn10", knn_inc, knn_scr);
 
+    // Fleet phase: the same broadcast serving a concurrent population,
+    // interleaved A/B against the classic per-client loop.
+    let fleet_clients = env_usize("DSI_FLEET_CLIENTS", 200_000);
+    let ds = Arc::new(ds);
+    let engine = Arc::new(Engine::build(
+        Scheme::dsi_reorganized(CAPACITY),
+        &ds,
+        CAPACITY,
+    ));
+    let win_pool: Vec<Query> = windows.iter().take(8).copied().map(Query::Window).collect();
+    let knn_pool: Vec<Query> = points
+        .iter()
+        .take(8)
+        .copied()
+        .map(|p| Query::Knn(p, K))
+        .collect();
+    let fleet_win = run_fleet_ab(&engine, &ds, win_pool, fleet_clients);
+    let fleet_knn = run_fleet_ab(&engine, &ds, knn_pool, fleet_clients);
+    fleet_report("window", &fleet_win);
+    fleet_report("knn10", &fleet_knn);
+    println!(
+        "fleet  knn10: effective {:.0} q/s vs {:.0} q/s classic loop this run ({:.1}x; BENCH_PR6 single-client reference ~529 q/s)",
+        fleet_knn.stats.clients_per_sec,
+        knn_inc.queries_per_sec,
+        fleet_knn.stats.clients_per_sec / knn_inc.queries_per_sec,
+    );
+
     let mut json = String::from("{\n");
     let _ = writeln!(
         json,
@@ -319,7 +474,16 @@ fn main() {
     batch_json(&mut json, "window", win_inc, win_scr);
     json.push_str(",\n");
     batch_json(&mut json, "knn10", knn_inc, knn_scr);
-    json.push_str("\n}\n");
+    json.push_str(",\n");
+    let _ = writeln!(
+        json,
+        "  \"fleet\": {{\n    \"clients\": {fleet_clients},\n    \"workers\": {},",
+        fleet_win.stats.workers
+    );
+    fleet_json(&mut json, "window", &fleet_win);
+    json.push_str(",\n");
+    fleet_json(&mut json, "knn10", &fleet_knn);
+    json.push_str("\n  }\n}\n");
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     println!("[wrote {out_path}]");
 

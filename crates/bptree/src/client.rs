@@ -402,6 +402,19 @@ impl dsi_broadcast::AirScheme for BpAir {
     fn knn(&self, tuner: &mut Tuner<'_, BpPacket>, q: Point, k: usize) -> Vec<u32> {
         self.knn_query(tuner, q, k)
     }
+
+    /// An HCI client's first act is to seed at the earliest root copy, so
+    /// that copy's arrival is the coalescing anchor. Computed through the
+    /// same [`BpAir::node_arrival`] planner [`seed`] uses (on a scratch
+    /// tuner), so the anchor cannot drift from the entry.
+    fn tune_anchor(&self, start: u64) -> Option<u64> {
+        if self.program().n_channels() != 1 {
+            return None;
+        }
+        let tuner = Tuner::tune_in(self.program(), start, dsi_broadcast::LossModel::None, 0);
+        let root_level = (self.tree.height() - 1) as u8;
+        Some(self.node_arrival(&tuner, root_level, 0).0)
+    }
 }
 
 /// Running k-th-distance bound for phase 2, seeded by the phase-1 radius.

@@ -62,5 +62,5 @@ pub use program::{PacketClass, Payload, Program};
 pub use scheme::{
     drive, drive_antennas, drive_profiled, drive_traced, AirScheme, DynScheme, Query, QueryOutcome,
 };
-pub use stats::{MeanStats, QueryStats};
+pub use stats::{DistSummary, Distribution, MeanStats, QueryStats};
 pub use tuner::{PacketLost, Tuner};

@@ -40,6 +40,33 @@ pub trait AirScheme {
     /// Answers a kNN query on the air: ids of the `k` objects nearest to
     /// `q` (ties by id), ascending.
     fn knn(&self, tuner: &mut Tuner<'_, Self::Packet>, q: Point, k: usize) -> Vec<u32>;
+
+    /// The **cohort-coalescing anchor** of a tune-in at `start`: the
+    /// absolute instant of the client's first scheme-defined action (DSI:
+    /// the next frame boundary; the tree schemes: the next airing of a
+    /// root copy), or `None` when no sound anchor exists.
+    ///
+    /// The contract backing the fleet engine's deduplication
+    /// (`dsi_sim::fleet`): under [`LossModel::None`] on a
+    /// **single-channel** program, two clients tuning in at `a` and `b`
+    /// with `tune_anchor(a) == tune_anchor(b) != None` and running the
+    /// same query traverse the *identical* absolute trajectory after the
+    /// anchor — same reads, same answer, same tuning time, same switch
+    /// count — and differ only in access latency, by exactly `a - b`.
+    /// This holds because (1) lossless drives consume no randomness, so
+    /// the outcome is a pure function of `(query, start)`; (2) every
+    /// scheme's first act is to doze to a start-independent schedule
+    /// point — the anchor — carrying no state but the anchor instant; and
+    /// (3) at one channel there is nothing else (no monitored set, no
+    /// retune) for `start` to influence. Multi-channel programs return
+    /// `None`: the entry there plans arrivals *from `start`* across
+    /// channels, so distinct starts can enter at different slots.
+    ///
+    /// The default is the always-sound `None` (no coalescing).
+    fn tune_anchor(&self, start: u64) -> Option<u64> {
+        let _ = start;
+        None
+    }
 }
 
 /// One client query, scheme-agnostic.
@@ -207,6 +234,10 @@ pub trait DynScheme: Send + Sync {
         query: &Query,
     ) -> (QueryOutcome, FaultTrace);
 
+    /// The cohort-coalescing anchor of a tune-in at `start`; see
+    /// [`AirScheme::tune_anchor`] for the exact contract.
+    fn tune_anchor(&self, start: u64) -> Option<u64>;
+
     /// Packets per (flat) broadcast cycle.
     fn cycle_packets(&self) -> u64;
 
@@ -258,6 +289,10 @@ impl<S: AirScheme + Send + Sync> DynScheme for S {
         query: &Query,
     ) -> (QueryOutcome, FaultTrace) {
         drive_traced(self, start, loss, seed, antennas, query)
+    }
+
+    fn tune_anchor(&self, start: u64) -> Option<u64> {
+        AirScheme::tune_anchor(self, start)
     }
 
     fn cycle_packets(&self) -> u64 {

@@ -78,6 +78,95 @@ impl MeanStats {
     }
 }
 
+/// Exact sample distribution of one population-level metric (packet
+/// counts), built by the fleet engine for its p50/p95/p99 reporting.
+/// Samples are stored verbatim (a million clients is 8 MB — fine), so
+/// percentiles are exact nearest-rank values rather than sketch
+/// estimates, and merging partial distributions is a concatenation —
+/// which keeps fleet aggregation independent of worker count.
+#[derive(Debug, Clone, Default)]
+pub struct Distribution {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+/// Point summary of a [`Distribution`]: mean, nearest-rank percentiles,
+/// and the maximum. All zeros for an empty distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DistSummary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// 50th percentile (nearest-rank).
+    pub p50: u64,
+    /// 95th percentile (nearest-rank).
+    pub p95: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl Distribution {
+    /// An empty distribution expecting about `n` samples.
+    pub fn with_capacity(n: usize) -> Self {
+        Distribution {
+            samples: Vec::with_capacity(n),
+            sorted: false,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, sample: u64) {
+        self.samples.push(sample);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if no samples were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The nearest-rank `q`-quantile (`q` in `[0, 1]`); 0 when empty.
+    pub fn quantile(&mut self, q: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
+        self.samples[rank - 1]
+    }
+
+    /// Mean, p50/p95/p99 and max in one pass.
+    pub fn summary(&mut self) -> DistSummary {
+        if self.samples.is_empty() {
+            return DistSummary::default();
+        }
+        let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
+        DistSummary {
+            mean: sum as f64 / self.samples.len() as f64,
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: *self.samples.last().expect("non-empty after sort"),
+        }
+    }
+}
+
+impl Extend<u64> for Distribution {
+    fn extend<T: IntoIterator<Item = u64>>(&mut self, iter: T) {
+        self.samples.extend(iter);
+        self.sorted = false;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,5 +202,29 @@ mod tests {
         assert_eq!(m.count(), 2);
         assert_eq!(m.latency_bytes(), 640.0);
         assert_eq!(m.tuning_bytes(), 96.0);
+    }
+
+    #[test]
+    fn distribution_percentiles_are_nearest_rank() {
+        let mut d = Distribution::with_capacity(100);
+        // 100..1 pushed unsorted.
+        d.extend((1..=100u64).rev());
+        assert_eq!(d.len(), 100);
+        let s = d.summary();
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.max, 100);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        // Push after summary re-sorts lazily.
+        d.push(1000);
+        assert_eq!(d.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn empty_distribution_is_all_zero() {
+        let mut d = Distribution::default();
+        assert!(d.is_empty());
+        assert_eq!(d.summary(), DistSummary::default());
     }
 }

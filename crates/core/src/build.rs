@@ -257,6 +257,16 @@ impl AirScheme for DsiScheme {
     fn knn(&self, tuner: &mut Tuner<'_, DsiPacket>, q: Point, k: usize) -> Vec<u32> {
         self.air.knn_query(tuner, q, k, self.strategy)
     }
+
+    /// A DSI client's first act on one channel is to doze to the next
+    /// frame boundary (the same `next_frame_boundary` call the driver
+    /// makes), so that boundary instant is the coalescing anchor.
+    fn tune_anchor(&self, start: u64) -> Option<u64> {
+        if self.program().n_channels() != 1 {
+            return None;
+        }
+        Some(self.air.layout().next_frame_boundary(start).0)
+    }
 }
 
 #[cfg(test)]

@@ -55,6 +55,7 @@ mod eef;
 pub mod hotpath;
 mod knn;
 mod layout;
+pub mod share;
 mod state;
 mod table;
 mod verify;

@@ -11,7 +11,7 @@
 use dsi_broadcast::Tuner;
 use dsi_datagen::Object;
 use dsi_geom::Rect;
-use dsi_hilbert::{ranges_in_rect, HcRange};
+use dsi_hilbert::HcRange;
 
 use crate::build::{DsiAir, DsiPacket};
 use crate::client::{run_query, QueryMode, TargetsChange};
@@ -49,7 +49,9 @@ impl DsiAir {
     /// Answers a window query on the air: returns the ids of all objects
     /// inside `window`, ascending. Metrics accrue on `tuner`.
     pub fn window_query(&self, tuner: &mut Tuner<'_, DsiPacket>, window: &Rect) -> Vec<u32> {
-        let segments = ranges_in_rect(self.curve(), self.mapper(), window);
+        // Through the thread's installed share cache when a fleet worker
+        // put one up (bit-identical either way; see `crate::share`).
+        let segments = crate::share::window_segments(self.curve(), self.mapper(), window);
         if segments.is_empty() {
             return Vec::new();
         }

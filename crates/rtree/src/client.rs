@@ -317,6 +317,19 @@ impl dsi_broadcast::AirScheme for RTreeAir {
     fn knn(&self, tuner: &mut Tuner<'_, RtPacket>, q: Point, k: usize) -> Vec<u32> {
         self.knn_query(tuner, q, k)
     }
+
+    /// An R-tree client's first act is to seed at the earliest root copy,
+    /// so that copy's arrival is the coalescing anchor. Computed through
+    /// the same [`RTreeAir::node_arrival`] planner [`seed`] uses (on a
+    /// scratch tuner), so the anchor cannot drift from the entry.
+    fn tune_anchor(&self, start: u64) -> Option<u64> {
+        if self.program().n_channels() != 1 {
+            return None;
+        }
+        let tuner = Tuner::tune_in(self.program(), start, dsi_broadcast::LossModel::None, 0);
+        let root_level = (self.tree.height() - 1) as u8;
+        Some(self.node_arrival(&tuner, root_level, 0).0)
+    }
 }
 
 /// Candidate bookkeeping for the air R-tree kNN: one virtual candidate per

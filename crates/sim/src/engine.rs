@@ -187,6 +187,15 @@ impl Engine {
         self.scheme.drive_traced(start, loss, seed, antennas, query)
     }
 
+    /// The cohort-coalescing anchor of a tune-in at `start` — the
+    /// absolute instant of the client's first scheme-defined action, or
+    /// `None` when no sound anchor exists (multi-channel programs). See
+    /// [`dsi_broadcast::AirScheme::tune_anchor`] for the exact contract;
+    /// `dsi_sim::fleet` builds its deduplicated cohorts on it.
+    pub fn tune_anchor(&self, start: u64) -> Option<u64> {
+        self.scheme.tune_anchor(start)
+    }
+
     /// Which flat positions begin an indivisible broadcast unit — the
     /// structure a placement assigns to channels.
     pub fn unit_starts(&self) -> Vec<bool> {

@@ -600,6 +600,14 @@ pub fn real_summary(opts: &ExpOptions) -> Vec<Table> {
             crate::EVAL_ORDER,
         )
     };
+    real_summary_on(&ds, opts)
+}
+
+/// [`real_summary`] on a caller-provided dataset — the `real` binary runs
+/// it over the committed REAL point fixture instead of the synthetic
+/// surrogate.
+pub fn real_summary_on(ds: &SpatialDataset, opts: &ExpOptions) -> Vec<Table> {
+    let ds = ds.clone();
     let windows = window_queries(opts.n_queries, DEFAULT_RATIO, 11);
     let points = knn_points(opts.n_queries, 13);
     let batch = opts.batch();
@@ -664,6 +672,74 @@ pub fn real_summary(opts: &ExpOptions) -> Vec<Table> {
         frac(dsi.2.tuning_bytes, hci.2.tuning_bytes),
     ]);
     vec![t, ratios]
+}
+
+/// Population-level fleet summary over a dataset: one fleet of `clients`
+/// concurrent listeners per scheme (mixed window/kNN pool, Zipf-skewed
+/// popularity), reporting the coalescing rate, throughput and the
+/// latency/tuning percentiles the per-query matrix cannot see. When
+/// `opts.validate` is set the fleet additionally validates every cohort
+/// representative against brute force.
+pub fn fleet_summary_on(ds: &SpatialDataset, opts: &ExpOptions, clients: usize) -> Vec<Table> {
+    use crate::fleet::{run_fleet, FleetSpec};
+    use dsi_broadcast::Query;
+    use std::sync::Arc;
+
+    let ds = Arc::new(ds.clone());
+    let mut pool: Vec<Query> = window_queries(4, DEFAULT_RATIO, 11)
+        .into_iter()
+        .map(Query::Window)
+        .collect();
+    pool.extend(
+        knn_points(4, 13)
+            .into_iter()
+            .map(|p| Query::Knn(p, DEFAULT_K)),
+    );
+    let mut t = Table::new(
+        "Fleet — concurrent listener population per scheme (64 B packets)",
+        vec![
+            "index".into(),
+            "clients".into(),
+            "drives".into(),
+            "coalesced".into(),
+            "clients/s".into(),
+            "events/s".into(),
+            "lat p50/p95/p99 (pkt)".into(),
+            "tun p50/p95/p99 (pkt)".into(),
+            "peak conc".into(),
+        ],
+    );
+    for (name, scheme) in [
+        ("DSI", Scheme::dsi_reorganized(64)),
+        ("R-tree", Scheme::RTree),
+        ("HCI", Scheme::Hci),
+    ] {
+        let engine = Arc::new(Engine::build(scheme, &ds, 64));
+        let spec = FleetSpec {
+            skew: 1.1,
+            validate: opts.validate,
+            ..FleetSpec::new(clients, pool.clone())
+        };
+        let (stats, _) = run_fleet(&engine, Some(&ds), &spec);
+        t.push_row(vec![
+            name.into(),
+            stats.clients.to_string(),
+            stats.drives.to_string(),
+            fmt_pct(100.0 * stats.coalesced as f64 / stats.clients.max(1) as f64),
+            format!("{:.0}", stats.clients_per_sec),
+            format!("{:.0}", stats.events_per_sec),
+            format!(
+                "{}/{}/{}",
+                stats.latency.p50, stats.latency.p95, stats.latency.p99
+            ),
+            format!(
+                "{}/{}/{}",
+                stats.tuning.p50, stats.tuning.p95, stats.tuning.p99
+            ),
+            stats.peak_concurrent.to_string(),
+        ]);
+    }
+    vec![t]
 }
 
 /// Extension ablations called out in DESIGN.md: index base r, segment

@@ -50,9 +50,14 @@
 //!
 //! # Scope
 //!
-//! `lint_workspace` walks `crates/*/src` and the umbrella `src/`;
-//! `vendor/`, `target/`, test directories and `#[cfg(test)]` modules are
-//! skipped (tests are free to use RNGs and hash maps). Line comments are
+//! `lint_workspace` walks `crates/*/src`, the umbrella `src/`, **and**
+//! `vendor/*/src` — the vendored crates are first-party code here (the
+//! fleet engine's thread pool lives in `vendor/steal`), so the `spawn`
+//! rule applies to them like everything else. The `rng`/`hash` rules
+//! stay scoped to the library crates: `vendor/rand` constructs RNGs by
+//! definition, and no vendor crate sits on a golden-affecting path.
+//! `target/`, test directories and `#[cfg(test)]` modules are skipped
+//! (tests are free to use RNGs and hash maps). Line comments are
 //! stripped before token matching, after directives are parsed.
 
 use std::fs;
@@ -113,12 +118,14 @@ const SPAWN_WINDOW: usize = 8;
 /// the umbrella `src/`). Returns all findings; empty means clean.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<LintFinding>> {
     let mut files = Vec::new();
-    let crates_dir = root.join("crates");
-    if crates_dir.is_dir() {
-        for entry in fs::read_dir(&crates_dir)? {
-            let src = entry?.path().join("src");
-            if src.is_dir() {
-                collect_rs(&src, &mut files)?;
+    for tree in ["crates", "vendor"] {
+        let dir = root.join(tree);
+        if dir.is_dir() {
+            for entry in fs::read_dir(&dir)? {
+                let src = entry?.path().join("src");
+                if src.is_dir() {
+                    collect_rs(&src, &mut files)?;
+                }
             }
         }
     }
@@ -300,6 +307,22 @@ mod tests {
                               work();\n\
                           });\n";
         assert!(lint_source("crates/sim/src/runner.rs", propagated).is_empty());
+    }
+
+    #[test]
+    fn vendor_sources_get_the_spawn_rule_but_not_rng_or_hash() {
+        // The vendored pool crate is first-party: a worker spawned there
+        // without the hotpath hook (or an audited allow) is a finding.
+        let bare = "std::thread::Builder::new().spawn(run).unwrap();\n";
+        let f = lint_source("vendor/steal/src/lib.rs", bare);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "spawn");
+        let allowed = "// dsi-lint: allow(spawn): hook installs hotpath\n\
+                       std::thread::Builder::new().spawn(run).unwrap();\n";
+        assert!(lint_source("vendor/steal/src/lib.rs", allowed).is_empty());
+        // rng/hash stay library-crate scoped: vendor/rand *is* the RNG.
+        let rng = "let mut rng = StdRng::seed_from_u64(7);\nuse std::collections::HashMap;\n";
+        assert!(lint_source("vendor/rand/src/lib.rs", rng).is_empty());
     }
 
     #[test]

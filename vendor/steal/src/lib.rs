@@ -1,0 +1,346 @@
+//! A minimal work-stealing thread pool, vendored for the offline build
+//! image (no crates.io access).
+//!
+//! The design is the classic injector-plus-deques scheduler in safe Rust:
+//!
+//! - every worker owns a deque of jobs; the owner pushes and pops at the
+//!   **back** (LIFO — freshly spawned subtasks stay cache-hot), thieves
+//!   steal from the **front** (FIFO — the oldest, typically largest,
+//!   pieces of work migrate first), which is the Chase–Lev discipline;
+//! - jobs submitted from outside the pool land in a shared **injector**
+//!   queue that workers drain between local pops and steals;
+//! - idle workers park on a condition variable guarded by a push
+//!   **epoch**: every enqueue bumps the epoch under the lock, and a
+//!   worker only sleeps after re-scanning with the epoch pinned, so
+//!   wakeups cannot be lost.
+//!
+//! The deques are `Mutex<VecDeque>`s rather than lock-free channels: the
+//! workloads this pool exists for (the fleet engine's granule tasks in
+//! `dsi-sim`) hand out hundreds-to-thousands of coarse tasks, where one
+//! uncontended lock per transition is noise — and the workspace forbids
+//! `unsafe`, which rules out a true lock-free Chase–Lev ring.
+//!
+//! # Thread-local state propagation
+//!
+//! Pool threads do **not** inherit the spawner's thread-locals. Callers
+//! that rely on thread-local configuration — in this workspace, the
+//! `dsi_core::hotpath` incremental/from-scratch switch — must install it
+//! into every worker via [`Builder::on_thread_start`] (it runs once per
+//! worker, before any job) and/or at the head of each spawned job. The
+//! repo's `dsi-lint` `spawn` rule enforces the latter at spawn sites.
+//!
+//! # Determinism contract
+//!
+//! The pool itself guarantees only *execution*, not order: every job
+//! spawned on a [`Batch`] runs exactly once, and [`Batch::join`] returns
+//! after all of them (re-raising the first job panic). Callers that need
+//! results independent of worker count and scheduling — the fleet engine
+//! does — must make jobs pure functions of their inputs and merge results
+//! keyed by the job's identity, never by completion order.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A queued unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Scheduler state shared by every worker and every handle.
+struct Shared {
+    /// Jobs submitted from outside the pool.
+    injector: Mutex<VecDeque<Job>>,
+    /// One deque per worker: owner pops the back, thieves the front.
+    locals: Vec<Mutex<VecDeque<Job>>>,
+    /// Push epoch; bumped under the lock on every enqueue and at
+    /// shutdown. Workers sleep only while the epoch they last scanned at
+    /// is still current, which makes lost wakeups impossible.
+    epoch: Mutex<u64>,
+    /// Signalled on every epoch bump.
+    available: Condvar,
+    /// Cleared by [`Pool::drop`]; workers drain remaining jobs and exit.
+    live: AtomicBool,
+    /// Distinguishes nested pools in the worker thread-local.
+    pool_id: usize,
+}
+
+thread_local! {
+    /// `(pool id, worker index)` of the pool thread we are on, if any.
+    static WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+/// Monotonic id source for [`Shared::pool_id`].
+static POOL_IDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Configures and builds a [`Pool`].
+pub struct Builder {
+    workers: usize,
+    on_thread_start: Option<Arc<dyn Fn() + Send + Sync + 'static>>,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Builder {
+    /// A builder with as many workers as the host advertises.
+    pub fn new() -> Self {
+        Builder {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            on_thread_start: None,
+        }
+    }
+
+    /// Sets the worker count; `0` means one worker.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Installs a hook that runs once on every worker thread, before any
+    /// job. This is the place to propagate thread-local configuration
+    /// such as `dsi_core::hotpath::set_state_path` into the pool.
+    pub fn on_thread_start(mut self, hook: impl Fn() + Send + Sync + 'static) -> Self {
+        self.on_thread_start = Some(Arc::new(hook));
+        self
+    }
+
+    /// Spawns the workers and returns the pool.
+    pub fn build(self) -> Pool {
+        let workers = self.workers.max(1);
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            epoch: Mutex::new(0),
+            available: Condvar::new(),
+            live: AtomicBool::new(true),
+            pool_id: POOL_IDS.fetch_add(1, Ordering::Relaxed),
+        });
+        let handles = (0..workers)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                let hook = self.on_thread_start.clone();
+                std::thread::Builder::new()
+                    .name(format!("steal-worker-{me}"))
+                    // dsi-lint: allow(spawn): workers run the caller's on_thread_start hook, where hotpath state is installed
+                    .spawn(move || worker_main(shared, me, hook))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            workers: handles,
+        }
+    }
+}
+
+/// A work-stealing thread pool. Dropping it drains all queued jobs and
+/// joins the workers.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// A pool with `n` workers (`0` means one) and no start hook.
+    pub fn with_workers(n: usize) -> Self {
+        Builder::new().workers(n).build()
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.shared.locals.len()
+    }
+
+    /// Fire-and-forget: runs `job` on some worker, exactly once. There is
+    /// no completion signal; use a [`Batch`] to wait for results.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        enqueue(&self.shared, Box::new(job));
+    }
+
+    /// Opens a new join scope: spawn jobs on the returned [`Batch`], then
+    /// [`Batch::join`] to wait for all of them.
+    pub fn batch(&self) -> Batch {
+        Batch {
+            shared: Arc::clone(&self.shared),
+            state: Arc::new(BatchState {
+                pending: Mutex::new(0),
+                done: Condvar::new(),
+                panic: Mutex::new(None),
+            }),
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.live.store(false, Ordering::Release);
+        {
+            let mut e = self.shared.epoch.lock().unwrap();
+            *e += 1;
+            self.shared.available.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A group of jobs joined as a unit. Cloning yields another handle to
+/// the same group (jobs may spawn siblings from inside the pool).
+#[derive(Clone)]
+pub struct Batch {
+    shared: Arc<Shared>,
+    state: Arc<BatchState>,
+}
+
+struct BatchState {
+    /// Jobs spawned and not yet finished.
+    pending: Mutex<usize>,
+    /// Signalled when `pending` reaches zero.
+    done: Condvar,
+    /// First job panic, re-raised by [`Batch::join`].
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+impl Batch {
+    /// Runs `job` on the pool, exactly once. May be called from outside
+    /// the pool or from inside another job of the same pool (nested
+    /// spawns go to the current worker's own deque and are stolen from
+    /// there).
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        *self.state.pending.lock().unwrap() += 1;
+        let state = Arc::clone(&self.state);
+        enqueue(
+            &self.shared,
+            Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(job));
+                if let Err(payload) = result {
+                    // Keep the first panic; later ones are dropped.
+                    state.panic.lock().unwrap().get_or_insert(payload);
+                }
+                let mut pending = state.pending.lock().unwrap();
+                *pending -= 1;
+                if *pending == 0 {
+                    state.done.notify_all();
+                }
+            }),
+        );
+    }
+
+    /// Waits until every job spawned on this batch (from any handle) has
+    /// finished, then re-raises the first panic any of them hit. Must not
+    /// be called from a worker of the same pool — that worker would wait
+    /// on jobs only it could run.
+    pub fn join(&self) {
+        let on_own_pool =
+            WORKER.with(|w| w.get().is_some_and(|(pid, _)| pid == self.shared.pool_id));
+        assert!(
+            !on_own_pool,
+            "Batch::join called from a worker of the same pool (guaranteed deadlock)"
+        );
+        let mut pending = self.state.pending.lock().unwrap();
+        while *pending > 0 {
+            pending = self.state.done.wait(pending).unwrap();
+        }
+        drop(pending);
+        if let Some(payload) = self.state.panic.lock().unwrap().take() {
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Queues a job: onto the current worker's own deque when called from
+/// inside this pool, onto the injector otherwise; then publishes the
+/// push via the epoch.
+fn enqueue(shared: &Shared, job: Job) {
+    let on_worker = WORKER.with(|w| w.get());
+    match on_worker {
+        Some((pid, me)) if pid == shared.pool_id => {
+            shared.locals[me].lock().unwrap().push_back(job);
+        }
+        _ => shared.injector.lock().unwrap().push_back(job),
+    }
+    let mut e = shared.epoch.lock().unwrap();
+    *e += 1;
+    shared.available.notify_all();
+}
+
+/// One attempt to acquire work: own deque (LIFO), injector (FIFO), then
+/// steal round-robin from the other workers (FIFO).
+fn find_job(shared: &Shared, me: usize) -> Option<Job> {
+    if let Some(job) = shared.locals[me].lock().unwrap().pop_back() {
+        return Some(job);
+    }
+    if let Some(job) = shared.injector.lock().unwrap().pop_front() {
+        return Some(job);
+    }
+    let n = shared.locals.len();
+    for offset in 1..n {
+        let victim = (me + offset) % n;
+        if let Some(job) = shared.locals[victim].lock().unwrap().pop_front() {
+            return Some(job);
+        }
+    }
+    None
+}
+
+fn worker_main(shared: Arc<Shared>, me: usize, hook: Option<Arc<dyn Fn() + Send + Sync>>) {
+    WORKER.with(|w| w.set(Some((shared.pool_id, me))));
+    if let Some(hook) = &hook {
+        hook();
+    }
+    loop {
+        if let Some(job) = find_job(&shared, me) {
+            job();
+            continue;
+        }
+        // Pin the epoch, re-scan, and only then sleep: any push between
+        // the scan and the wait bumps the epoch under the same lock, so
+        // the wait below returns immediately instead of missing it.
+        let seen = *shared.epoch.lock().unwrap();
+        if let Some(job) = find_job(&shared, me) {
+            job();
+            continue;
+        }
+        if !shared.live.load(Ordering::Acquire) {
+            return;
+        }
+        let mut epoch = shared.epoch.lock().unwrap();
+        while *epoch == seen && shared.live.load(Ordering::Acquire) {
+            epoch = shared.available.wait(epoch).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn drop_with_idle_workers_terminates() {
+        let pool = Pool::with_workers(3);
+        assert_eq!(pool.workers(), 3);
+        drop(pool);
+    }
+
+    #[test]
+    fn fire_and_forget_runs() {
+        let pool = Pool::with_workers(2);
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..64 {
+            let hits = Arc::clone(&hits);
+            pool.spawn(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool); // drains all queued jobs before joining workers
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests for the vendored work-stealing pool: exactly-once
+//! execution (including nested spawns), panic propagation through
+//! `Batch::join`, the per-worker start hook, and actual work migration
+//! between workers.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use steal::{Builder, Pool};
+
+#[test]
+fn every_task_runs_exactly_once() {
+    let pool = Pool::with_workers(4);
+    const TASKS: usize = 5_000;
+    let runs: Arc<Vec<AtomicU8>> = Arc::new((0..TASKS).map(|_| AtomicU8::new(0)).collect());
+    let batch = pool.batch();
+    for i in 0..TASKS {
+        let runs = Arc::clone(&runs);
+        batch.spawn(move || {
+            runs[i].fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    batch.join();
+    for (i, r) in runs.iter().enumerate() {
+        assert_eq!(
+            r.load(Ordering::Relaxed),
+            1,
+            "task {i} did not run exactly once"
+        );
+    }
+}
+
+#[test]
+fn nested_spawns_run_exactly_once_and_join_sees_them() {
+    let pool = Pool::with_workers(3);
+    let total = Arc::new(AtomicU64::new(0));
+    let batch = pool.batch();
+    for _ in 0..16 {
+        let total = Arc::clone(&total);
+        let nested = batch.clone();
+        batch.spawn(move || {
+            total.fetch_add(1, Ordering::Relaxed);
+            for _ in 0..8 {
+                let total = Arc::clone(&total);
+                nested.spawn(move || {
+                    total.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    }
+    batch.join();
+    assert_eq!(total.load(Ordering::Relaxed), 16 * 9);
+}
+
+#[test]
+fn panics_propagate_through_join_and_pool_survives() {
+    let pool = Pool::with_workers(2);
+    let batch = pool.batch();
+    for i in 0..8 {
+        batch.spawn(move || {
+            if i == 3 {
+                panic!("task 3 exploded");
+            }
+        });
+    }
+    let err = catch_unwind(AssertUnwindSafe(|| batch.join()))
+        .expect_err("join must re-raise the task panic");
+    let msg = err
+        .downcast_ref::<&str>()
+        .copied()
+        .map(str::to_owned)
+        .or_else(|| err.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(
+        msg.contains("task 3 exploded"),
+        "payload preserved, got {msg:?}"
+    );
+
+    // The worker that caught the panic is still alive and scheduling.
+    let after = pool.batch();
+    let ran = Arc::new(AtomicU64::new(0));
+    for _ in 0..32 {
+        let ran = Arc::clone(&ran);
+        after.spawn(move || {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    after.join();
+    assert_eq!(ran.load(Ordering::Relaxed), 32);
+}
+
+#[test]
+fn start_hook_runs_on_every_worker_before_any_task() {
+    thread_local! {
+        static HOOKED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    }
+    let hook_runs = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&hook_runs);
+    let pool = Builder::new()
+        .workers(3)
+        .on_thread_start(move || {
+            HOOKED.with(|h| h.set(true));
+            counter.fetch_add(1, Ordering::Relaxed);
+        })
+        .build();
+    let batch = pool.batch();
+    let violations = Arc::new(AtomicUsize::new(0));
+    for _ in 0..256 {
+        let violations = Arc::clone(&violations);
+        batch.spawn(move || {
+            if !HOOKED.with(|h| h.get()) {
+                violations.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+    }
+    batch.join();
+    assert_eq!(
+        violations.load(Ordering::Relaxed),
+        0,
+        "a task ran before its worker's hook"
+    );
+    assert_eq!(
+        hook_runs.load(Ordering::Relaxed),
+        3,
+        "hook must run once per worker"
+    );
+}
+
+#[test]
+fn locally_spawned_work_is_stolen_by_other_workers() {
+    // One task fans out children into its own worker's deque, then two of
+    // those children rendezvous: each blocks until both are running. That
+    // is only possible if a *second* worker stole one of them.
+    let pool = Pool::with_workers(4);
+    let batch = pool.batch();
+    let gate = Arc::new((Mutex::new(0usize), Condvar::new()));
+    let child_batch = batch.clone();
+    let child_gate = Arc::clone(&gate);
+    batch.spawn(move || {
+        for _ in 0..2 {
+            let gate = Arc::clone(&child_gate);
+            child_batch.spawn(move || {
+                let (count, cv) = &*gate;
+                let mut inside = count.lock().unwrap();
+                *inside += 1;
+                cv.notify_all();
+                let deadline = Duration::from_secs(30);
+                while *inside < 2 {
+                    let (next, timeout) = cv.wait_timeout(inside, deadline).unwrap();
+                    inside = next;
+                    assert!(
+                        !timeout.timed_out(),
+                        "no second worker stole the sibling task"
+                    );
+                }
+            });
+        }
+    });
+    batch.join();
+    assert_eq!(*gate.0.lock().unwrap(), 2);
+}
