@@ -14,7 +14,10 @@
 //! any incremental metric regressed by more than
 //! `DSI_BENCH_MAX_REGRESSION` (a fraction, default 0.10) — so CI can keep
 //! both the harness and the perf trajectory honest. Metrics absent from
-//! the older baseline (the percentiles, pre-PR 3) are skipped.
+//! the older baseline (the percentiles, pre-PR 3) are skipped. The run's
+//! own JSON records the baseline it compared against (`compared_against`:
+//! path and, when present, the baseline's `pr` number) — gap PRs that
+//! ship no bench JSON leave the lineage readable.
 //!
 //! Since PR 8 the run also exercises the **fleet engine**
 //! (`dsi_sim::fleet`): a population of `DSI_FLEET_CLIENTS` (default
@@ -212,13 +215,27 @@ fn extract_incremental(json: &str, section: &str, field: &str) -> Option<f64> {
     rest[..end].trim().parse().ok()
 }
 
-/// Prints per-metric deltas against a previous run and returns whether
-/// any incremental metric regressed beyond `max_regression`: throughput
-/// dropping, or mean latency / tuning bytes (the paper's access-time and
-/// energy costs) growing, by more than the margin.
-fn compare_against(prev_path: &str, batches: &[(&str, BatchMetrics)], max_regression: f64) -> bool {
-    let prev = std::fs::read_to_string(prev_path)
-        .unwrap_or_else(|e| panic!("cannot read comparison baseline {prev_path}: {e}"));
+/// Pulls a top-level numeric field (e.g. `"pr"`) out of a previous run's
+/// JSON. Best-effort: absent in hand-edited or pre-PR 3 baselines.
+fn extract_top_number(json: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\":");
+    let val = json.find(&key)? + key.len();
+    let rest = json[val..].trim_start();
+    let end = rest.find([',', '}', '\n'])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// Prints per-metric deltas against a previous run (already read into
+/// `prev`) and returns whether any incremental metric regressed beyond
+/// `max_regression`: throughput dropping, or mean latency / tuning bytes
+/// (the paper's access-time and energy costs) growing, by more than the
+/// margin.
+fn compare_against(
+    prev_path: &str,
+    prev: &str,
+    batches: &[(&str, BatchMetrics)],
+    max_regression: f64,
+) -> bool {
     let mut regressed = false;
     println!(
         "--- comparison vs {prev_path} (fail beyond {:.0}% regression) ---",
@@ -236,7 +253,7 @@ fn compare_against(prev_path: &str, batches: &[(&str, BatchMetrics)], max_regres
             ("p95_tuning_bytes", m.p95_tuning_bytes as f64, false),
         ];
         for (field, new, higher_better) in metrics {
-            let Some(old) = extract_incremental(&prev, name, field) else {
+            let Some(old) = extract_incremental(prev, name, field) else {
                 println!("{name:>8}.{field}: not present in baseline, skipped");
                 continue;
             };
@@ -380,6 +397,21 @@ fn main() {
         .iter()
         .position(|a| a == "--compare")
         .map(|i| args.get(i + 1).expect("--compare needs a path").clone());
+    // Read the baseline up front (fail before the long measurement, not
+    // after) and name it in this run's JSON: gap PRs whose baseline is
+    // several PRs old stay self-documenting.
+    let baseline = compare_path.as_ref().map(|p| {
+        let content = std::fs::read_to_string(p)
+            .unwrap_or_else(|e| panic!("cannot read comparison baseline {p}: {e}"));
+        (p.clone(), content)
+    });
+    let compared_against = match &baseline {
+        Some((path, content)) => match extract_top_number(content, "pr") {
+            Some(pr) => format!("{{\"path\": \"{path}\", \"pr\": {pr}}}"),
+            None => format!("{{\"path\": \"{path}\"}}"),
+        },
+        None => "null".to_string(),
+    };
     let max_regression = std::env::var("DSI_BENCH_MAX_REGRESSION")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -469,7 +501,7 @@ fn main() {
     let mut json = String::from("{\n");
     let _ = writeln!(
         json,
-        "  \"bench\": \"dsi_client_query_engine\",\n  \"pr\": {PR},\n  \"n\": {n},\n  \"queries_per_batch\": {n_queries},\n  \"capacity_bytes\": {CAPACITY},\n  \"k\": {K},\n  \"window_ratio\": {WINDOW_RATIO},"
+        "  \"bench\": \"dsi_client_query_engine\",\n  \"pr\": {PR},\n  \"compared_against\": {compared_against},\n  \"n\": {n},\n  \"queries_per_batch\": {n_queries},\n  \"capacity_bytes\": {CAPACITY},\n  \"k\": {K},\n  \"window_ratio\": {WINDOW_RATIO},"
     );
     batch_json(&mut json, "window", win_inc, win_scr);
     json.push_str(",\n");
@@ -487,9 +519,9 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     println!("[wrote {out_path}]");
 
-    if let Some(prev) = compare_path {
+    if let Some((prev_path, prev)) = baseline {
         let batches = [("window", win_inc), ("knn10", knn_inc)];
-        if compare_against(&prev, &batches, max_regression) {
+        if compare_against(&prev_path, &prev, &batches, max_regression) {
             eprintln!("perf regression beyond the allowed margin");
             std::process::exit(1);
         }

@@ -21,6 +21,44 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// The static coalescing proof talks about the *static* anchor map; the
+/// fleet dedups on the *dynamic* `Engine::tune_anchor`. Soundness needs
+/// the dynamic partition to refine the static one: whenever two tune-ins
+/// get the same dynamic anchor (and so share one drive), the static
+/// proof must also place them in one cohort. Sampled over the cycle.
+fn crosscheck_anchors(engine: &Engine, report: &dsi_verify::VerifyReport) -> Result<(), String> {
+    let model = engine.static_model();
+    let cycle = engine.cycle_packets();
+    let statics = dsi_verify::static_anchor_map(model);
+    if !report.coalesce.applicable {
+        if let Some(s) = (0..cycle).find(|&s| engine.tune_anchor(s).is_some()) {
+            return Err(format!(
+                "static proof is inapplicable but tune_anchor({s}) is Some"
+            ));
+        }
+        return Ok(());
+    }
+    let statics = statics.ok_or("report says applicable but no static anchor map")?;
+    let step = (cycle / 64).max(1);
+    let mut by_dynamic: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    for s in (0..cycle).step_by(step as usize) {
+        let Some(d) = engine.tune_anchor(s) else {
+            return Err(format!("tune_anchor({s}) is None on an applicable cell"));
+        };
+        let stat = statics[s as usize];
+        match by_dynamic.insert(d, stat) {
+            Some(prev) if prev != stat => {
+                return Err(format!(
+                    "dynamic anchor {d} spans static anchors {prev} and {stat}: \
+                     the fleet would coalesce clients the model cannot prove equal"
+                ));
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let n = env_usize("DSI_N", 300);
     let ds = SpatialDataset::build(&dsi_datagen::uniform(n, 42), 10);
@@ -91,9 +129,23 @@ fn main() -> ExitCode {
                 );
                 failed = true;
             }
+            // Cross-check the static coalescing verdict against the live
+            // engine: equal dynamic anchors must imply equal static
+            // anchors (the dedup keys on the dynamic one), and a cell the
+            // static proof calls inapplicable must never hand out anchors.
+            if let Err(e) = crosscheck_anchors(&engine, &report) {
+                eprintln!("verify: {sname} x {cname}: anchor cross-check: {e}");
+                failed = true;
+            }
+            let co = &report.coalesce;
+            let co_str = if co.applicable {
+                format!("coalesce {}a/{}w", co.anchors, co.checked_pairs)
+            } else {
+                "coalesce n/a".to_string()
+            };
             println!(
                 "verify: {sname:9} x {cname:10}: {} units, {} hops, \
-                 latency {max_lat} <= {}, tuning {max_tun} <= {}",
+                 latency {max_lat} <= {}, tuning {max_tun} <= {}, {co_str}",
                 report.n_units,
                 report.max_nav_hops,
                 report.bounds.latency_packets,

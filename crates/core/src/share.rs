@@ -33,10 +33,15 @@
 //! `hash` rule: no hash-ordered container in golden-affecting library
 //! paths.
 
+// Synchronization goes through the `interleave` shims (pure `std`
+// re-exports in normal builds) so the `dsi-model` suite can explore the
+// concurrent insert/hit interleavings under `--cfg dsi_model`.
+// dsi-lint: lock-order: windows
+use interleave::sync::atomic::{AtomicU64, Ordering};
+use interleave::sync::Mutex;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use dsi_geom::{GridMapper, Rect};
 use dsi_hilbert::{ranges_in_rect, HcRange, HilbertCurve};
@@ -102,6 +107,19 @@ impl ShareCache {
             .entry(key)
             .or_insert_with(|| Arc::clone(&segments))
             .clone()
+    }
+
+    /// [`ShareCache::window_segments`] for callers outside the crate —
+    /// the `dsi-model` suite drives concurrent insert/hit scenarios
+    /// against the cache directly and asserts bit-identical results in
+    /// every explored schedule.
+    pub fn segments_for(
+        &self,
+        curve: &HilbertCurve,
+        mapper: &GridMapper,
+        rect: &Rect,
+    ) -> Arc<Vec<HcRange>> {
+        self.window_segments(curve, mapper, rect)
     }
 }
 

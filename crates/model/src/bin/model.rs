@@ -1,0 +1,52 @@
+//! The model-check runner: explores every core concurrency scenario
+//! exhaustively (within its preemption bound) and prints one line per
+//! scenario plus a final `MODEL OK` for CI to grep.
+//!
+//! The binary only does real work when the workspace is built with
+//! `RUSTFLAGS="--cfg dsi_model"`; a normal build prints a rebuild
+//! notice and exits non-zero so a misconfigured CI job cannot pass
+//! vacuously.
+
+#[cfg(not(dsi_model))]
+fn main() {
+    eprintln!("model: built without the model scheduler.");
+    eprintln!("model: rebuild with RUSTFLAGS=\"--cfg dsi_model\" to run the suite.");
+    std::process::exit(2);
+}
+
+#[cfg(dsi_model)]
+fn main() {
+    let mut failed = false;
+    for s in dsi_model::scenarios::run_all() {
+        let verdict = if s.check.is_clean() && s.distinct_outcomes == 1 {
+            "OK"
+        } else {
+            failed = true;
+            "FAIL"
+        };
+        println!(
+            "scenario {:<24} bound={} schedules={:<6} races={} cycles={} outcomes={} {}",
+            s.name,
+            s.bound,
+            s.check.executions(),
+            s.check.races.len(),
+            s.check.cycles.len(),
+            s.distinct_outcomes,
+            verdict
+        );
+        if let Some(v) = &s.check.report.violation {
+            println!("  violation: {v}");
+            if let Some(kind) = &s.check.deadlock_kind {
+                println!("  diagnosis: {kind:?}");
+            }
+            if let Some(cx) = &s.check.report.counterexample {
+                println!("  counterexample schedule: {:?}", cx.schedule);
+            }
+        }
+    }
+    if failed {
+        println!("MODEL FAIL");
+        std::process::exit(1);
+    }
+    println!("MODEL OK");
+}

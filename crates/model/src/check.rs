@@ -1,0 +1,112 @@
+//! The combined check driver: exhaustive exploration plus per-execution
+//! race, lock-order and lost-wakeup analysis.
+//!
+//! [`check`] runs `interleave::explore_with` and feeds every finished
+//! execution's event stream through a fresh [`LocksetAnalyzer`] and a
+//! shared [`LockOrderAnalyzer`] (edges accumulate across executions —
+//! object ids are deterministic per schedule prefix). The result bundles
+//! the explorer's own verdict (deadlocks, user panics, step limits) with
+//! the analyzers', so one call answers every question the model suite
+//! asks of a scenario.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+
+use interleave::{explore_with, Options, Report, Violation};
+
+use crate::lockorder::LockOrderAnalyzer;
+use crate::lockset::{LocksetAnalyzer, Race};
+use crate::wakeup::{classify, DeadlockKind};
+
+/// Everything a model-check run learned about a scenario.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// The explorer's verdict: schedule count, completeness, the first
+    /// violation and its counterexample schedule.
+    pub report: Report,
+    /// Unprotected shared accesses, deduplicated across executions.
+    pub races: Vec<Race>,
+    /// Lock-order cycles in the graph accumulated over all executions.
+    pub cycles: Vec<Vec<usize>>,
+    /// Refined diagnosis when the violation is a deadlock: plain
+    /// deadlock vs lost wakeup.
+    pub deadlock_kind: Option<DeadlockKind>,
+}
+
+impl CheckReport {
+    /// Number of distinct schedules explored.
+    pub fn executions(&self) -> usize {
+        self.report.executions
+    }
+
+    /// `true` when exploration exhausted the bounded state space with
+    /// no violation, no race and no lock-order cycle.
+    pub fn is_clean(&self) -> bool {
+        self.report.complete
+            && self.report.violation.is_none()
+            && self.races.is_empty()
+            && self.cycles.is_empty()
+    }
+
+    /// Panics with a readable diagnosis unless [`CheckReport::is_clean`].
+    pub fn assert_clean(&self) {
+        if let Some(kind) = &self.deadlock_kind {
+            if let Some(Violation::Deadlock { .. }) = &self.report.violation {
+                let sched = self
+                    .report
+                    .counterexample
+                    .as_ref()
+                    .map(|e| format!("{:?}", e.schedule))
+                    .unwrap_or_else(|| "<none>".into());
+                panic!(
+                    "model deadlock ({kind:?}) after {} executions\n  counterexample schedule: {sched}",
+                    self.report.executions
+                );
+            }
+        }
+        self.report.assert_ok();
+        assert!(
+            self.races.is_empty(),
+            "lockset races found: {:?}",
+            self.races
+        );
+        assert!(
+            self.cycles.is_empty(),
+            "lock-order cycles found: {:?}",
+            self.cycles
+        );
+    }
+}
+
+/// Exhaustively explores `f` under `opts`, running the race and
+/// lock-order analyzers over every execution's event stream.
+pub fn check<F: Fn()>(opts: &Options, f: F) -> CheckReport {
+    let races: RefCell<Vec<Race>> = RefCell::new(Vec::new());
+    let seen: RefCell<BTreeSet<(usize, usize, bool)>> = RefCell::new(BTreeSet::new());
+    let order: RefCell<LockOrderAnalyzer> = RefCell::new(LockOrderAnalyzer::new());
+    let report = explore_with(opts, f, |exec| {
+        let mut lockset = LocksetAnalyzer::new();
+        let mut order = order.borrow_mut();
+        for e in &exec.events {
+            lockset.on_event(e);
+            order.on_event(e);
+        }
+        let mut seen = seen.borrow_mut();
+        for r in lockset.races() {
+            if seen.insert((r.cell, r.task, r.write)) {
+                races.borrow_mut().push(r.clone());
+            }
+        }
+    });
+    let deadlock_kind = match (&report.violation, &report.counterexample) {
+        (Some(v), Some(cx)) => classify(&cx.events, v),
+        _ => None,
+    };
+    let cycles = order.borrow().cycles();
+    CheckReport {
+        report,
+        races: races.into_inner(),
+        cycles,
+        deadlock_kind,
+    }
+}

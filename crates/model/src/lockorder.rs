@@ -1,0 +1,204 @@
+//! Lock-order graph construction and cycle detection.
+//!
+//! Every `Acquire` of lock `B` while the same task already holds lock
+//! `A` adds the edge `A → B`. A cycle in the accumulated graph means
+//! two code paths acquire the same locks in opposite orders — a
+//! *potential* deadlock even when no explored schedule actually hung
+//! (the explorer reports real hangs separately, as
+//! `interleave::Violation::Deadlock`).
+//!
+//! Edges may be accumulated across every execution of an exploration:
+//! object ids are assigned in first-use order, which is deterministic
+//! per schedule prefix, so ids agree between executions of the same
+//! scenario.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use interleave::{Event, ObjId, TaskId};
+
+/// The lock-order analyzer. Feed events (possibly from many
+/// executions), then ask for [`LockOrderAnalyzer::cycles`].
+#[derive(Debug, Default)]
+pub struct LockOrderAnalyzer {
+    /// Locks currently held per task, in acquisition order.
+    held: BTreeMap<TaskId, Vec<ObjId>>,
+    /// Accumulated `held → acquired` edges.
+    edges: BTreeSet<(ObjId, ObjId)>,
+}
+
+impl LockOrderAnalyzer {
+    /// A fresh analyzer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes one event.
+    pub fn on_event(&mut self, e: &Event) {
+        match *e {
+            Event::Acquire { task, lock } => {
+                let held = self.held.entry(task).or_default();
+                for &h in held.iter() {
+                    if h != lock {
+                        self.edges.insert((h, lock));
+                    }
+                }
+                held.push(lock);
+            }
+            Event::Release { task, lock } | Event::CvWait { task, lock, .. } => {
+                let held = self.held.entry(task).or_default();
+                if let Some(pos) = held.iter().rposition(|&l| l == lock) {
+                    held.remove(pos);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The accumulated `held → acquired` edges.
+    pub fn edges(&self) -> &BTreeSet<(ObjId, ObjId)> {
+        &self.edges
+    }
+
+    /// Every elementary cycle's node set, deduplicated. Empty means the
+    /// accumulated graph is a DAG: a global acquisition order exists.
+    pub fn cycles(&self) -> Vec<Vec<ObjId>> {
+        let mut adj: BTreeMap<ObjId, Vec<ObjId>> = BTreeMap::new();
+        let mut nodes: BTreeSet<ObjId> = BTreeSet::new();
+        for &(a, b) in &self.edges {
+            adj.entry(a).or_default().push(b);
+            nodes.insert(a);
+            nodes.insert(b);
+        }
+        // Iterative DFS with tri-color marking; a back edge closes a
+        // cycle, reconstructed from the active path.
+        let mut color: BTreeMap<ObjId, u8> = BTreeMap::new(); // 0 white, 1 grey, 2 black
+        let mut found: BTreeSet<Vec<ObjId>> = BTreeSet::new();
+        for &root in &nodes {
+            if color.get(&root).copied().unwrap_or(0) != 0 {
+                continue;
+            }
+            // Stack of (node, next child index); `path` mirrors it.
+            let mut stack: Vec<(ObjId, usize)> = vec![(root, 0)];
+            let mut path: Vec<ObjId> = vec![root];
+            color.insert(root, 1);
+            while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+                let children = adj.get(&node).map(|v| v.as_slice()).unwrap_or(&[]);
+                if *idx < children.len() {
+                    let child = children[*idx];
+                    *idx += 1;
+                    match color.get(&child).copied().unwrap_or(0) {
+                        0 => {
+                            color.insert(child, 1);
+                            stack.push((child, 0));
+                            path.push(child);
+                        }
+                        1 => {
+                            // Back edge: the cycle is the path suffix
+                            // from `child` onwards.
+                            if let Some(pos) = path.iter().position(|&n| n == child) {
+                                let mut cyc: Vec<ObjId> = path[pos..].to_vec();
+                                // Canonical rotation for dedup.
+                                let min_pos = cyc
+                                    .iter()
+                                    .enumerate()
+                                    .min_by_key(|(_, v)| **v)
+                                    .map(|(i, _)| i)
+                                    .unwrap_or(0);
+                                cyc.rotate_left(min_pos);
+                                found.insert(cyc);
+                            }
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color.insert(node, 2);
+                    stack.pop();
+                    path.pop();
+                }
+            }
+        }
+        found.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(events: &[Event]) -> LockOrderAnalyzer {
+        let mut a = LockOrderAnalyzer::new();
+        for e in events {
+            a.on_event(e);
+        }
+        a
+    }
+
+    #[test]
+    fn consistent_nesting_is_a_dag() {
+        let a = feed(&[
+            Event::Acquire { task: 0, lock: 1 },
+            Event::Acquire { task: 0, lock: 2 },
+            Event::Release { task: 0, lock: 2 },
+            Event::Release { task: 0, lock: 1 },
+            Event::Acquire { task: 1, lock: 1 },
+            Event::Acquire { task: 1, lock: 2 },
+            Event::Release { task: 1, lock: 2 },
+            Event::Release { task: 1, lock: 1 },
+        ]);
+        assert_eq!(a.edges().len(), 1);
+        assert!(a.cycles().is_empty());
+    }
+
+    #[test]
+    fn opposite_orders_cycle() {
+        let a = feed(&[
+            Event::Acquire { task: 0, lock: 1 },
+            Event::Acquire { task: 0, lock: 2 },
+            Event::Release { task: 0, lock: 2 },
+            Event::Release { task: 0, lock: 1 },
+            Event::Acquire { task: 1, lock: 2 },
+            Event::Acquire { task: 1, lock: 1 },
+            Event::Release { task: 1, lock: 1 },
+            Event::Release { task: 1, lock: 2 },
+        ]);
+        let cycles = a.cycles();
+        assert_eq!(cycles, vec![vec![1, 2]]);
+    }
+
+    #[test]
+    fn condvar_wait_breaks_the_hold() {
+        // Holding A, waiting on a condvar releases A; acquiring B
+        // after the wake (A re-acquired later) must not edge A → B
+        // from the stale hold.
+        let a = feed(&[
+            Event::Acquire { task: 0, lock: 1 },
+            Event::CvWait {
+                task: 0,
+                cv: 9,
+                lock: 1,
+            },
+            Event::Acquire { task: 0, lock: 2 },
+            Event::Release { task: 0, lock: 2 },
+        ]);
+        assert!(a.edges().is_empty());
+    }
+
+    #[test]
+    fn three_lock_cycle_is_found() {
+        let a = feed(&[
+            Event::Acquire { task: 0, lock: 1 },
+            Event::Acquire { task: 0, lock: 2 },
+            Event::Release { task: 0, lock: 2 },
+            Event::Release { task: 0, lock: 1 },
+            Event::Acquire { task: 1, lock: 2 },
+            Event::Acquire { task: 1, lock: 3 },
+            Event::Release { task: 1, lock: 3 },
+            Event::Release { task: 1, lock: 2 },
+            Event::Acquire { task: 2, lock: 3 },
+            Event::Acquire { task: 2, lock: 1 },
+            Event::Release { task: 2, lock: 1 },
+            Event::Release { task: 2, lock: 3 },
+        ]);
+        assert_eq!(a.cycles(), vec![vec![1, 2, 3]]);
+    }
+}

@@ -23,6 +23,11 @@
 //!    access latency and tuning time ([`BoundsReport`]), emitted
 //!    machine-readably and pinned against measured maxima by
 //!    `tests/verify_bounds.rs`.
+//! 4. **Cohort-coalescing soundness** — the fleet engine's
+//!    one-drive-per-cohort dedup is justified from the model: anchors
+//!    are total, no index knowledge is decodable before an anchor, and
+//!    paired equal-anchor starts traverse identical unit sequences
+//!    ([`coalesce`], [`CoalesceReport`]).
 //!
 //! The sibling [`lint`] module is the source-level pass (`dsi-lint`)
 //! guarding the determinism invariants the goldens rely on; see its docs
@@ -31,11 +36,13 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod coalesce;
 pub mod lint;
 pub mod model;
 pub mod verify;
 
 pub use bounds::{compute_bounds, BoundsReport};
+pub use coalesce::{static_anchor_map, CoalesceReport};
 pub use lint::{lint_source, lint_workspace, LintFinding};
 pub use model::{Edge, EdgeClaim, StaticModel, Unit, UnitKind, Verifiable};
 pub use verify::{verify, verify_with, VerifyOptions, VerifyReport, Violation};

@@ -3,7 +3,7 @@
 //!
 //! The whole test pyramid — 120 bit-for-bit `ChannelStats` goldens, the
 //! conformance grid, the chaos harness — assumes the library is
-//! *deterministic*: same dataset, same seed, same numbers. Three
+//! *deterministic*: same dataset, same seed, same numbers. The
 //! recurring ways that assumption has historically rotted in broadcast
 //! codebases are codified as lint rules here. The pass is a token scan
 //! over the workspace sources (no syn, no crates.io), wired into `cargo
@@ -48,6 +48,33 @@
 //! silence:** propagate the path inside the closure, or annotate
 //! `// dsi-lint: allow(spawn): <why this worker needs no state path>`.
 //!
+//! ## `sync` — shim-scoped code must not use raw `std` primitives
+//!
+//! **What it catches:** `std::sync::{Mutex, Condvar, RwLock, atomic,
+//! ...}` and `std::thread::{spawn, Builder, JoinHandle,
+//! available_parallelism, sleep}` tokens (including inside grouped
+//! imports) in the files ported to the `interleave` shims —
+//! `vendor/steal` and `dsi_core::share`. `Arc` and the non-scheduling
+//! helpers (`PoisonError`, `std::thread::panicking`, ...) are exempt.
+//! **Why:** one raw `std` primitive in shimmed code is invisible to the
+//! `dsi-model` scheduler, so every exploration result silently stops
+//! covering that path. **How to silence:** `// dsi-lint: allow(sync):
+//! <why the model need not see this primitive>`.
+//!
+//! ## `lockorder` — declared lock order in shimmed concurrency files
+//!
+//! **What it catches:** in any file carrying a `// dsi-lint:
+//! lock-order: a < b < c` directive, a `.lock()` call whose receiver's
+//! final identifier is not declared in the order, or is acquired while
+//! a lock declared *later* in the order is held (an inversion). Held
+//! locks are tracked per block: only `let`-bound guards count (a
+//! right-hand side starting with `*` copies through a temporary guard),
+//! `drop(guard)` releases, and so does the end of the guard's block.
+//! **Why:** a total acquisition order is the cheap static complement to
+//! the model checker's cycle detection — it catches inversions in paths
+//! no scenario drives. **How to silence:** extend the directive, or
+//! `// dsi-lint: allow(lockorder): <why this acquisition cannot nest>`.
+//!
 //! # Scope
 //!
 //! `lint_workspace` walks `crates/*/src`, the umbrella `src/`, **and**
@@ -57,8 +84,16 @@
 //! stay scoped to the library crates: `vendor/rand` constructs RNGs by
 //! definition, and no vendor crate sits on a golden-affecting path.
 //! `target/`, test directories and `#[cfg(test)]` modules are skipped
-//! (tests are free to use RNGs and hash maps). Line comments are
-//! stripped before token matching, after directives are parsed.
+//! (tests are free to use RNGs and hash maps) — except by `lockorder`,
+//! which lints test modules too (test code must follow the same lock
+//! discipline it exercises).
+//!
+//! Token matching runs on *code only*: a cross-line state machine
+//! strips `//` comments, nested `/* */` blocks, and the contents of
+//! string, raw-string and char literals first, so tokens mentioned in
+//! prose or embedded in strings never trip a rule — and a `//` inside a
+//! string literal does not hide the code after it. Directives
+//! (`dsi-lint: ...`) are parsed from the raw lines, where they live.
 
 use std::fs;
 use std::io;
@@ -71,7 +106,8 @@ pub struct LintFinding {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// Rule identifier: `"rng"`, `"hash"` or `"spawn"`.
+    /// Rule identifier: `"rng"`, `"hash"`, `"spawn"`, `"sync"` or
+    /// `"lockorder"`.
     pub rule: &'static str,
     /// The trimmed source line.
     pub excerpt: String,
@@ -113,6 +149,29 @@ const RNG_TOKENS: &[&str] = &[
 /// Lines of context after a `spawn(` within which the `hotpath` token
 /// must appear.
 const SPAWN_WINDOW: usize = 8;
+
+/// Files ported to the `interleave` shims: raw `std` synchronization
+/// there escapes the model scheduler (`sync` rule scope). Entries are
+/// prefixes, matched against workspace-relative paths.
+const SYNC_SHIM_SCOPE: &[&str] = &["vendor/steal/src/", "crates/core/src/share.rs"];
+
+/// `std::sync` items banned in shim scope (the scheduling-relevant
+/// primitives the shims replace). Everything else — `Arc`, the poison
+/// error types — is inert.
+const STD_SYNC_BANNED: &[&str] = &[
+    "Mutex", "Condvar", "RwLock", "Barrier", "Once", "OnceLock", "mpsc", "atomic",
+];
+
+/// `std::thread` items banned in shim scope (the shims provide model
+/// versions). `panicking`, `current`, `Result` stay allowed.
+const STD_THREAD_BANNED: &[&str] = &[
+    "spawn",
+    "Builder",
+    "JoinHandle",
+    "available_parallelism",
+    "sleep",
+    "park",
+];
 
 /// Lints every workspace source file under `root` (`crates/*/src` and
 /// the umbrella `src/`). Returns all findings; empty means clean.
@@ -170,7 +229,11 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<LintFinding> {
         .iter()
         .any(|c| rel.starts_with(&format!("crates/{c}/src/")));
     let rng_scope = in_library && !RNG_HOMES.contains(&rel);
+    let sync_scope = SYNC_SHIM_SCOPE
+        .iter()
+        .any(|p| rel.starts_with(p) || rel == *p);
     let lines: Vec<&str> = src.lines().collect();
+    let stripped = strip_code(src);
     let mut findings = Vec::new();
     // `#[cfg(test)]` module skipping: once the attribute is seen, skip
     // until the brace opened by the following item closes.
@@ -197,12 +260,12 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<LintFinding> {
             continue;
         }
         // Directives are parsed from the raw line (they live in
-        // comments); code tokens from the comment-stripped line.
+        // comments); code tokens from the stripped line.
         let allow = |rule: &str| {
             let directive = format!("dsi-lint: allow({rule})");
             raw.contains(&directive) || (i > 0 && lines[i - 1].contains(&directive))
         };
-        let code = strip_comments(raw);
+        let code = stripped[i].as_str();
         let mut flag = |rule: &'static str| {
             if !allow(rule) {
                 findings.push(LintFinding {
@@ -226,27 +289,270 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<LintFinding> {
                 flag("spawn");
             }
         }
+        if sync_scope && uses_raw_sync(code) {
+            flag("sync");
+        }
+    }
+    findings.extend(lint_lock_order(rel, &lines, &stripped));
+    findings
+}
+
+/// `true` when `code` names a banned `std::sync`/`std::thread` item,
+/// including through grouped imports like `use std::sync::{Arc, Mutex}`.
+fn uses_raw_sync(code: &str) -> bool {
+    path_names_banned(code, "std::sync::", STD_SYNC_BANNED)
+        || path_names_banned(code, "std::thread::", STD_THREAD_BANNED)
+}
+
+fn path_names_banned(code: &str, prefix: &str, banned: &[&str]) -> bool {
+    let mut rest = code;
+    while let Some(at) = rest.find(prefix) {
+        let suffix = &rest[at + prefix.len()..];
+        if let Some(group) = suffix.strip_prefix('{') {
+            let group = group.split('}').next().unwrap_or(group);
+            for item in group.split(',') {
+                let ident = first_ident(item.trim());
+                if banned.contains(&ident) {
+                    return true;
+                }
+            }
+        } else if banned.contains(&first_ident(suffix)) {
+            return true;
+        }
+        rest = suffix;
+    }
+    false
+}
+
+/// The leading `[A-Za-z0-9_]+` run of `s` (empty when none).
+fn first_ident(s: &str) -> &str {
+    let end = s
+        .find(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+        .unwrap_or(s.len());
+    &s[..end]
+}
+
+/// The `lockorder` rule: runs only on files that declare a
+/// `// dsi-lint: lock-order: a < b < c` directive. Every `.lock()`
+/// receiver must be declared, and no lock may be acquired while a
+/// later-ranked one is held.
+fn lint_lock_order(rel: &str, lines: &[&str], stripped: &[String]) -> Vec<LintFinding> {
+    let order: Vec<String> = match lines.iter().find_map(|l| {
+        l.find("dsi-lint: lock-order:")
+            .map(|p| &l[p + "dsi-lint: lock-order:".len()..])
+    }) {
+        Some(list) => list
+            .split('<')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect(),
+        None => return Vec::new(),
+    };
+    let rank = |ident: &str| order.iter().position(|o| o == ident);
+    let mut findings = Vec::new();
+    // Held guards: (brace depth at binding, lock rank, guard name).
+    let mut held: Vec<(i64, usize, String)> = Vec::new();
+    let mut depth: i64 = 0;
+    for (i, code) in stripped.iter().enumerate() {
+        let allow = {
+            let directive = "dsi-lint: allow(lockorder)";
+            lines[i].contains(directive) || (i > 0 && lines[i - 1].contains(directive))
+        };
+        let flag = |findings: &mut Vec<LintFinding>| {
+            if !allow {
+                findings.push(LintFinding {
+                    file: rel.to_string(),
+                    line: i + 1,
+                    rule: "lockorder",
+                    excerpt: lines[i].trim().chars().take(100).collect(),
+                });
+            }
+        };
+        // `drop(guard)` releases that guard wherever it appears.
+        let mut rest = code.as_str();
+        while let Some(at) = rest.find("drop(") {
+            let arg = first_ident(&rest[at + 5..]);
+            held.retain(|(_, _, g)| g != arg);
+            rest = &rest[at + 5..];
+        }
+        let trimmed = code.trim_start();
+        let let_bound = trimmed.starts_with("let ")
+            && trimmed
+                .split_once('=')
+                .is_some_and(|(_, rhs)| !rhs.trim_start().starts_with('*'));
+        let mut search = 0usize;
+        let mut first_lock_on_line = true;
+        while let Some(at) = code[search..].find(".lock()") {
+            let dot = search + at;
+            search = dot + ".lock()".len();
+            let Some(ident) = receiver_ident(code, dot) else {
+                continue;
+            };
+            match rank(&ident) {
+                None => flag(&mut findings),
+                Some(r) => {
+                    if held.iter().any(|&(_, hr, _)| hr > r) {
+                        flag(&mut findings);
+                    }
+                    if let_bound && first_lock_on_line {
+                        let after_let = trimmed[4..].trim_start();
+                        let guard =
+                            first_ident(after_let.strip_prefix("mut ").unwrap_or(after_let));
+                        held.push((depth, r, guard.to_string()));
+                    }
+                }
+            }
+            first_lock_on_line = false;
+        }
+        depth += code.matches('{').count() as i64;
+        depth -= code.matches('}').count() as i64;
+        held.retain(|&(d, _, _)| d <= depth);
     }
     findings
 }
 
-/// Strips `//` line comments and single-line `/* */` blocks before token
-/// matching, so tokens mentioned in prose never trip a rule.
-fn strip_comments(line: &str) -> String {
-    let line = match line.find("//") {
-        Some(i) => &line[..i],
-        None => line,
-    };
-    let mut out = String::with_capacity(line.len());
-    let mut rest = line;
-    while let Some(start) = rest.find("/*") {
-        out.push_str(&rest[..start]);
-        match rest[start..].find("*/") {
-            Some(end) => rest = &rest[start + end + 2..],
-            None => return out,
+/// The final identifier of the receiver chain ending at `code[dot]`
+/// (the `.` of `.lock()`), stepping back over one index `[...]` group:
+/// `shared.locals[me].lock()` → `locals`.
+fn receiver_ident(code: &str, dot: usize) -> Option<String> {
+    let b = code.as_bytes();
+    let mut i = dot;
+    if i > 0 && b[i - 1] == b']' {
+        let mut depth = 1i32;
+        i -= 1;
+        while i > 0 && depth > 0 {
+            i -= 1;
+            match b[i] {
+                b']' => depth += 1,
+                b'[' => depth -= 1,
+                _ => {}
+            }
         }
     }
-    out.push_str(rest);
+    let end = i;
+    while i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        i -= 1;
+    }
+    if i == end {
+        None
+    } else {
+        Some(code[i..end].to_string())
+    }
+}
+
+/// Per-line code with comments and literal contents removed: a
+/// cross-line state machine over `//` comments, nested `/* */` blocks,
+/// string / raw-string / char literals (quotes are kept, contents
+/// dropped) and lifetimes (kept — they are code).
+fn strip_code(src: &str) -> Vec<String> {
+    #[derive(Clone, Copy)]
+    enum St {
+        Code,
+        Block(usize),
+        Str,
+        RawStr(usize),
+    }
+    let mut state = St::Code;
+    let mut out = Vec::new();
+    for line in src.lines() {
+        let b: Vec<char> = line.chars().collect();
+        let mut code = String::with_capacity(line.len());
+        let mut i = 0;
+        while i < b.len() {
+            match state {
+                St::Block(depth) => {
+                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        state = St::Block(depth + 1);
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        state = if depth > 1 {
+                            St::Block(depth - 1)
+                        } else {
+                            St::Code
+                        };
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                St::Str => {
+                    if b[i] == '\\' {
+                        i += 2;
+                    } else if b[i] == '"' {
+                        code.push('"');
+                        state = St::Code;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                St::RawStr(hashes) => {
+                    if b[i] == '"' && (1..=hashes).all(|k| b.get(i + k) == Some(&'#')) {
+                        code.push('"');
+                        state = St::Code;
+                        i += 1 + hashes;
+                    } else {
+                        i += 1;
+                    }
+                }
+                St::Code => {
+                    let c = b[i];
+                    if c == '/' && b.get(i + 1) == Some(&'/') {
+                        break; // line comment: rest of the line is prose
+                    } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                        state = St::Block(1);
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        state = St::Str;
+                        i += 1;
+                    } else if c == 'r'
+                        && (i == 0 || !(b[i - 1].is_ascii_alphanumeric() || b[i - 1] == '_'))
+                        && matches!(b.get(i + 1), Some('"') | Some('#'))
+                    {
+                        let mut hashes = 0;
+                        while b.get(i + 1 + hashes) == Some(&'#') {
+                            hashes += 1;
+                        }
+                        if b.get(i + 1 + hashes) == Some(&'"') {
+                            code.push('"');
+                            state = St::RawStr(hashes);
+                            i += 2 + hashes;
+                        } else {
+                            code.push(c);
+                            i += 1;
+                        }
+                    } else if c == '\'' {
+                        // Char literal vs lifetime: 'x' or '\n' is a
+                        // literal (skip its contents); 'a as in a
+                        // lifetime or loop label is code (keep going).
+                        if b.get(i + 1) == Some(&'\\') {
+                            let mut j = i + 2;
+                            if j < b.len() {
+                                j += 1; // the escaped character itself
+                            }
+                            while j < b.len() && b[j] != '\'' {
+                                j += 1;
+                            }
+                            i = (j + 1).min(b.len());
+                        } else if b.get(i + 2) == Some(&'\'') {
+                            i += 3;
+                        } else {
+                            code.push(c);
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // A `//` comment or literal never carries `St::Str` across
+        // lines in valid Rust we care about; reset dangling strings at
+        // EOL only for line comments (handled by the break above).
+        out.push(code);
+    }
     out
 }
 
@@ -313,12 +619,12 @@ mod tests {
     fn vendor_sources_get_the_spawn_rule_but_not_rng_or_hash() {
         // The vendored pool crate is first-party: a worker spawned there
         // without the hotpath hook (or an audited allow) is a finding.
-        let bare = "std::thread::Builder::new().spawn(run).unwrap();\n";
+        let bare = "interleave::thread::Builder::new().spawn(run).unwrap();\n";
         let f = lint_source("vendor/steal/src/lib.rs", bare);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, "spawn");
         let allowed = "// dsi-lint: allow(spawn): hook installs hotpath\n\
-                       std::thread::Builder::new().spawn(run).unwrap();\n";
+                       interleave::thread::Builder::new().spawn(run).unwrap();\n";
         assert!(lint_source("vendor/steal/src/lib.rs", allowed).is_empty());
         // rng/hash stay library-crate scoped: vendor/rand *is* the RNG.
         let rng = "let mut rng = StdRng::seed_from_u64(7);\nuse std::collections::HashMap;\n";
@@ -329,5 +635,136 @@ mod tests {
     fn tokens_in_comments_do_not_trip_rules() {
         let src = "// a HashMap would be wrong here; see seed_from_u64 docs\nlet x = 1;\n";
         assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tokens_in_string_literals_do_not_trip_rules() {
+        // Regression: the pre-stripper lint matched tokens embedded in
+        // string literals (error messages, doc strings fed to panics).
+        let src = "let msg = \"prefer BTreeMap over HashMap here\";\n\
+                   let hint = \"seed_from_u64 makes runs reproducible\";\n";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comment_marker_inside_string_does_not_hide_code() {
+        // Regression: the pre-stripper lint truncated at the `//`
+        // inside the URL, hiding the HashMap after it.
+        let src = "let url = \"https://example.com\"; use std::collections::HashMap;\n";
+        let f = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "hash");
+    }
+
+    #[test]
+    fn multi_line_block_comments_are_stripped() {
+        let src = "/*\n\
+                    * a HashMap would flake here, and thread_rng( too\n\
+                    */\n\
+                   let x = 1; /* nested /* HashSet */ still comment */ let y = 2;\n";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_are_handled() {
+        // The '"' char literal must not open a string (which would
+        // swallow the HashMap); the lifetime must stay code.
+        let src = "fn f<'a>(x: &'a str) -> char { '\"' }\nuse std::collections::HashMap;\n";
+        let f = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "hash");
+    }
+
+    #[test]
+    fn raw_sync_in_shim_scope_is_flagged() {
+        let f = lint_source("vendor/steal/src/lib.rs", "use std::sync::Mutex;\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "sync");
+        // Grouped imports are seen through.
+        let grouped = "use std::sync::{Arc, Mutex};\n";
+        assert_eq!(lint_source("crates/core/src/share.rs", grouped).len(), 1);
+        // Inline paths too, and std::thread spawns.
+        let inline = "let m = std::sync::atomic::AtomicUsize::new(0);\n";
+        assert_eq!(lint_source("vendor/steal/src/lib.rs", inline).len(), 1);
+        let thread = "// dsi-lint: allow(spawn): synthetic\nstd::thread::spawn(f);\n";
+        let f = lint_source("vendor/steal/src/lib.rs", thread);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "sync");
+    }
+
+    #[test]
+    fn sync_rule_exempts_arc_and_out_of_scope_files() {
+        assert!(lint_source("vendor/steal/src/lib.rs", "use std::sync::Arc;\n").is_empty());
+        assert!(lint_source(
+            "vendor/steal/src/lib.rs",
+            "use std::sync::{Arc, PoisonError};\nif std::thread::panicking() {}\n"
+        )
+        .is_empty());
+        // Outside shim scope, raw std primitives are fine.
+        assert!(lint_source("crates/sim/src/fleet.rs", "use std::sync::Mutex;\n").is_empty());
+        // And an audited allow silences it in scope.
+        let allowed = "// dsi-lint: allow(sync): teardown-only, never explored\n\
+                       use std::sync::Mutex;\n";
+        assert!(lint_source("vendor/steal/src/lib.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn lockorder_undeclared_receiver_is_flagged() {
+        let src = "// dsi-lint: lock-order: alpha < beta\n\
+                   fn f(s: &S) {\n\
+                       s.alpha.lock().unwrap();\n\
+                       s.gamma.lock().unwrap();\n\
+                   }\n";
+        let f = lint_source("crates/sim/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "lockorder");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn lockorder_inversion_is_flagged_and_order_is_clean() {
+        let inverted = "// dsi-lint: lock-order: alpha < beta\n\
+                        fn f(s: &S) {\n\
+                            let b = s.beta.lock().unwrap();\n\
+                            let a = s.alpha.lock().unwrap();\n\
+                        }\n";
+        let f = lint_source("crates/sim/src/x.rs", inverted);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 4);
+        let ordered = "// dsi-lint: lock-order: alpha < beta\n\
+                       fn f(s: &S) {\n\
+                           let a = s.alpha.lock().unwrap();\n\
+                           let b = s.beta.lock().unwrap();\n\
+                       }\n";
+        assert!(lint_source("crates/sim/src/x.rs", ordered).is_empty());
+    }
+
+    #[test]
+    fn lockorder_releases_on_drop_and_scope_end() {
+        // drop() releases: re-acquiring an earlier lock afterwards is
+        // not an inversion.
+        let dropped = "// dsi-lint: lock-order: alpha < beta\n\
+                       fn f(s: &S) {\n\
+                           let b = s.beta.lock().unwrap();\n\
+                           drop(b);\n\
+                           let a = s.alpha.lock().unwrap();\n\
+                       }\n";
+        assert!(lint_source("crates/sim/src/x.rs", dropped).is_empty());
+        // Scope end releases too, and `let x = *..lock()` is a
+        // temporary (copies through the guard), holding nothing.
+        let scoped = "// dsi-lint: lock-order: alpha < beta\n\
+                      fn f(s: &S) {\n\
+                          { let b = s.beta.lock().unwrap(); }\n\
+                          let snap = *s.beta.lock().unwrap();\n\
+                          let a = s.alpha.lock().unwrap();\n\
+                      }\n";
+        assert!(lint_source("crates/sim/src/x.rs", scoped).is_empty());
+        // Indexed receivers resolve to their final identifier.
+        let indexed = "// dsi-lint: lock-order: locals < epoch\n\
+                       fn f(s: &S, me: usize) {\n\
+                           s.locals[me].lock().unwrap().pop_back();\n\
+                           let e = s.epoch.lock().unwrap();\n\
+                       }\n";
+        assert!(lint_source("crates/sim/src/x.rs", indexed).is_empty());
     }
 }

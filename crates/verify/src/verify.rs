@@ -11,6 +11,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::bounds::{compute_bounds, BoundsReport};
+use crate::coalesce::CoalesceReport;
 use crate::model::{EdgeClaim, StaticModel, UnitKind};
 use dsi_broadcast::PacketClass;
 
@@ -145,6 +146,29 @@ pub enum Violation {
         /// The pointer chain walked to the dead end.
         chain: Vec<usize>,
     },
+    /// Fleet cohort coalescing is unsound for this program: a
+    /// knowledge-bearing index unit is not a navigation entry point, so a
+    /// key-directed client tuning in just before it decodes a table
+    /// *before* reaching its coalescing anchor — two clients with equal
+    /// anchors but different tune-ins would start navigation with
+    /// different knowledge. See [`crate::coalesce`].
+    CoalesceHiddenKnowledge {
+        /// The index unit invisible to the anchor map.
+        unit: usize,
+    },
+    /// The executable coalescing witness failed: two starts with the same
+    /// static anchor traversed different unit sequences toward `target`.
+    /// See [`crate::coalesce`].
+    CoalesceDivergence {
+        /// The shared anchor instant.
+        anchor: u64,
+        /// First paired tune-in instant.
+        start_a: u64,
+        /// Second paired tune-in instant.
+        start_b: u64,
+        /// The data unit both navigations targeted.
+        target: usize,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -212,6 +236,22 @@ impl std::fmt::Display for Violation {
                 f,
                 "data unit {target} unreachable from entry {entry}; chain {chain:?} dead-ends"
             ),
+            Violation::CoalesceHiddenKnowledge { unit } => write!(
+                f,
+                "index unit {unit} is not a navigation entry: a client tuning in \
+                 before it gains pre-anchor knowledge, so equal-anchor cohorts \
+                 may diverge"
+            ),
+            Violation::CoalesceDivergence {
+                anchor,
+                start_a,
+                start_b,
+                target,
+            } => write!(
+                f,
+                "starts {start_a} and {start_b} share anchor {anchor} but traverse \
+                 different unit sequences toward data unit {target}"
+            ),
         }
     }
 }
@@ -240,6 +280,9 @@ pub struct VerifyReport {
     pub max_nav_hops: u32,
     /// The worst-case latency/tuning bounds (see [`BoundsReport`]).
     pub bounds: BoundsReport,
+    /// The fleet cohort-coalescing soundness verdict (see
+    /// [`crate::coalesce`]).
+    pub coalesce: CoalesceReport,
 }
 
 impl VerifyReport {
@@ -249,7 +292,7 @@ impl VerifyReport {
         format!(
             "{{\"scheme\":\"{}\",\"channels\":{},\"units\":{},\"index_units\":{},\
              \"data_units\":{},\"checked_pairs\":{},\"total_pairs\":{},\
-             \"max_nav_hops\":{},\"bounds\":{}}}",
+             \"max_nav_hops\":{},\"bounds\":{},\"coalesce\":{}}}",
             self.scheme,
             self.n_channels,
             self.n_units,
@@ -258,7 +301,8 @@ impl VerifyReport {
             self.checked_pairs,
             self.total_pairs,
             self.max_nav_hops,
-            self.bounds.to_json()
+            self.bounds.to_json(),
+            self.coalesce.to_json()
         )
     }
 }
@@ -297,6 +341,12 @@ pub fn verify_with(
     } else {
         (0, 0, 0)
     };
+    // Likewise the coalescing proof assumes every navigation terminates.
+    let coalesce = if v.is_empty() {
+        crate::coalesce::check_coalescing(model, opts, &mut v)
+    } else {
+        CoalesceReport::default()
+    };
     if !v.is_empty() {
         return Err(v);
     }
@@ -310,6 +360,7 @@ pub fn verify_with(
         total_pairs: total,
         max_nav_hops: max_hops,
         bounds: compute_bounds(model, max_hops),
+        coalesce,
     })
 }
 
@@ -703,7 +754,7 @@ fn check_progress(
                 navigate_by_coverage(m, entry as usize, target)
             };
             match r {
-                Ok(hops) => max_hops = max_hops.max(hops),
+                Ok((hops, _)) => max_hops = max_hops.max(hops),
                 Err(e) => {
                     v.push(e);
                     if v.len() >= 32 {
@@ -723,7 +774,15 @@ fn check_progress(
 /// repeated `(unit, best-known-key)` state with the fallback also spent
 /// means only a lossy re-airing could change anything — the static
 /// counterpart of the runtime retry-cap, reported with the chain.
-fn navigate_by_key(m: &StaticModel, entry: usize, target: usize) -> Result<u32, Violation> {
+///
+/// On success returns the hop count *and* the full unit chain walked —
+/// the read sequence the coalescing witness ([`crate::coalesce`])
+/// compares across paired starts.
+pub(crate) fn navigate_by_key(
+    m: &StaticModel,
+    entry: usize,
+    target: usize,
+) -> Result<(u32, Vec<usize>), Violation> {
     let kt = m.units[target].key;
     let target_start = m.units[target].start;
     let mut known: BTreeMap<u64, usize> = BTreeMap::new();
@@ -738,7 +797,7 @@ fn navigate_by_key(m: &StaticModel, entry: usize, target: usize) -> Result<u32, 
             .iter()
             .any(|e| e.claim == EdgeClaim::Local && e.target == target_start)
         {
-            return Ok(hops);
+            return Ok((hops, chain));
         }
         for e in &m.edges[current] {
             if let EdgeClaim::MinKey(k) = e.claim {
@@ -800,7 +859,14 @@ fn nearest_forward_index(m: &StaticModel, from: usize) -> Option<usize> {
 /// copies tie-break on the earliest airing. A revisited unit means the
 /// coverage pointers loop; a step with no applicable pointer means the
 /// subtree lied about its range.
-fn navigate_by_coverage(m: &StaticModel, entry: usize, target: usize) -> Result<u32, Violation> {
+///
+/// On success returns the hop count *and* the full unit chain walked
+/// (see [`navigate_by_key`]).
+pub(crate) fn navigate_by_coverage(
+    m: &StaticModel,
+    entry: usize,
+    target: usize,
+) -> Result<(u32, Vec<usize>), Violation> {
     let kt = m.units[target].key;
     let target_start = m.units[target].start;
     let mut visited = vec![false; m.units.len()];
@@ -812,7 +878,7 @@ fn navigate_by_coverage(m: &StaticModel, entry: usize, target: usize) -> Result<
             .iter()
             .any(|e| e.claim == EdgeClaim::Local && e.target == target_start)
         {
-            return Ok(hops);
+            return Ok((hops, chain));
         }
         visited[current] = true;
         let next = m.edges[current]

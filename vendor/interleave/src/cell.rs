@@ -1,0 +1,81 @@
+//! A deliberately lock-free-looking shared cell for race scenarios.
+
+/// A shared mutable cell whose accesses carry **no** lock in the model:
+/// the lockset analyzer decides, per schedule, whether concurrent
+/// accesses were protected by a common mutex. Storage is a private
+/// `std::sync::Mutex` (the workspace denies `unsafe`), so a real data
+/// race never occurs — races are *detected* from the event stream, not
+/// provoked in memory.
+///
+/// Under the normal cfg this is just a mutex-backed cell with no
+/// instrumentation.
+pub struct SharedCell<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T: Clone> SharedCell<T> {
+    /// Creates the cell (const, usable in statics).
+    pub const fn new(v: T) -> Self {
+        SharedCell {
+            inner: std::sync::Mutex::new(v),
+        }
+    }
+
+    /// Reads the value (model: a branch point and a `CellRead` event).
+    pub fn get(&self) -> T {
+        self.note(false);
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Replaces the value (model: a branch point and a `CellWrite`
+    /// event).
+    pub fn set(&self, v: T) {
+        self.note(true);
+        *self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = v;
+    }
+
+    /// Read-modify-write (model: a read event, a branch point, then a
+    /// write event — the classic racy increment shape when unguarded).
+    pub fn update(&self, f: impl FnOnce(T) -> T) {
+        let v = self.get();
+        self.set(f(v));
+    }
+
+    #[cfg(dsi_model)]
+    fn note(&self, write: bool) {
+        if let Some((exec, me)) = crate::explore::current() {
+            if exec.aborting() {
+                if !std::thread::panicking() {
+                    crate::explore::abort_unwind();
+                }
+            } else {
+                exec.access(
+                    me,
+                    crate::explore::addr_of(&self.inner),
+                    crate::event::ObjKind::Cell,
+                    write,
+                );
+            }
+        }
+    }
+
+    #[cfg(not(dsi_model))]
+    fn note(&self, _write: bool) {}
+}
+
+#[cfg(dsi_model)]
+impl<T> Drop for SharedCell<T> {
+    fn drop(&mut self) {
+        if let Some((exec, _)) = crate::explore::current() {
+            if !exec.aborting() {
+                exec.forget_obj(crate::explore::addr_of(&self.inner));
+            }
+        }
+    }
+}

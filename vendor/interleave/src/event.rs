@@ -1,0 +1,236 @@
+//! The synchronization event vocabulary shared by the explorer and the
+//! analyzers.
+//!
+//! Every instrumented operation performed inside [`crate::explore`]
+//! appends one [`Event`] to the execution's stream, in the exact order
+//! the serialized scheduler ran them. Analyzers (lockset race detection,
+//! lock-order graphs, lost-wakeup classification — see the `dsi-model`
+//! crate) replay that stream; because executions are serialized, the
+//! stream is a *total* order and no vector clocks are needed.
+//!
+//! This module is compiled under both cfgs so analyzers stay
+//! unit-testable in tier-1 builds (synthetic streams), even though only
+//! `--cfg dsi_model` builds ever *produce* events.
+
+/// Dense per-execution task index. Task `0` is the closure passed to
+/// [`crate::explore`]; spawned threads get ids in spawn order, which is
+/// deterministic under replay.
+pub type TaskId = usize;
+
+/// Dense per-execution object index (mutex, condvar, atomic or cell),
+/// assigned in first-use order, which is deterministic under replay.
+pub type ObjId = usize;
+
+/// What kind of synchronization object an [`ObjId`] names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjKind {
+    /// An `interleave::sync::Mutex`.
+    Mutex,
+    /// An `interleave::sync::Condvar`.
+    Condvar,
+    /// One of the `interleave::sync::atomic` types.
+    Atomic,
+    /// An `interleave::SharedCell` (unsynchronized by design; the
+    /// lockset analyzer decides whether accesses were protected).
+    Cell,
+}
+
+/// One synchronization event, in serialized execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `parent` spawned `child` via `interleave::thread`.
+    Spawn {
+        /// Spawning task.
+        parent: TaskId,
+        /// Newly created task.
+        child: TaskId,
+    },
+    /// `task` acquired mutex `lock` (the acquisition succeeded; a
+    /// blocked attempt emits nothing until it eventually succeeds).
+    Acquire {
+        /// Acquiring task.
+        task: TaskId,
+        /// The mutex.
+        lock: ObjId,
+    },
+    /// `task` released mutex `lock`.
+    Release {
+        /// Releasing task.
+        task: TaskId,
+        /// The mutex.
+        lock: ObjId,
+    },
+    /// `task` entered `Condvar::wait` on `cv`, atomically releasing
+    /// `lock`. A matching [`Event::CvWake`] follows when it is signalled
+    /// (the re-acquisition of `lock` is a separate [`Event::Acquire`]).
+    CvWait {
+        /// Waiting task.
+        task: TaskId,
+        /// The condition variable.
+        cv: ObjId,
+        /// The mutex released for the duration of the wait.
+        lock: ObjId,
+    },
+    /// `task` was woken from a wait on `cv` (before re-acquiring the
+    /// guard mutex). The model has no spurious wakeups: every `CvWake`
+    /// is caused by a notify.
+    CvWake {
+        /// Woken task.
+        task: TaskId,
+        /// The condition variable.
+        cv: ObjId,
+    },
+    /// `task` notified `cv`. `waiters` is how many tasks were blocked on
+    /// the condvar at that instant (0 means the signal fell on the
+    /// floor — the raw material of lost-wakeup analysis).
+    Notify {
+        /// Notifying task.
+        task: TaskId,
+        /// The condition variable.
+        cv: ObjId,
+        /// Number of tasks woken by this notify.
+        waiters: usize,
+        /// `true` for `notify_all`, `false` for `notify_one`.
+        all: bool,
+    },
+    /// `task` performed an atomic load of `obj`.
+    AtomicLoad {
+        /// Loading task.
+        task: TaskId,
+        /// The atomic.
+        obj: ObjId,
+    },
+    /// `task` performed an atomic store or read-modify-write of `obj`.
+    AtomicStore {
+        /// Storing task.
+        task: TaskId,
+        /// The atomic.
+        obj: ObjId,
+    },
+    /// `task` read an [`crate::SharedCell`].
+    CellRead {
+        /// Reading task.
+        task: TaskId,
+        /// The cell.
+        cell: ObjId,
+    },
+    /// `task` wrote an [`crate::SharedCell`].
+    CellWrite {
+        /// Writing task.
+        task: TaskId,
+        /// The cell.
+        cell: ObjId,
+    },
+    /// `task` entered `JoinHandle::join` on `target`.
+    JoinEnter {
+        /// Joining task.
+        task: TaskId,
+        /// Task being joined.
+        target: TaskId,
+    },
+    /// `task`'s closure returned (or unwound); the task is finished.
+    ThreadExit {
+        /// Exiting task.
+        task: TaskId,
+    },
+}
+
+impl Event {
+    /// The task that performed this event.
+    pub fn task(&self) -> TaskId {
+        match *self {
+            Event::Spawn { parent, .. } => parent,
+            Event::Acquire { task, .. }
+            | Event::Release { task, .. }
+            | Event::CvWait { task, .. }
+            | Event::CvWake { task, .. }
+            | Event::Notify { task, .. }
+            | Event::AtomicLoad { task, .. }
+            | Event::AtomicStore { task, .. }
+            | Event::CellRead { task, .. }
+            | Event::CellWrite { task, .. }
+            | Event::JoinEnter { task, .. }
+            | Event::ThreadExit { task } => task,
+        }
+    }
+}
+
+/// What a task was blocked on when an execution could no longer make
+/// progress. Reported in [`crate::Violation::Deadlock`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockedOn {
+    /// Blocked acquiring this mutex.
+    Lock(ObjId),
+    /// Blocked in `Condvar::wait` on this condvar.
+    Condvar(ObjId),
+    /// Blocked in `JoinHandle::join` on this task.
+    Join(TaskId),
+}
+
+/// A violation detected by the explorer itself (analyzers in `dsi-model`
+/// layer their own findings on top of the event stream).
+#[derive(Debug, Clone)]
+pub enum Violation {
+    /// No task was runnable but some tasks had not finished: a deadlock
+    /// (possibly a lost wakeup — `dsi-model` classifies it from the
+    /// event stream).
+    Deadlock {
+        /// Every unfinished task and what it was blocked on.
+        blocked: Vec<(TaskId, BlockedOn)>,
+    },
+    /// The scenario closure (or a spawned task) panicked with a payload
+    /// that was not the explorer's own abort sentinel — i.e. a plain
+    /// assertion failure inside the model under some schedule.
+    UserPanic {
+        /// The task that panicked.
+        task: TaskId,
+        /// Stringified panic payload, when it was a `&str`/`String`.
+        message: String,
+    },
+    /// One execution exceeded the per-execution scheduling-step valve
+    /// (`Options::max_steps`): the scenario is livelocked or far larger
+    /// than the model is meant for.
+    StepLimit {
+        /// Steps taken when the valve tripped.
+        steps: usize,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Deadlock { blocked } => {
+                write!(f, "deadlock; blocked tasks:")?;
+                for (t, on) in blocked {
+                    match on {
+                        BlockedOn::Lock(l) => write!(f, " task {t} on mutex #{l};")?,
+                        BlockedOn::Condvar(c) => write!(f, " task {t} in wait on condvar #{c};")?,
+                        BlockedOn::Join(j) => write!(f, " task {t} joining task {j};")?,
+                    }
+                }
+                Ok(())
+            }
+            Violation::UserPanic { task, message } => {
+                write!(f, "panic on task {task}: {message}")
+            }
+            Violation::StepLimit { steps } => {
+                write!(f, "step limit exceeded ({steps} scheduling steps)")
+            }
+        }
+    }
+}
+
+/// One fully explored execution: the event stream plus the schedule
+/// (the task chosen at every switch point) that produced it.
+#[derive(Debug, Clone)]
+pub struct Execution {
+    /// 0-based index of this execution within the exploration.
+    pub index: usize,
+    /// The serialized synchronization events.
+    pub events: Vec<Event>,
+    /// Task id chosen at each scheduling decision, in order. Replaying
+    /// these choices reproduces the execution exactly.
+    pub schedule: Vec<TaskId>,
+    /// Kind of every object sighted this execution, indexed by [`ObjId`].
+    pub obj_kinds: Vec<ObjKind>,
+}

@@ -1,0 +1,715 @@
+//! The controlled scheduler: DFS exploration of thread interleavings.
+//!
+//! One OS thread per model task, but the scheduler keeps exactly one
+//! task runnable at a time, so every execution is a serialization of
+//! the program. At every *switch point* (mutex acquire attempt, atomic
+//! op, [`crate::SharedCell`] access) the scheduler either replays a
+//! recorded choice or records the untried alternatives, then depth-first
+//! explores them across repeated executions of the closure.
+//!
+//! Partial-order reduction is op-level and coarse: releases, notifies,
+//! spawns and join entries update state without branching — their
+//! reorderings are observable only through subsequent acquire/atomic
+//! branch points, which do branch. Preemption bounding keeps the
+//! schedule count tractable: continuing the running task is free, while
+//! switching away from a still-runnable task costs one unit of the
+//! budget ([`Options::preemption_bound`]); forced switches (the running
+//! task blocked or finished) are always free and always fully explored.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool as StdAtomicBool, Ordering as StdOrdering};
+use std::sync::{
+    Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, Once, PoisonError,
+};
+
+use crate::event::{BlockedOn, Event, Execution, ObjId, ObjKind, TaskId, Violation};
+
+/// Exploration parameters.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Maximum number of *preemptions* per execution: switches away
+    /// from a task that could have kept running. 0 explores only
+    /// cooperative schedules; 2 is already strong in practice (most
+    /// concurrency bugs need at most two preemptions to manifest).
+    pub preemption_bound: usize,
+    /// Safety valve on the number of executions; exceeding it returns
+    /// a [`Report`] with `complete == false` instead of running
+    /// forever. The model suite asserts `complete`.
+    pub max_executions: usize,
+    /// Safety valve on scheduling steps within one execution; a
+    /// livelocked scenario trips [`Violation::StepLimit`].
+    pub max_steps: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            preemption_bound: 2,
+            max_executions: 500_000,
+            max_steps: 20_000,
+        }
+    }
+}
+
+impl Options {
+    /// Options with the given preemption bound and the default valves.
+    pub fn with_bound(preemption_bound: usize) -> Self {
+        Options {
+            preemption_bound,
+            ..Options::default()
+        }
+    }
+}
+
+/// The outcome of an exploration.
+#[derive(Debug)]
+pub struct Report {
+    /// Number of executions (distinct schedules) run.
+    pub executions: usize,
+    /// `true` when the bounded state space was exhausted: every
+    /// schedule within the preemption bound was run and none violated.
+    /// `false` when a violation stopped exploration early or
+    /// [`Options::max_executions`] was hit.
+    pub complete: bool,
+    /// The first violation found, if any.
+    pub violation: Option<Violation>,
+    /// The execution that produced the violation (its `schedule` is the
+    /// counterexample: the task picked at every switch point).
+    pub counterexample: Option<Execution>,
+}
+
+impl Report {
+    /// Panics with a readable counterexample if the exploration was
+    /// incomplete or found a violation.
+    pub fn assert_ok(&self) {
+        if let Some(v) = &self.violation {
+            let sched = self
+                .counterexample
+                .as_ref()
+                .map(|e| format!("{:?}", e.schedule))
+                .unwrap_or_else(|| "<none>".into());
+            panic!(
+                "model violation after {} executions: {v}\n  counterexample schedule: {sched}",
+                self.executions
+            );
+        }
+        assert!(
+            self.complete,
+            "exploration incomplete: hit max_executions at {}",
+            self.executions
+        );
+    }
+}
+
+/// Panic payload used to unwind every model task once a violation
+/// aborts the execution. Swallowed by the harness and by the quiet
+/// panic hook; user `catch_unwind` that traps it will re-trip on the
+/// next shim operation.
+pub(crate) struct ModelAbort;
+
+thread_local! {
+    /// The execution this OS thread belongs to, if it is a model task.
+    static CURRENT: RefCell<Option<(Arc<Exec>, TaskId)>> = const { RefCell::new(None) };
+}
+
+/// The (execution, task id) of the calling thread, if registered.
+pub(crate) fn current() -> Option<(Arc<Exec>, TaskId)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_current(v: Option<(Arc<Exec>, TaskId)>) {
+    CURRENT.with(|c| *c.borrow_mut() = v);
+}
+
+/// `&T as usize`, the raw identity the per-execution object table keys
+/// on (dense ids are assigned in first-use order).
+pub(crate) fn addr_of<T: ?Sized>(r: &T) -> usize {
+    r as *const T as *const () as usize
+}
+
+/// Unwind the calling task out of an aborted execution.
+pub(crate) fn abort_unwind() -> ! {
+    std::panic::panic_any(ModelAbort)
+}
+
+fn panic_message(p: &(dyn Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    BlockedLock(ObjId),
+    BlockedCondvar(ObjId),
+    BlockedJoin(TaskId),
+    Finished,
+}
+
+/// One scheduling decision plus the alternatives not yet explored.
+#[derive(Debug)]
+struct TraceEntry {
+    chosen: TaskId,
+    alts: Vec<TaskId>,
+}
+
+struct ExecState {
+    status: Vec<Status>,
+    os_handles: Vec<Option<std::thread::JoinHandle<()>>>,
+    active: TaskId,
+    step: usize,
+    trace: Vec<TraceEntry>,
+    schedule: Vec<TaskId>,
+    preemptions: usize,
+    events: Vec<Event>,
+    objs: BTreeMap<usize, ObjId>,
+    obj_kinds: Vec<ObjKind>,
+    lock_owner: BTreeMap<ObjId, TaskId>,
+    cv_waiters: BTreeMap<ObjId, Vec<TaskId>>,
+    abort: bool,
+    violation: Option<Violation>,
+    all_done: bool,
+}
+
+/// One execution's scheduler. Shared by every task of the execution.
+pub(crate) struct Exec {
+    state: StdMutex<ExecState>,
+    cond: StdCondvar,
+    abort_flag: StdAtomicBool,
+    preemption_bound: usize,
+    max_steps: usize,
+}
+
+impl Exec {
+    fn new(opts: &Options, trace: Vec<TraceEntry>) -> Self {
+        Exec {
+            state: StdMutex::new(ExecState {
+                status: vec![Status::Runnable],
+                os_handles: vec![None],
+                active: 0,
+                step: 0,
+                trace,
+                schedule: Vec::new(),
+                preemptions: 0,
+                events: Vec::new(),
+                objs: BTreeMap::new(),
+                obj_kinds: Vec::new(),
+                lock_owner: BTreeMap::new(),
+                cv_waiters: BTreeMap::new(),
+                abort: false,
+                violation: None,
+                all_done: false,
+            }),
+            cond: StdCondvar::new(),
+            abort_flag: StdAtomicBool::new(false),
+            preemption_bound: opts.preemption_bound,
+            max_steps: opts.max_steps,
+        }
+    }
+
+    fn lock_state(&self) -> StdMutexGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Fast abort check usable without the state lock.
+    pub(crate) fn aborting(&self) -> bool {
+        self.abort_flag.load(StdOrdering::SeqCst)
+    }
+
+    fn obj_id(st: &mut ExecState, addr: usize, kind: ObjKind) -> ObjId {
+        if let Some(&id) = st.objs.get(&addr) {
+            return id;
+        }
+        let id = st.obj_kinds.len();
+        st.obj_kinds.push(kind);
+        st.objs.insert(addr, id);
+        id
+    }
+
+    /// Drops an object's address → id mapping (its memory may be
+    /// reused by a later allocation within the same execution).
+    pub(crate) fn forget_obj(&self, addr: usize) {
+        let mut st = self.lock_state();
+        st.objs.remove(&addr);
+    }
+
+    fn trigger_abort(&self, st: &mut ExecState, v: Violation) {
+        st.abort = true;
+        self.abort_flag.store(true, StdOrdering::SeqCst);
+        if st.violation.is_none() {
+            st.violation = Some(v);
+        }
+        self.cond.notify_all();
+    }
+
+    /// Chooses the next active task. `voluntary` means the caller is
+    /// still runnable (a branch point: switching away costs a
+    /// preemption); otherwise the caller just blocked or finished and
+    /// the switch is forced (free, all alternatives recorded).
+    fn pick(&self, st: &mut ExecState, me: TaskId, voluntary: bool) {
+        if st.abort {
+            return;
+        }
+        if st.step >= self.max_steps {
+            let steps = st.step;
+            self.trigger_abort(st, Violation::StepLimit { steps });
+            return;
+        }
+        let runnable: Vec<TaskId> = st
+            .status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Status::Runnable))
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.status.iter().all(|s| *s == Status::Finished) {
+                st.all_done = true;
+                self.cond.notify_all();
+                return;
+            }
+            let blocked = st
+                .status
+                .iter()
+                .enumerate()
+                .filter_map(|(t, s)| match *s {
+                    Status::BlockedLock(l) => Some((t, BlockedOn::Lock(l))),
+                    Status::BlockedCondvar(c) => Some((t, BlockedOn::Condvar(c))),
+                    Status::BlockedJoin(j) => Some((t, BlockedOn::Join(j))),
+                    _ => None,
+                })
+                .collect();
+            self.trigger_abort(st, Violation::Deadlock { blocked });
+            return;
+        }
+        let step = st.step;
+        st.step += 1;
+        let chosen = if step < st.trace.len() {
+            st.trace[step].chosen
+        } else {
+            let (default, alts) = if voluntary {
+                let alts = if st.preemptions < self.preemption_bound {
+                    runnable.iter().copied().filter(|&t| t != me).collect()
+                } else {
+                    Vec::new()
+                };
+                (me, alts)
+            } else {
+                (runnable[0], runnable[1..].to_vec())
+            };
+            st.trace.push(TraceEntry {
+                chosen: default,
+                alts,
+            });
+            default
+        };
+        debug_assert!(matches!(st.status[chosen], Status::Runnable));
+        if voluntary && chosen != me {
+            st.preemptions += 1;
+        }
+        st.schedule.push(chosen);
+        st.active = chosen;
+        self.cond.notify_all();
+    }
+
+    /// Parks until this task is the active one (or the execution
+    /// aborts, in which case it unwinds).
+    fn wait_for_turn(&self, mut st: StdMutexGuard<'_, ExecState>, me: TaskId) {
+        loop {
+            if st.abort {
+                drop(st);
+                abort_unwind();
+            }
+            if st.active == me && matches!(st.status[me], Status::Runnable) {
+                return;
+            }
+            st = self.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// A voluntary branch point: the scheduler may preempt here.
+    pub(crate) fn switch(&self, me: TaskId) {
+        let mut st = self.lock_state();
+        if st.abort {
+            drop(st);
+            abort_unwind();
+        }
+        self.pick(&mut st, me, true);
+        self.wait_for_turn(st, me);
+    }
+
+    /// Blocking mutex acquisition (branch point at every attempt).
+    pub(crate) fn acquire(&self, me: TaskId, addr: usize) -> ObjId {
+        self.switch(me);
+        loop {
+            let mut st = self.lock_state();
+            if st.abort {
+                drop(st);
+                abort_unwind();
+            }
+            let lock = Self::obj_id(&mut st, addr, ObjKind::Mutex);
+            if !st.lock_owner.contains_key(&lock) {
+                st.lock_owner.insert(lock, me);
+                st.events.push(Event::Acquire { task: me, lock });
+                return lock;
+            }
+            st.status[me] = Status::BlockedLock(lock);
+            self.pick(&mut st, me, false);
+            self.wait_for_turn(st, me);
+            // Released and rescheduled: loop to retry the acquisition.
+        }
+    }
+
+    /// Mutex release: wakes the contenders, no branch point.
+    pub(crate) fn release(&self, me: TaskId, lock: ObjId) {
+        let mut st = self.lock_state();
+        if st.abort {
+            return;
+        }
+        st.lock_owner.remove(&lock);
+        st.events.push(Event::Release { task: me, lock });
+        for s in st.status.iter_mut() {
+            if *s == Status::BlockedLock(lock) {
+                *s = Status::Runnable;
+            }
+        }
+    }
+
+    /// Condvar wait entry: atomically releases `lock`, registers as a
+    /// waiter and blocks until notified. The caller re-acquires the
+    /// mutex afterwards via [`Exec::acquire`]. Returns the condvar id.
+    pub(crate) fn cv_wait(&self, me: TaskId, cv_addr: usize, lock: ObjId) -> ObjId {
+        let mut st = self.lock_state();
+        if st.abort {
+            drop(st);
+            abort_unwind();
+        }
+        let cv = Self::obj_id(&mut st, cv_addr, ObjKind::Condvar);
+        st.events.push(Event::CvWait { task: me, cv, lock });
+        st.lock_owner.remove(&lock);
+        for s in st.status.iter_mut() {
+            if *s == Status::BlockedLock(lock) {
+                *s = Status::Runnable;
+            }
+        }
+        st.cv_waiters.entry(cv).or_default().push(me);
+        st.status[me] = Status::BlockedCondvar(cv);
+        self.pick(&mut st, me, false);
+        self.wait_for_turn(st, me);
+        let mut st = self.lock_state();
+        if st.abort {
+            drop(st);
+            abort_unwind();
+        }
+        st.events.push(Event::CvWake { task: me, cv });
+        cv
+    }
+
+    /// Notify: wakes one or all waiters, no branch point (the wake
+    /// *order* is explored at the waiters' subsequent re-acquires).
+    pub(crate) fn notify(&self, me: TaskId, cv_addr: usize, all: bool) {
+        let mut st = self.lock_state();
+        if st.abort {
+            return;
+        }
+        let cv = Self::obj_id(&mut st, cv_addr, ObjKind::Condvar);
+        let woken = {
+            let waiters = st.cv_waiters.entry(cv).or_default();
+            if all {
+                std::mem::take(waiters)
+            } else if waiters.is_empty() {
+                Vec::new()
+            } else {
+                vec![waiters.remove(0)]
+            }
+        };
+        for &t in &woken {
+            st.status[t] = Status::Runnable;
+        }
+        st.events.push(Event::Notify {
+            task: me,
+            cv,
+            waiters: woken.len(),
+            all,
+        });
+    }
+
+    /// Branch point plus event for an atomic or cell access. The caller
+    /// performs the real operation right after (still serialized).
+    pub(crate) fn access(&self, me: TaskId, addr: usize, kind: ObjKind, write: bool) {
+        self.switch(me);
+        let mut st = self.lock_state();
+        if st.abort {
+            drop(st);
+            abort_unwind();
+        }
+        let obj = Self::obj_id(&mut st, addr, kind);
+        let ev = match (kind, write) {
+            (ObjKind::Cell, false) => Event::CellRead {
+                task: me,
+                cell: obj,
+            },
+            (ObjKind::Cell, true) => Event::CellWrite {
+                task: me,
+                cell: obj,
+            },
+            (_, false) => Event::AtomicLoad { task: me, obj },
+            (_, true) => Event::AtomicStore { task: me, obj },
+        };
+        st.events.push(ev);
+    }
+
+    /// Allocates a task id for a child about to be spawned.
+    pub(crate) fn register_child(&self, parent: TaskId) -> TaskId {
+        let mut st = self.lock_state();
+        let child = st.status.len();
+        st.status.push(Status::Runnable);
+        st.os_handles.push(None);
+        if !st.abort {
+            st.events.push(Event::Spawn { parent, child });
+        }
+        child
+    }
+
+    /// Stores the OS handle of a spawned child (drained by the harness
+    /// if the user never joins).
+    pub(crate) fn attach_handle(&self, child: TaskId, h: std::thread::JoinHandle<()>) {
+        let mut st = self.lock_state();
+        st.os_handles[child] = Some(h);
+    }
+
+    /// Marks a freshly spawned child as failed-to-spawn (rare).
+    pub(crate) fn cancel_child(&self, child: TaskId) {
+        let mut st = self.lock_state();
+        st.status[child] = Status::Finished;
+    }
+
+    /// First park of a spawned task: waits to be scheduled.
+    pub(crate) fn first_turn(&self, me: TaskId) {
+        let st = self.lock_state();
+        self.wait_for_turn(st, me);
+    }
+
+    /// Registers the calling OS thread as model task `me`.
+    pub(crate) fn adopt(self: &Arc<Self>, me: TaskId) {
+        set_current(Some((Arc::clone(self), me)));
+    }
+
+    /// Clears the calling OS thread's registration.
+    pub(crate) fn retire() {
+        set_current(None);
+    }
+
+    /// Task termination: wakes joiners and hands the schedule on.
+    pub(crate) fn exit_task(&self, me: TaskId) {
+        let mut st = self.lock_state();
+        st.status[me] = Status::Finished;
+        if !st.abort {
+            st.events.push(Event::ThreadExit { task: me });
+        }
+        for s in st.status.iter_mut() {
+            if *s == Status::BlockedJoin(me) {
+                *s = Status::Runnable;
+            }
+        }
+        if st.status.iter().all(|s| *s == Status::Finished) {
+            st.all_done = true;
+            self.cond.notify_all();
+            return;
+        }
+        if st.abort {
+            self.cond.notify_all();
+        } else {
+            self.pick(&mut st, me, false);
+        }
+    }
+
+    /// Join entry: blocks until `target` finishes, then yields its OS
+    /// handle for the real join.
+    pub(crate) fn join_task(
+        &self,
+        me: TaskId,
+        target: TaskId,
+    ) -> Option<std::thread::JoinHandle<()>> {
+        let mut st = self.lock_state();
+        if st.abort {
+            drop(st);
+            abort_unwind();
+        }
+        st.events.push(Event::JoinEnter { task: me, target });
+        if st.status[target] != Status::Finished {
+            st.status[me] = Status::BlockedJoin(target);
+            self.pick(&mut st, me, false);
+            self.wait_for_turn(st, me);
+            st = self.lock_state();
+            if st.abort {
+                drop(st);
+                abort_unwind();
+            }
+        }
+        st.os_handles[target].take()
+    }
+
+    /// Degraded handle take for joins that run during an abort.
+    pub(crate) fn take_handle(&self, target: TaskId) -> Option<std::thread::JoinHandle<()>> {
+        let mut st = self.lock_state();
+        st.os_handles[target].take()
+    }
+
+    fn finish_main(&self, panicked: Option<Box<dyn Any + Send>>) {
+        if let Some(p) = panicked {
+            let mut st = self.lock_state();
+            if !p.is::<ModelAbort>() && !st.abort {
+                let v = Violation::UserPanic {
+                    task: 0,
+                    message: panic_message(p.as_ref()),
+                };
+                self.trigger_abort(&mut st, v);
+            }
+        }
+        self.exit_task(0);
+    }
+
+    fn wait_all_done(&self) {
+        let mut st = self.lock_state();
+        while !st.all_done {
+            st = self.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Extracts the run's artifacts and any handles the user leaked.
+    #[allow(clippy::type_complexity)]
+    fn take_results(
+        &self,
+    ) -> (
+        Vec<TraceEntry>,
+        Vec<Event>,
+        Vec<TaskId>,
+        Vec<ObjKind>,
+        Option<Violation>,
+        Vec<std::thread::JoinHandle<()>>,
+    ) {
+        let mut st = self.lock_state();
+        let stray = st.os_handles.iter_mut().filter_map(Option::take).collect();
+        (
+            std::mem::take(&mut st.trace),
+            std::mem::take(&mut st.events),
+            std::mem::take(&mut st.schedule),
+            std::mem::take(&mut st.obj_kinds),
+            st.violation.take(),
+            stray,
+        )
+    }
+}
+
+static QUIET_HOOK: Once = Once::new();
+
+/// Installs (once, process-wide) a panic hook that silences the abort
+/// sentinel and panics raised on registered model tasks — those are
+/// either scheduled teardown or captured as [`Violation::UserPanic`] —
+/// while delegating everything else to the previous hook.
+fn install_quiet_panic_hook() {
+    QUIET_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<ModelAbort>() {
+                return;
+            }
+            let registered = CURRENT
+                .try_with(|c| c.try_borrow().map(|b| b.is_some()).unwrap_or(true))
+                .unwrap_or(false);
+            if registered {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Exhaustively explores the interleavings of `f` within the bounds of
+/// `opts`. See [`explore_with`] for the per-execution callback variant.
+pub fn explore<F: Fn()>(opts: &Options, f: F) -> Report {
+    explore_with(opts, f, |_| {})
+}
+
+/// Like [`explore`], but invokes `per_exec` with every finished
+/// [`Execution`] (events + schedule) so analyzers can replay the
+/// stream. The callback runs on the exploring thread, outside the
+/// model.
+pub fn explore_with<F, C>(opts: &Options, f: F, mut per_exec: C) -> Report
+where
+    F: Fn(),
+    C: FnMut(&Execution),
+{
+    install_quiet_panic_hook();
+    assert!(
+        current().is_none(),
+        "nested interleave::explore is not supported"
+    );
+    let mut trace: Vec<TraceEntry> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        let exec = Arc::new(Exec::new(opts, std::mem::take(&mut trace)));
+        exec.adopt(0);
+        let r = catch_unwind(AssertUnwindSafe(&f));
+        exec.finish_main(r.err());
+        exec.wait_all_done();
+        Exec::retire();
+        let (tr, events, schedule, obj_kinds, violation, stray) = exec.take_results();
+        for h in stray {
+            let _ = h.join();
+        }
+        let execution = Execution {
+            index: executions,
+            events,
+            schedule,
+            obj_kinds,
+        };
+        executions += 1;
+        per_exec(&execution);
+        if let Some(v) = violation {
+            return Report {
+                executions,
+                complete: false,
+                violation: Some(v),
+                counterexample: Some(execution),
+            };
+        }
+        trace = tr;
+        loop {
+            match trace.last_mut() {
+                None => {
+                    return Report {
+                        executions,
+                        complete: true,
+                        violation: None,
+                        counterexample: None,
+                    }
+                }
+                Some(e) => {
+                    if let Some(a) = e.alts.pop() {
+                        e.chosen = a;
+                        break;
+                    }
+                    trace.pop();
+                }
+            }
+        }
+        if executions >= opts.max_executions {
+            return Report {
+                executions,
+                complete: false,
+                violation: None,
+                counterexample: None,
+            };
+        }
+    }
+}

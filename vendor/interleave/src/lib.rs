@@ -1,0 +1,39 @@
+//! `interleave` — cfg-gated synchronization shims plus an exhaustive
+//! interleaving explorer for the workspace's concurrency layer.
+//!
+//! The crate has two personalities, selected at build time:
+//!
+//! - **Normal builds**: [`sync`] and [`thread`] are pure re-exports of
+//!   `std::sync` / `std::thread`. Code written against them compiles to
+//!   exactly the std types — zero cost, bit-identical behaviour.
+//! - **`RUSTFLAGS="--cfg dsi_model"` builds**: the same names resolve
+//!   to instrumented types that route every synchronization event
+//!   through a controlled scheduler ([`explore`]) which serializes the
+//!   program and depth-first explores its interleavings under a
+//!   preemption bound, recording an [`Event`] stream per execution for
+//!   race / deadlock / lost-wakeup analysis (see the `dsi-model`
+//!   crate).
+//!
+//! Consumers (`vendor/steal`, `dsi_core::share`) port by swapping
+//! `use std::sync::{...}` for `use interleave::sync::{...}` — the API
+//! surface is the `std` subset they use, nothing more.
+//!
+//! Model caveats (documented divergences from `std` under the cfg):
+//! no lock poisoning, no spurious condvar wakeups, all atomics
+//! effectively `SeqCst`, and `notify_one` wakes the longest waiter
+//! deterministically. None of these are observable under the normal
+//! cfg, which is what ships.
+
+#![warn(missing_docs)]
+
+mod cell;
+pub mod event;
+#[cfg(dsi_model)]
+mod explore;
+pub mod sync;
+pub mod thread;
+
+pub use cell::SharedCell;
+pub use event::{BlockedOn, Event, Execution, ObjId, ObjKind, TaskId, Violation};
+#[cfg(dsi_model)]
+pub use explore::{explore, explore_with, Options, Report};

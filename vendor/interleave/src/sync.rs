@@ -1,0 +1,364 @@
+//! Drop-in `std::sync` subset: `Mutex`, `Condvar` and the atomics the
+//! workspace's concurrency layer uses.
+//!
+//! Under the normal cfg this module is a pure re-export of `std::sync`
+//! — zero cost, bit-identical behaviour. Under `--cfg dsi_model` the
+//! types are instrumented: every acquire, release, wait, notify and
+//! atomic access on a thread registered with [`crate::explore`] becomes
+//! a scheduler event (and usually a branch point). Unregistered threads
+//! fall through to plain `std` behaviour, so code built with the cfg
+//! still works outside an exploration.
+//!
+//! Model semantics intentionally diverge from `std` in three documented
+//! ways: lock poisoning is not modelled (`lock()` always returns `Ok`),
+//! `Condvar` has no spurious wakeups, and every atomic is treated as
+//! `SeqCst` (executions are serialized, so nothing weaker is
+//! observable; weak memory orderings are out of scope).
+
+#[cfg(not(dsi_model))]
+pub use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Atomic types routed through the model scheduler under
+/// `--cfg dsi_model`; plain `std::sync::atomic` otherwise.
+#[cfg(not(dsi_model))]
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+#[cfg(dsi_model)]
+pub use model::{atomic, Condvar, Mutex, MutexGuard};
+
+#[cfg(dsi_model)]
+mod model {
+    use std::ops::{Deref, DerefMut};
+    use std::sync::{LockResult, PoisonError, TryLockError};
+
+    use crate::explore::{abort_unwind, addr_of, current};
+
+    /// A mutex with the `std::sync::Mutex` API whose acquisitions are
+    /// scheduler branch points inside an exploration.
+    pub struct Mutex<T> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates the mutex (const, usable in statics).
+        pub const fn new(t: T) -> Self {
+            Mutex {
+                inner: std::sync::Mutex::new(t),
+            }
+        }
+
+        /// Acquires the mutex. Inside an exploration this is a branch
+        /// point and may block (in model time) on the owner; poisoning
+        /// is not modelled, so the result is always `Ok`.
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            match current() {
+                Some((exec, me)) if !exec.aborting() => {
+                    let id = exec.acquire(me, addr_of(&self.inner));
+                    let g = match self.inner.try_lock() {
+                        Ok(g) => g,
+                        Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                        // The model owner bookkeeping says we own it;
+                        // reaching here means a non-model thread held
+                        // the std mutex. Degrade to a real block.
+                        Err(TryLockError::WouldBlock) => {
+                            self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+                        }
+                    };
+                    Ok(MutexGuard {
+                        mutex: self,
+                        model: Some((exec, me, id)),
+                        inner: Some(g),
+                    })
+                }
+                Some((_, _)) if !std::thread::panicking() => abort_unwind(),
+                _ => Ok(MutexGuard {
+                    mutex: self,
+                    model: None,
+                    inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+                }),
+            }
+        }
+    }
+
+    impl<T> Drop for Mutex<T> {
+        fn drop(&mut self) {
+            if let Some((exec, _)) = current() {
+                if !exec.aborting() {
+                    exec.forget_obj(addr_of(&self.inner));
+                }
+            }
+        }
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Mutex::new(T::default())
+        }
+    }
+
+    impl<T> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Mutex").finish_non_exhaustive()
+        }
+    }
+
+    /// Guard returned by [`Mutex::lock`]; releasing it wakes model
+    /// contenders without a branch point.
+    pub struct MutexGuard<'a, T> {
+        mutex: &'a Mutex<T>,
+        model: Option<(std::sync::Arc<crate::explore::Exec>, usize, usize)>,
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+    }
+
+    impl<T> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard taken")
+        }
+    }
+
+    impl<T> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard taken")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            // Drop the real guard before the bookkeeping so a contender
+            // scheduled next finds the std mutex free.
+            let _ = self.inner.take();
+            if let Some((exec, me, id)) = self.model.take() {
+                if !exec.aborting() {
+                    exec.release(me, id);
+                }
+            }
+        }
+    }
+
+    /// A condition variable with the `std::sync::Condvar` API. The
+    /// model has no spurious wakeups: every wakeup is caused by a
+    /// notify, which is exactly what lost-wakeup analysis needs.
+    pub struct Condvar {
+        inner: std::sync::Condvar,
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Condvar {
+        /// Creates the condvar (const, usable in statics).
+        pub const fn new() -> Self {
+            Condvar {
+                inner: std::sync::Condvar::new(),
+            }
+        }
+
+        /// Atomically releases the guard's mutex and waits for a
+        /// notify, then re-acquires the mutex (a fresh branch point).
+        pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            match (current(), guard.model.take()) {
+                (Some((exec, me)), Some((_, _, lock_id))) if !exec.aborting() => {
+                    let mutex = guard.mutex;
+                    // Free the real mutex before parking in the
+                    // scheduler; a contender scheduled while we wait
+                    // must find it unlocked.
+                    let _ = guard.inner.take();
+                    drop(guard);
+                    exec.cv_wait(me, addr_of(&self.inner), lock_id);
+                    mutex.lock()
+                }
+                (Some((exec, _)), model) if !std::thread::panicking() && exec.aborting() => {
+                    guard.model = model;
+                    drop(guard);
+                    abort_unwind()
+                }
+                (_, model) => {
+                    // Unregistered thread (or degraded teardown): real
+                    // wait when unregistered, immediate return during
+                    // an abort so unwinding code cannot hang.
+                    if model.is_some() {
+                        // Aborting + panicking: keep the guard as-is.
+                        guard.model = model;
+                        return Ok(guard);
+                    }
+                    let mutex = guard.mutex;
+                    let g = guard.inner.take().expect("guard taken");
+                    drop(guard);
+                    let g = self.inner.wait(g).unwrap_or_else(PoisonError::into_inner);
+                    Ok(MutexGuard {
+                        mutex,
+                        model: None,
+                        inner: Some(g),
+                    })
+                }
+            }
+        }
+
+        /// Wakes one waiter (the longest-waiting, deterministically).
+        pub fn notify_one(&self) {
+            self.notify(false);
+        }
+
+        /// Wakes every waiter.
+        pub fn notify_all(&self) {
+            self.notify(true);
+        }
+
+        fn notify(&self, all: bool) {
+            match current() {
+                Some((exec, me)) if !exec.aborting() => {
+                    exec.notify(me, addr_of(&self.inner), all);
+                }
+                Some((exec, _)) if !std::thread::panicking() && exec.aborting() => abort_unwind(),
+                _ => {
+                    if all {
+                        self.inner.notify_all();
+                    } else {
+                        self.inner.notify_one();
+                    }
+                }
+            }
+        }
+    }
+
+    impl Drop for Condvar {
+        fn drop(&mut self) {
+            if let Some((exec, _)) = current() {
+                if !exec.aborting() {
+                    exec.forget_obj(addr_of(&self.inner));
+                }
+            }
+        }
+    }
+
+    impl std::fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Condvar").finish_non_exhaustive()
+        }
+    }
+
+    /// Instrumented atomics: every access is a scheduler branch point.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        use crate::event::ObjKind;
+        use crate::explore::{abort_unwind, addr_of, current};
+
+        fn note(addr: usize, write: bool) {
+            if let Some((exec, me)) = current() {
+                if exec.aborting() {
+                    if !std::thread::panicking() {
+                        abort_unwind();
+                    }
+                } else {
+                    exec.access(me, addr, ObjKind::Atomic, write);
+                }
+            }
+        }
+
+        macro_rules! model_atomic {
+            ($(#[$doc:meta])* $name:ident, $std:ident, $t:ty) => {
+                $(#[$doc])*
+                pub struct $name {
+                    inner: std::sync::atomic::$std,
+                }
+
+                impl $name {
+                    /// Creates the atomic (const, usable in statics).
+                    pub const fn new(v: $t) -> Self {
+                        Self {
+                            inner: std::sync::atomic::$std::new(v),
+                        }
+                    }
+
+                    /// Atomic load (model: branch point, `SeqCst`).
+                    pub fn load(&self, order: Ordering) -> $t {
+                        note(addr_of(&self.inner), false);
+                        self.inner.load(order)
+                    }
+
+                    /// Atomic store (model: branch point, `SeqCst`).
+                    pub fn store(&self, v: $t, order: Ordering) {
+                        note(addr_of(&self.inner), true);
+                        self.inner.store(v, order)
+                    }
+
+                    /// Atomic swap (model: branch point, `SeqCst`).
+                    pub fn swap(&self, v: $t, order: Ordering) -> $t {
+                        note(addr_of(&self.inner), true);
+                        self.inner.swap(v, order)
+                    }
+                }
+
+                impl Drop for $name {
+                    fn drop(&mut self) {
+                        if let Some((exec, _)) = current() {
+                            if !exec.aborting() {
+                                exec.forget_obj(addr_of(&self.inner));
+                            }
+                        }
+                    }
+                }
+
+                impl Default for $name {
+                    fn default() -> Self {
+                        Self::new(<$t>::default())
+                    }
+                }
+
+                impl std::fmt::Debug for $name {
+                    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                        f.debug_struct(stringify!($name)).finish_non_exhaustive()
+                    }
+                }
+            };
+        }
+
+        macro_rules! model_atomic_int {
+            ($name:ident, $t:ty) => {
+                impl $name {
+                    /// Atomic add, returning the previous value
+                    /// (model: branch point, `SeqCst`).
+                    pub fn fetch_add(&self, v: $t, order: Ordering) -> $t {
+                        note(addr_of(&self.inner), true);
+                        self.inner.fetch_add(v, order)
+                    }
+
+                    /// Atomic subtract, returning the previous value
+                    /// (model: branch point, `SeqCst`).
+                    pub fn fetch_sub(&self, v: $t, order: Ordering) -> $t {
+                        note(addr_of(&self.inner), true);
+                        self.inner.fetch_sub(v, order)
+                    }
+                }
+            };
+        }
+
+        model_atomic!(
+            /// `AtomicBool` routed through the model scheduler.
+            AtomicBool,
+            AtomicBool,
+            bool
+        );
+        model_atomic!(
+            /// `AtomicUsize` routed through the model scheduler.
+            AtomicUsize,
+            AtomicUsize,
+            usize
+        );
+        model_atomic!(
+            /// `AtomicU64` routed through the model scheduler.
+            AtomicU64,
+            AtomicU64,
+            u64
+        );
+        model_atomic_int!(AtomicUsize, usize);
+        model_atomic_int!(AtomicU64, u64);
+    }
+}

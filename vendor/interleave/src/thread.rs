@@ -1,0 +1,175 @@
+//! Drop-in `std::thread` subset: `spawn`, `Builder`, `JoinHandle`,
+//! `available_parallelism`.
+//!
+//! Normal cfg: pure re-exports of `std::thread`. Under `--cfg
+//! dsi_model`, threads spawned from a registered model task become
+//! model tasks themselves: the child parks until the scheduler picks
+//! it, every join is a blocking scheduler event, and
+//! `available_parallelism` reports a deterministic 2. Spawns from
+//! unregistered threads fall through to real `std` threads.
+
+#[cfg(not(dsi_model))]
+pub use std::thread::{available_parallelism, spawn, Builder, JoinHandle, Result};
+
+#[cfg(dsi_model)]
+pub use model::{available_parallelism, spawn, Builder, JoinHandle};
+
+#[cfg(dsi_model)]
+/// `std::thread::Result`, re-exported for spawn/join signatures.
+pub use std::thread::Result;
+
+#[cfg(dsi_model)]
+mod model {
+    use std::num::NonZeroUsize;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+    use crate::explore::{abort_unwind, current, Exec, ModelAbort};
+
+    /// Configures a thread before spawning it (name only — the stack
+    /// size knob is accepted nowhere in this workspace).
+    #[derive(Default)]
+    pub struct Builder {
+        name: Option<String>,
+    }
+
+    impl Builder {
+        /// A builder with no name set.
+        pub fn new() -> Self {
+            Builder::default()
+        }
+
+        /// Names the thread (carried through to the real OS thread for
+        /// debuggability; the model identifies tasks by id).
+        pub fn name(mut self, name: String) -> Self {
+            self.name = Some(name);
+            self
+        }
+
+        /// Spawns the thread. Inside an exploration the child becomes
+        /// a model task that runs only when scheduled.
+        pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            let mut b = std::thread::Builder::new();
+            if let Some(n) = &self.name {
+                b = b.name(n.clone());
+            }
+            match current() {
+                Some((exec, me)) if !exec.aborting() => {
+                    let child = exec.register_child(me);
+                    let slot: Slot<T> = Arc::new(StdMutex::new(None));
+                    let (exec2, slot2) = (Arc::clone(&exec), Arc::clone(&slot));
+                    // dsi-lint: allow(spawn): model-task wrapper; the user closure carries its own state installs
+                    let res = b.spawn(move || {
+                        exec2.adopt(child);
+                        let r = catch_unwind(AssertUnwindSafe(|| {
+                            exec2.first_turn(child);
+                            f()
+                        }));
+                        let store = match r {
+                            Ok(v) => Some(Ok(v)),
+                            Err(p) if p.is::<ModelAbort>() => None,
+                            Err(p) => Some(Err(p)),
+                        };
+                        *slot2.lock().unwrap_or_else(PoisonError::into_inner) = store;
+                        exec2.exit_task(child);
+                        Exec::retire();
+                    });
+                    match res {
+                        Ok(h) => {
+                            exec.attach_handle(child, h);
+                            Ok(JoinHandle {
+                                inner: Inner::Model {
+                                    exec,
+                                    task: child,
+                                    slot,
+                                },
+                            })
+                        }
+                        Err(e) => {
+                            exec.cancel_child(child);
+                            Err(e)
+                        }
+                    }
+                }
+                Some((_, _)) if !std::thread::panicking() => abort_unwind(),
+                _ => {
+                    // dsi-lint: allow(spawn): passthrough outside an exploration; call sites carry their own installs
+                    b.spawn(f).map(|h| JoinHandle {
+                        inner: Inner::Std(h),
+                    })
+                }
+            }
+        }
+    }
+
+    type Slot<T> = Arc<StdMutex<Option<std::thread::Result<T>>>>;
+
+    /// Spawns an unnamed thread; see [`Builder::spawn`].
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        // dsi-lint: allow(spawn): shim front door; routes through Builder::spawn which registers the model task
+        Builder::new().spawn(f).expect("spawn model thread")
+    }
+
+    /// Deterministic 2 inside an exploration; the real value otherwise.
+    pub fn available_parallelism() -> std::io::Result<NonZeroUsize> {
+        match current() {
+            Some(_) => Ok(NonZeroUsize::new(2).expect("nonzero")),
+            None => std::thread::available_parallelism(),
+        }
+    }
+
+    enum Inner<T> {
+        Std(std::thread::JoinHandle<T>),
+        Model {
+            exec: Arc<Exec>,
+            task: usize,
+            slot: Slot<T>,
+        },
+    }
+
+    /// Handle to a spawned thread; `join` blocks (in model time) until
+    /// the task finishes and returns its closure's result, `Err` when
+    /// it panicked — same contract as `std::thread::JoinHandle`.
+    pub struct JoinHandle<T> {
+        inner: Inner<T>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish and returns its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.inner {
+                Inner::Std(h) => h.join(),
+                Inner::Model { exec, task, slot } => {
+                    let registered_same = current().is_some_and(|(e, _)| Arc::ptr_eq(&e, &exec));
+                    if registered_same && exec.aborting() && !std::thread::panicking() {
+                        abort_unwind();
+                    }
+                    let os = if registered_same && !exec.aborting() {
+                        let me = current().expect("registered").1;
+                        exec.join_task(me, task)
+                    } else {
+                        // Degraded (teardown) or cross-exec join: the
+                        // child terminates on its own once the abort
+                        // wakes it, so a real join suffices.
+                        exec.take_handle(task)
+                    };
+                    if let Some(h) = os {
+                        let _ = h.join();
+                    }
+                    slot.lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .take()
+                        .unwrap_or_else(|| Err(Box::new(ModelAbort)))
+                }
+            }
+        }
+    }
+}

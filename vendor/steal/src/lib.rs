@@ -37,14 +37,37 @@
 //! results independent of worker count and scheduling — the fleet engine
 //! does — must make jobs pure functions of their inputs and merge results
 //! keyed by the job's identity, never by completion order.
+//!
+//! # Panic containment
+//!
+//! Workers never die to a user panic: a panicking fire-and-forget job
+//! or `on_thread_start` hook is caught, the first payload is parked in
+//! the pool (see [`Pool::take_stray_panic`]), and the worker keeps
+//! draining — so [`Batch::join`] cannot hang on a decimated pool.
+//! [`Pool::drop`] re-raises an untaken stray payload once the queues
+//! are drained and the workers joined.
+//!
+//! # Model checking
+//!
+//! All synchronization here goes through the `interleave` shims, which
+//! are plain `std` re-exports in normal builds. Under
+//! `RUSTFLAGS="--cfg dsi_model"` the `dsi-model` suite exhaustively
+//! explores this pool's interleavings (spawn/steal/park/unpark, panic
+//! propagation, shutdown races) within a preemption bound.
 
+// Synchronization goes through the `interleave` shims: a pure
+// `std::sync`/`std::thread` re-export in normal builds, the model
+// scheduler under `RUSTFLAGS="--cfg dsi_model"` (see `dsi-model`).
+// `Arc` stays `std` — it is not a scheduling-relevant primitive.
+// dsi-lint: lock-order: locals < injector < epoch < pending < panic < stray
+use interleave::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use interleave::sync::{Condvar, Mutex};
+use interleave::thread::JoinHandle;
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 
 /// A queued unit of work.
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -65,6 +88,16 @@ struct Shared {
     live: AtomicBool,
     /// Distinguishes nested pools in the worker thread-local.
     pool_id: usize,
+    /// First panic from a fire-and-forget job or the start hook.
+    /// Workers survive those panics (the pool keeps draining); the
+    /// payload is re-raised by [`Pool::drop`] unless taken first via
+    /// [`Pool::take_stray_panic`].
+    stray: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+/// Records the first stray panic; later ones are dropped.
+fn record_stray(shared: &Shared, payload: Box<dyn Any + Send + 'static>) {
+    shared.stray.lock().unwrap().get_or_insert(payload);
 }
 
 thread_local! {
@@ -91,7 +124,7 @@ impl Builder {
     /// A builder with as many workers as the host advertises.
     pub fn new() -> Self {
         Builder {
-            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            workers: interleave::thread::available_parallelism().map_or(1, |n| n.get()),
             on_thread_start: None,
         }
     }
@@ -120,12 +153,13 @@ impl Builder {
             available: Condvar::new(),
             live: AtomicBool::new(true),
             pool_id: POOL_IDS.fetch_add(1, Ordering::Relaxed),
+            stray: Mutex::new(None),
         });
         let handles = (0..workers)
             .map(|me| {
                 let shared = Arc::clone(&shared);
                 let hook = self.on_thread_start.clone();
-                std::thread::Builder::new()
+                interleave::thread::Builder::new()
                     .name(format!("steal-worker-{me}"))
                     // dsi-lint: allow(spawn): workers run the caller's on_thread_start hook, where hotpath state is installed
                     .spawn(move || worker_main(shared, me, hook))
@@ -163,6 +197,14 @@ impl Pool {
         enqueue(&self.shared, Box::new(job));
     }
 
+    /// Takes the first panic raised by a fire-and-forget job or the
+    /// `on_thread_start` hook, if any. Left in place, the payload is
+    /// re-raised by [`Pool::drop`]; callers that treat such panics as
+    /// recoverable take it first.
+    pub fn take_stray_panic(&self) -> Option<Box<dyn Any + Send + 'static>> {
+        self.shared.stray.lock().unwrap().take()
+    }
+
     /// Opens a new join scope: spawn jobs on the returned [`Batch`], then
     /// [`Batch::join`] to wait for all of them.
     pub fn batch(&self) -> Batch {
@@ -187,6 +229,14 @@ impl Drop for Pool {
         }
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+        // Surface the first hook / fire-and-forget panic now that the
+        // queues are drained — silently eating it would let tests pass
+        // on a half-initialized pool. Suppressed while unwinding.
+        if !std::thread::panicking() {
+            if let Some(payload) = self.shared.stray.lock().unwrap().take() {
+                resume_unwind(payload);
+            }
         }
     }
 }
@@ -293,11 +343,21 @@ fn find_job(shared: &Shared, me: usize) -> Option<Job> {
 fn worker_main(shared: Arc<Shared>, me: usize, hook: Option<Arc<dyn Fn() + Send + Sync>>) {
     WORKER.with(|w| w.set(Some((shared.pool_id, me))));
     if let Some(hook) = &hook {
-        hook();
+        // A panicking hook must not cost the pool a worker: liveness
+        // (draining the queues, batch completion) outranks the hook's
+        // side effects, and the payload still surfaces at drop.
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| hook())) {
+            record_stray(&shared, payload);
+        }
     }
     loop {
         if let Some(job) = find_job(&shared, me) {
-            job();
+            // Same rule for fire-and-forget jobs: a panic is recorded,
+            // not worker-fatal. (Batch jobs carry their own catch and
+            // re-raise through `Batch::join`.)
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                record_stray(&shared, payload);
+            }
             continue;
         }
         // Pin the epoch, re-scan, and only then sleep: any push between
@@ -305,13 +365,25 @@ fn worker_main(shared: Arc<Shared>, me: usize, hook: Option<Arc<dyn Fn() + Send 
         // the wait below returns immediately instead of missing it.
         let seen = *shared.epoch.lock().unwrap();
         if let Some(job) = find_job(&shared, me) {
-            job();
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                record_stray(&shared, payload);
+            }
+            continue;
+        }
+        let mut epoch = shared.epoch.lock().unwrap();
+        if *epoch != seen {
+            // A push (or the shutdown bump) landed after the re-scan;
+            // its job may be sitting in a queue we already scanned.
+            // Found by the dsi-model explorer: exiting on `!live` here
+            // lost jobs enqueued in the scan-to-check window.
             continue;
         }
         if !shared.live.load(Ordering::Acquire) {
+            // Queues were empty at `seen` and nothing has been pushed
+            // since (the epoch is still pinned under its lock), so the
+            // drain is genuinely complete.
             return;
         }
-        let mut epoch = shared.epoch.lock().unwrap();
         while *epoch == seen && shared.live.load(Ordering::Acquire) {
             epoch = shared.available.wait(epoch).unwrap();
         }

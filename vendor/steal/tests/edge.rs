@@ -1,0 +1,160 @@
+//! Edge-schedule tests for the work-stealing pool: panics in hooks and
+//! fire-and-forget jobs, stray-panic surfacing, shutdown racing spawns,
+//! and nested spawns during the drop drain. These are the deterministic
+//! `#[test]` companions to the exhaustive `dsi-model` explorations —
+//! they pin the *contract* (workers survive, queues drain, panics
+//! surface exactly once) on real threads, while the model suite checks
+//! every interleaving of the same paths on virtual ones.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use steal::{Builder, Pool};
+
+/// A fire-and-forget panic must not cost the pool its worker: jobs
+/// queued after the panic still run, and the payload surfaces through
+/// `take_stray_panic` instead of killing the drop.
+#[test]
+fn fire_and_forget_panic_keeps_worker_draining() {
+    let pool = Pool::with_workers(1);
+    let hits = Arc::new(AtomicU64::new(0));
+    pool.spawn(|| panic!("stray job panic"));
+    for _ in 0..16 {
+        let hits = Arc::clone(&hits);
+        pool.spawn(move || {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    // Wait for the queue to drain via a batch barrier on the same pool.
+    let batch = pool.batch();
+    batch.spawn(|| {});
+    batch.join();
+    while hits.load(Ordering::Relaxed) < 16 {
+        std::thread::yield_now();
+    }
+    let payload = pool.take_stray_panic().expect("panic was recorded");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+    assert_eq!(msg, "stray job panic");
+    // Taken payloads are gone: drop must not re-raise.
+    drop(pool);
+}
+
+/// An untaken stray panic is re-raised by `Pool::drop` once the queues
+/// are drained — silently eating it would let callers miss real bugs.
+#[test]
+fn untaken_stray_panic_reraises_on_drop() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let pool = Pool::with_workers(2);
+        pool.spawn(|| panic!("must surface"));
+        drop(pool);
+    }));
+    let payload = result.expect_err("drop re-raises the stray panic");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+    assert_eq!(msg, "must surface");
+}
+
+/// A panicking `on_thread_start` hook must not decimate the pool:
+/// every worker keeps draining jobs, and only the FIRST hook payload is
+/// kept (later ones are dropped, not accumulated).
+#[test]
+fn hook_panic_leaves_pool_functional() {
+    let pool = Builder::new()
+        .workers(2)
+        .on_thread_start(|| panic!("hook down"))
+        .build();
+    let hits = Arc::new(AtomicU64::new(0));
+    let batch = pool.batch();
+    for _ in 0..32 {
+        let hits = Arc::clone(&hits);
+        batch.spawn(move || {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    batch.join();
+    assert_eq!(hits.load(Ordering::Relaxed), 32);
+    let payload = pool.take_stray_panic().expect("first hook panic kept");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+    assert_eq!(msg, "hook down");
+    assert!(pool.take_stray_panic().is_none(), "payloads do not stack");
+    drop(pool);
+}
+
+/// Batch panics travel through `Batch::join`, never through the stray
+/// channel: the worker survives, join re-raises, and drop stays quiet.
+#[test]
+fn batch_panic_propagates_through_join_not_stray() {
+    let pool = Pool::with_workers(2);
+    let batch = pool.batch();
+    batch.spawn(|| panic!("batch job panic"));
+    batch.spawn(|| {});
+    let result = catch_unwind(AssertUnwindSafe(|| batch.join()));
+    let payload = result.expect_err("join re-raises the job panic");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+    assert_eq!(msg, "batch job panic");
+    assert!(
+        pool.take_stray_panic().is_none(),
+        "batch panics are not stray panics"
+    );
+    drop(pool);
+}
+
+/// Jobs spawned *by other jobs* while the pool is being dropped still
+/// run: drop drains until the queues are genuinely empty, not merely
+/// empty at the moment `live` was cleared.
+#[test]
+fn nested_spawns_during_drop_are_drained() {
+    let pool = Pool::with_workers(2);
+    let hits = Arc::new(AtomicU64::new(0));
+    let batch = pool.batch();
+    for _ in 0..8 {
+        let hits = Arc::clone(&hits);
+        let inner = batch.clone();
+        batch.spawn(move || {
+            let hits = Arc::clone(&hits);
+            inner.spawn(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+    }
+    batch.join();
+    assert_eq!(hits.load(Ordering::Relaxed), 8);
+    drop(pool);
+}
+
+/// Spawning right up to the drop (steal racing shutdown): every job
+/// submitted before `drop` returns has run by the time it does.
+#[test]
+fn spawns_racing_shutdown_all_execute() {
+    for _ in 0..20 {
+        let hits = Arc::new(AtomicU64::new(0));
+        let pool = Pool::with_workers(3);
+        for _ in 0..64 {
+            let hits = Arc::clone(&hits);
+            pool.spawn(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool);
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+}
+
+/// The worker's epoch re-scan path (job found between pinning the epoch
+/// and parking) has the same panic containment as the main loop: flood
+/// a single worker so some jobs are found on the re-scan, with every
+/// job panicking — the pool must still drain and join cleanly.
+#[test]
+fn panics_on_rescan_path_do_not_kill_worker() {
+    let pool = Pool::with_workers(1);
+    for _ in 0..64 {
+        pool.spawn(|| panic!("every job panics"));
+    }
+    let batch = pool.batch();
+    batch.spawn(|| {});
+    batch.join();
+    let payload = pool.take_stray_panic().expect("first panic kept");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+    assert_eq!(msg, "every job panics");
+    drop(pool);
+}
